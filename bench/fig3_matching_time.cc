@@ -1,0 +1,36 @@
+// Figure 3 reproduction: total increase in optimization time (relative to
+// zero views) and the portion of it spent inside the view-matching rule,
+// as a function of the number of views. Paper shape: at 1000 views about
+// half of the increase originates in view matching; with few views almost
+// all of it does (most invocations produce no substitutes, so no extra
+// optimizer work follows).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace mvopt;
+  using namespace mvopt::bench;
+
+  SweepConfig config;
+  Workload workload(config.max_views, config.num_queries);
+
+  std::printf("# Figure 3: optimization-time increase and view-matching "
+              "time\n");
+  std::printf("%-8s %16s %18s %12s\n", "views", "total-increase(s)",
+              "view-matching(s)", "vm-share");
+
+  OptimizerOptions opts;
+  double baseline = -1;
+  for (int n : config.ViewCounts()) {
+    auto service = workload.MakeService(n, /*use_filter_tree=*/true);
+    SweepPoint p = RunSweepPoint(workload, service.get(), n, opts);
+    if (baseline < 0) baseline = p.total_seconds;
+    double increase = p.total_seconds - baseline;
+    double share = increase > 0 ? p.view_matching_seconds / increase : 0;
+    std::printf("%-8d %16.3f %18.3f %12.2f\n", n, increase,
+                p.view_matching_seconds, share);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvopt {
+
+ColumnOrdinal TableDef::AddColumn(std::string name, ValueType type,
+                                  bool not_null) {
+  ColumnDef def;
+  def.name = std::move(name);
+  def.type = type;
+  def.not_null = not_null;
+  columns_.push_back(std::move(def));
+  return static_cast<ColumnOrdinal>(columns_.size()) - 1;
+}
+
+void TableDef::SetPrimaryKey(std::vector<ColumnOrdinal> columns) {
+  assert(unique_keys_.empty() && "primary key must be declared first");
+  for (ColumnOrdinal c : columns) columns_[c].not_null = true;
+  unique_keys_.push_back(std::move(columns));
+}
+
+void TableDef::AddUniqueKey(std::vector<ColumnOrdinal> columns) {
+  unique_keys_.push_back(std::move(columns));
+}
+
+std::optional<ColumnOrdinal> TableDef::FindColumn(
+    const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<ColumnOrdinal>(i);
+  }
+  return std::nullopt;
+}
+
+bool TableDef::CoversUniqueKey(
+    const std::vector<ColumnOrdinal>& columns) const {
+  for (const auto& key : unique_keys_) {
+    bool covered = true;
+    for (ColumnOrdinal k : key) {
+      if (std::find(columns.begin(), columns.end(), k) == columns.end()) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) return true;
+  }
+  return false;
+}
+
+TableDef* Catalog::CreateTable(const std::string& name) {
+  assert(by_name_.find(name) == by_name_.end() && "duplicate table name");
+  TableId id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::make_unique<TableDef>(id, name));
+  by_name_[name] = id;
+  return tables_.back().get();
+}
+
+const TableDef* Catalog::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return tables_[it->second].get();
+}
+
+}  // namespace mvopt

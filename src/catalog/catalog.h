@@ -1,0 +1,145 @@
+// Relational catalog: tables, columns, and the four constraint kinds the
+// view-matching algorithm exploits (paper §3): not-null constraints,
+// primary keys, uniqueness constraints, and foreign keys. Also holds the
+// per-column statistics the cost model and the workload generator use.
+
+#ifndef MVOPT_CATALOG_CATALOG_H_
+#define MVOPT_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace mvopt {
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+}  // namespace mvopt
+
+namespace mvopt {
+
+using TableId = int32_t;
+using ColumnOrdinal = int32_t;
+
+inline constexpr TableId kInvalidTableId = -1;
+
+/// Simple per-column statistics (populated by the data generator or set by
+/// hand). Used by the cardinality estimator to derive range selectivities.
+struct ColumnStats {
+  Value min;             ///< smallest non-null value, or NULL if unknown
+  Value max;             ///< largest non-null value, or NULL if unknown
+  int64_t distinct = 0;  ///< approximate distinct count, 0 if unknown
+};
+
+/// Column definition with its not-null constraint.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  bool not_null = false;
+  ColumnStats stats;
+};
+
+/// A foreign key from `table` (owner, implicit) to `referenced_table`.
+/// Column lists are positionally aligned: fk_columns[i] references
+/// key_columns[i]. The paper requires the referenced columns to form a
+/// unique key and (for cardinality-preserving joins) the referencing
+/// columns to be not-null.
+struct ForeignKeyDef {
+  std::vector<ColumnOrdinal> fk_columns;
+  TableId referenced_table = kInvalidTableId;
+  std::vector<ColumnOrdinal> key_columns;
+};
+
+/// Table definition. unique_keys[0], if present, is the primary key.
+class TableDef {
+ public:
+  TableDef(TableId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Appends a column; returns its ordinal.
+  ColumnOrdinal AddColumn(std::string name, ValueType type, bool not_null);
+
+  /// Declares the primary key (stored as unique_keys[0]; columns become
+  /// not-null, matching SQL semantics).
+  void SetPrimaryKey(std::vector<ColumnOrdinal> columns);
+
+  /// Declares an additional uniqueness constraint.
+  void AddUniqueKey(std::vector<ColumnOrdinal> columns);
+
+  void AddForeignKey(ForeignKeyDef fk) {
+    foreign_keys_.push_back(std::move(fk));
+  }
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(ColumnOrdinal i) const { return columns_[i]; }
+  ColumnDef& mutable_column(ColumnOrdinal i) { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Ordinal of the named column, or nullopt.
+  std::optional<ColumnOrdinal> FindColumn(const std::string& name) const;
+
+  const std::vector<std::vector<ColumnOrdinal>>& unique_keys() const {
+    return unique_keys_;
+  }
+  const std::vector<ForeignKeyDef>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  /// True if `columns` is a superset of some declared unique key.
+  bool CoversUniqueKey(const std::vector<ColumnOrdinal>& columns) const;
+
+  /// Declares a CHECK constraint: a predicate over this table's columns
+  /// (column references use table_ref 0) that every row satisfies. The
+  /// view-matching tests add these to the antecedent of the implication
+  /// Wq => Wv (§3.1.2). Pass one conjunct per call.
+  void AddCheckConstraint(ExprPtr conjunct) {
+    check_constraints_.push_back(std::move(conjunct));
+  }
+  const std::vector<ExprPtr>& check_constraints() const {
+    return check_constraints_;
+  }
+
+  void set_row_count(int64_t n) { row_count_ = n; }
+  int64_t row_count() const { return row_count_; }
+
+ private:
+  TableId id_;
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<std::vector<ColumnOrdinal>> unique_keys_;
+  std::vector<ForeignKeyDef> foreign_keys_;
+  std::vector<ExprPtr> check_constraints_;
+  int64_t row_count_ = 0;
+};
+
+/// The catalog owns table definitions and resolves names.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; the returned pointer stays valid for the
+  /// catalog's lifetime.
+  TableDef* CreateTable(const std::string& name);
+
+  const TableDef& table(TableId id) const { return *tables_[id]; }
+  TableDef& mutable_table(TableId id) { return *tables_[id]; }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  const TableDef* FindTable(const std::string& name) const;
+
+ private:
+  std::vector<std::unique_ptr<TableDef>> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_CATALOG_CATALOG_H_

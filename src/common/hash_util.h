@@ -1,0 +1,25 @@
+// Small hash-combining helpers shared across modules.
+
+#ifndef MVOPT_COMMON_HASH_UTIL_H_
+#define MVOPT_COMMON_HASH_UTIL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace mvopt {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe).
+template <typename T>
+inline void HashCombine(size_t* seed, const T& value) {
+  *seed ^= std::hash<T>()(value) + 0x9e3779b97f4a7c15ULL + (*seed << 6) +
+           (*seed >> 2);
+}
+
+/// Mixes an already-computed hash value into `seed`.
+inline void HashCombineRaw(size_t* seed, size_t h) {
+  *seed ^= h + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace mvopt
+
+#endif  // MVOPT_COMMON_HASH_UTIL_H_

@@ -1,0 +1,42 @@
+#include "common/str_util.h"
+
+namespace mvopt {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+namespace {
+
+bool LikeMatch(const char* t, const char* te, const char* p, const char* pe) {
+  while (p != pe) {
+    if (*p == '%') {
+      ++p;
+      if (p == pe) return true;
+      for (const char* s = t; s <= te; ++s) {
+        if (LikeMatch(s, te, p, pe)) return true;
+      }
+      return false;
+    }
+    if (t == te) return false;
+    if (*p != '_' && *p != *t) return false;
+    ++p;
+    ++t;
+  }
+  return t == te;
+}
+
+}  // namespace
+
+bool SqlLike(const std::string& text, const std::string& pattern) {
+  return LikeMatch(text.data(), text.data() + text.size(), pattern.data(),
+                   pattern.data() + pattern.size());
+}
+
+}  // namespace mvopt

@@ -1,0 +1,20 @@
+// String helpers used by printers and the shape matcher.
+
+#ifndef MVOPT_COMMON_STR_UTIL_H_
+#define MVOPT_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace mvopt {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// SQL LIKE with % (any run) and _ (single char) wildcards; no escapes.
+bool SqlLike(const std::string& text, const std::string& pattern);
+
+}  // namespace mvopt
+
+#endif  // MVOPT_COMMON_STR_UTIL_H_

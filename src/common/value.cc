@@ -1,0 +1,98 @@
+#include "common/value.h"
+
+#include <cassert>
+#include <cstdio>
+#include <functional>
+
+namespace mvopt {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+double Value::AsDouble() const {
+  assert(is_numeric());
+  if (type_ == ValueType::kDouble) return std::get<double>(data_);
+  return static_cast<double>(std::get<int64_t>(data_));
+}
+
+int Value::Compare(const Value& other) const {
+  const bool lhs_null = is_null();
+  const bool rhs_null = other.is_null();
+  if (lhs_null || rhs_null) {
+    if (lhs_null && rhs_null) return 0;
+    return lhs_null ? -1 : 1;
+  }
+  if (is_numeric() && other.is_numeric()) {
+    // Compare exactly when both sides are integer-backed; otherwise widen.
+    if (type_ != ValueType::kDouble && other.type_ != ValueType::kDouble) {
+      const int64_t a = int64();
+      const int64_t b = other.int64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = AsDouble();
+    const double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
+    const int c = str().compare(other.str());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Mixed string/number: fall back to type ordering so containers stay
+  // consistent; the analyzer never produces such comparisons.
+  assert(false && "comparing values of incompatible types");
+  return static_cast<int>(type_) - static_cast<int>(other.type_);
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(int64());
+    case ValueType::kDate: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "DATE(%lld)",
+                    static_cast<long long>(int64()));
+      return buf;
+    }
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", dbl());
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + str() + "'";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type_) * 0x9e3779b97f4a7c15ULL;
+  switch (type_) {
+    case ValueType::kNull:
+      return seed;
+    case ValueType::kInt64:
+    case ValueType::kDate:
+      return seed ^ std::hash<int64_t>()(int64());
+    case ValueType::kDouble:
+      return seed ^ std::hash<double>()(dbl());
+    case ValueType::kString:
+      return seed ^ std::hash<std::string>()(str());
+  }
+  return seed;
+}
+
+}  // namespace mvopt

@@ -1,0 +1,106 @@
+// Value: the runtime scalar type used throughout mvopt.
+//
+// Values flow through predicate analysis (range bounds are Values), the
+// expression evaluator, and the execution engine (rows are vectors of
+// Values). The variant covers the types needed by the TPC-H schema used in
+// the paper's evaluation: 64-bit integers, doubles, strings, dates (stored
+// as days since 1970-01-01), and SQL NULL.
+
+#ifndef MVOPT_COMMON_VALUE_H_
+#define MVOPT_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace mvopt {
+
+/// Scalar type tags. `kDate` is represented as int64 days internally but
+/// kept distinct so schema/type checking and printing behave sensibly.
+enum class ValueType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+/// Returns a human-readable name ("int64", "date", ...).
+const char* ValueTypeName(ValueType type);
+
+/// A runtime scalar. Copyable; totally ordered within a type family
+/// (numeric types compare cross-type, NULL sorts first for index purposes
+/// but comparisons against NULL via SQL semantics are handled by the
+/// evaluator, not by operator<).
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(ValueType::kInt64, v); }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.data_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.data_ = std::move(v);
+    return out;
+  }
+  /// A date as days since the epoch.
+  static Value Date(int64_t days) { return Value(ValueType::kDate, days); }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_numeric() const {
+    return type_ == ValueType::kInt64 || type_ == ValueType::kDouble ||
+           type_ == ValueType::kDate;
+  }
+
+  /// Accessors. Precondition: matching type (kDate also answers int64()).
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double dbl() const { return std::get<double>(data_); }
+  const std::string& str() const { return std::get<std::string>(data_); }
+
+  /// Numeric value widened to double (int64/date/double). Precondition:
+  /// is_numeric().
+  double AsDouble() const;
+
+  /// Total-order comparison used for ranges and index keys. NULL < any
+  /// non-null; numeric types compare by numeric value; strings
+  /// lexicographically. Comparing a string with a number is a programming
+  /// error and asserts in debug builds (returns type ordering otherwise).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Renders the value for SQL-ish printing ('abc', 42, 3.5, NULL).
+  std::string ToString() const;
+
+  /// Stable hash combining type and payload.
+  size_t Hash() const;
+
+ private:
+  Value(ValueType type, int64_t v) : type_(type), data_(v) {}
+
+  ValueType type_;
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+/// std::hash adapter so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_COMMON_VALUE_H_

@@ -1,0 +1,378 @@
+#include "engine/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "engine/eval.h"
+#include "expr/type_infer.h"
+
+namespace mvopt {
+
+namespace {
+
+// Collects the distinct aggregate subexpressions of `expr` (structural
+// equality) into `out`.
+void CollectAggregates(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kAggregate) {
+    for (const auto& existing : *out) {
+      if (existing->Equals(*expr)) return;
+    }
+    out->push_back(expr);
+    return;
+  }
+  for (const auto& c : expr->children()) CollectAggregates(c, out);
+}
+
+// Per-aggregate accumulator.
+struct AggState {
+  int64_t count = 0;       // count(*) / avg denominator (non-null args)
+  Value sum;               // running sum (NULL until first non-null)
+  Value min;
+  Value max;
+
+  void Accumulate(AggKind kind, const Value& arg) {
+    switch (kind) {
+      case AggKind::kCountStar:
+        ++count;
+        return;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        if (arg.is_null()) return;
+        ++count;
+        sum = sum.is_null() ? arg : ApplyArith(ArithOp::kAdd, sum, arg);
+        return;
+      case AggKind::kMin:
+        if (arg.is_null()) return;
+        if (min.is_null() || arg < min) min = arg;
+        return;
+      case AggKind::kMax:
+        if (arg.is_null()) return;
+        if (max.is_null() || arg > max) max = arg;
+        return;
+    }
+  }
+
+  Value Result(AggKind kind) const {
+    switch (kind) {
+      case AggKind::kCountStar:
+        return Value::Int64(count);
+      case AggKind::kSum:
+        return sum;
+      case AggKind::kAvg:
+        if (count == 0 || sum.is_null()) return Value::Null();
+        return Value::Double(sum.AsDouble() / static_cast<double>(count));
+      case AggKind::kMin:
+        return min;
+      case AggKind::kMax:
+        return max;
+    }
+    return Value::Null();
+  }
+};
+
+// Evaluates `expr` over `row`, substituting computed aggregate values.
+Value EvalWithAggregates(const Expr& expr,
+                         const std::vector<ExprPtr>& agg_exprs,
+                         const std::vector<Value>& agg_values,
+                         const Row& row) {
+  if (expr.kind() == ExprKind::kAggregate) {
+    for (size_t i = 0; i < agg_exprs.size(); ++i) {
+      if (agg_exprs[i]->Equals(expr)) return agg_values[i];
+    }
+    assert(false && "aggregate not collected");
+    return Value::Null();
+  }
+  switch (expr.kind()) {
+    case ExprKind::kArithmetic:
+      return ApplyArith(
+          expr.arith_op(),
+          EvalWithAggregates(*expr.child(0), agg_exprs, agg_values, row),
+          EvalWithAggregates(*expr.child(1), agg_exprs, agg_values, row));
+    case ExprKind::kComparison:
+      return ApplyCompare(
+          expr.compare_op(),
+          EvalWithAggregates(*expr.child(0), agg_exprs, agg_values, row),
+          EvalWithAggregates(*expr.child(1), agg_exprs, agg_values, row));
+    default:
+      return EvalScalar(expr, row);
+  }
+}
+
+}  // namespace
+
+std::vector<Row> ProjectAndAggregate(const std::vector<Row>& input,
+                                     const std::vector<ExprPtr>& outputs,
+                                     const std::vector<ExprPtr>& group_by,
+                                     bool is_aggregate) {
+  std::vector<Row> result;
+  if (!is_aggregate) {
+    result.reserve(input.size());
+    for (const Row& row : input) {
+      Row out;
+      out.reserve(outputs.size());
+      for (const auto& e : outputs) out.push_back(EvalScalar(*e, row));
+      result.push_back(std::move(out));
+    }
+    return result;
+  }
+
+  std::vector<ExprPtr> agg_exprs;
+  for (const auto& e : outputs) CollectAggregates(e, &agg_exprs);
+
+  struct Group {
+    Row representative;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<Row, Group, RowHash, RowEq> groups;
+  for (const Row& row : input) {
+    Row key;
+    key.reserve(group_by.size());
+    for (const auto& g : group_by) key.push_back(EvalScalar(*g, row));
+    auto [it, inserted] = groups.emplace(std::move(key), Group{});
+    if (inserted) {
+      it->second.representative = row;
+      it->second.states.resize(agg_exprs.size());
+    }
+    for (size_t i = 0; i < agg_exprs.size(); ++i) {
+      const Expr& agg = *agg_exprs[i];
+      Value arg;
+      if (agg.agg_kind() != AggKind::kCountStar) {
+        arg = EvalScalar(*agg.child(0), row);
+      }
+      it->second.states[i].Accumulate(agg.agg_kind(), arg);
+    }
+  }
+  // A scalar aggregate over the empty input still produces one row.
+  if (groups.empty() && group_by.empty()) {
+    groups.emplace(Row{}, Group{Row{}, std::vector<AggState>(
+                                           agg_exprs.size())});
+  }
+  for (const auto& [key, group] : groups) {
+    (void)key;
+    std::vector<Value> agg_values;
+    agg_values.reserve(agg_exprs.size());
+    for (size_t i = 0; i < agg_exprs.size(); ++i) {
+      agg_values.push_back(group.states[i].Result(agg_exprs[i]->agg_kind()));
+    }
+    Row out;
+    out.reserve(outputs.size());
+    for (const auto& e : outputs) {
+      out.push_back(
+          EvalWithAggregates(*e, agg_exprs, agg_values,
+                             group.representative));
+    }
+    result.push_back(std::move(out));
+  }
+  return result;
+}
+
+TableData* Database::AddTable(TableId id) {
+  auto data =
+      std::make_unique<TableData>(id, catalog_->table(id).num_columns());
+  TableData* ptr = data.get();
+  tables_[id] = std::move(data);
+  return ptr;
+}
+
+TableData* Database::table(TableId id) {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const TableData* Database::table(TableId id) const {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Row> Database::ExecuteSpjg(const SpjgQuery& query) const {
+  return ExecuteSpjgImpl(query, -1, nullptr);
+}
+
+std::vector<Row> Database::ExecuteSpjgWithDelta(
+    const SpjgQuery& query, int32_t delta_ref,
+    const std::vector<Row>& delta_rows) const {
+  return ExecuteSpjgImpl(query, delta_ref, &delta_rows);
+}
+
+std::vector<Row> Database::ExecuteSpjgImpl(
+    const SpjgQuery& query, int32_t delta_ref,
+    const std::vector<Row>* delta_rows) const {
+  const int n = query.num_tables();
+  // Flat slot layout: table ref t occupies [offset[t], offset[t]+width).
+  std::vector<int> offset(n + 1, 0);
+  SlotMap slots;
+  for (int t = 0; t < n; ++t) {
+    const TableDef& def = catalog_->table(query.tables[t].table);
+    offset[t + 1] = offset[t] + def.num_columns();
+    for (int c = 0; c < def.num_columns(); ++c) {
+      slots[ColumnRefId{t, static_cast<ColumnOrdinal>(c)}] = offset[t] + c;
+    }
+  }
+
+  // Pick a join order greedily: always extend the prefix with a table
+  // that is connected to it by some conjunct (preferring the smallest),
+  // so the nested-loop evaluation below avoids cross products whenever
+  // the query graph allows it.
+  std::vector<uint32_t> conjunct_masks;
+  for (const auto& c : query.conjuncts) {
+    std::vector<ColumnRefId> cols;
+    c->CollectColumnRefs(&cols);
+    uint32_t m = 0;
+    for (ColumnRefId col : cols) m |= 1u << col.table_ref;
+    conjunct_masks.push_back(m);
+  }
+  std::vector<int> order;
+  {
+    std::vector<bool> used(n, false);
+    for (int step = 0; step < n; ++step) {
+      uint32_t chosen_mask = 0;
+      for (int t : order) chosen_mask |= 1u << t;
+      int best = -1;
+      bool best_connected = false;
+      int64_t best_rows = 0;
+      for (int t = 0; t < n; ++t) {
+        if (used[t]) continue;
+        bool connected = false;
+        for (uint32_t m : conjunct_masks) {
+          if ((m & (1u << t)) && (m & chosen_mask)) connected = true;
+        }
+        int64_t rows = catalog_->table(query.tables[t].table).row_count();
+        if (best < 0 || (connected && !best_connected) ||
+            (connected == best_connected && rows < best_rows)) {
+          best = t;
+          best_connected = connected;
+          best_rows = rows;
+        }
+      }
+      used[best] = true;
+      order.push_back(best);
+    }
+  }
+
+  // Bind conjuncts and schedule each at the deepest position (in the
+  // chosen order) that covers all its tables.
+  std::vector<int> position(n, 0);
+  for (int i = 0; i < n; ++i) position[order[i]] = i;
+  std::vector<std::vector<ExprPtr>> conjuncts_at(n);
+  for (const auto& c : query.conjuncts) {
+    std::vector<ColumnRefId> cols;
+    c->CollectColumnRefs(&cols);
+    int depth = 0;
+    for (ColumnRefId col : cols) {
+      depth = std::max(depth, position[col.table_ref]);
+    }
+    ExprPtr bound = BindToSlots(c, slots);
+    assert(bound != nullptr);
+    conjuncts_at[depth].push_back(std::move(bound));
+  }
+
+  std::vector<Row> joined;
+  Row current(offset[n]);
+  // Incremental nested-loop join with early predicate application.
+  std::function<void(int)> recurse = [&](int i) {
+    if (i == n) {
+      joined.push_back(current);
+      return;
+    }
+    const int t = order[i];
+    const std::vector<Row>* rows = delta_rows;
+    if (t != delta_ref) {
+      const TableData* data = table(query.tables[t].table);
+      assert(data != nullptr && "table has no storage");
+      rows = &data->rows();
+    }
+    for (const Row& row : *rows) {
+      std::copy(row.begin(), row.end(), current.begin() + offset[t]);
+      bool pass = true;
+      for (const auto& pred : conjuncts_at[i]) {
+        if (!EvalPredicate(*pred, current)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) recurse(i + 1);
+    }
+  };
+  recurse(0);
+
+  std::vector<ExprPtr> bound_outputs;
+  for (const auto& o : query.outputs) {
+    ExprPtr bound = BindToSlots(o.expr, slots);
+    assert(bound != nullptr);
+    bound_outputs.push_back(std::move(bound));
+  }
+  std::vector<ExprPtr> bound_group_by;
+  for (const auto& g : query.group_by) {
+    ExprPtr bound = BindToSlots(g, slots);
+    assert(bound != nullptr);
+    bound_group_by.push_back(std::move(bound));
+  }
+  return ProjectAndAggregate(joined, bound_outputs, bound_group_by,
+                             query.is_aggregate);
+}
+
+TableId Database::MaterializeView(ViewDefinition* view) {
+  std::vector<Row> rows = ExecuteSpjg(view->query());
+  const SpjgQuery& q = view->query();
+
+  // Register the view result as a table (SQL Server stores indexed views
+  // as clustered indexes; secondary indexes behave as for base tables).
+  TableDef* t = catalog_->CreateTable(view->name());
+  auto column_type = [&](ColumnRefId ref) {
+    return catalog_->table(q.tables[ref.table_ref].table)
+        .column(ref.column)
+        .type;
+  };
+  for (const auto& o : q.outputs) {
+    t->AddColumn(o.name, InferType(*o.expr, column_type), false);
+  }
+  t->set_row_count(static_cast<int64_t>(rows.size()));
+
+  TableData* data = AddTable(t->id());
+  data->Reserve(rows.size());
+  for (auto& r : rows) data->AppendRow(std::move(r));
+
+  if (view->has_clustered_index()) {
+    const IndexDef& ci = view->clustered_index();
+    data->BuildIndex(ci.name, std::vector<ColumnOrdinal>(
+                                  ci.key_columns.begin(),
+                                  ci.key_columns.end()),
+                     ci.unique);
+    if (ci.unique) {
+      t->AddUniqueKey(std::vector<ColumnOrdinal>(ci.key_columns.begin(),
+                                                 ci.key_columns.end()));
+    }
+  }
+  for (const IndexDef& si : view->secondary_indexes()) {
+    data->BuildIndex(si.name,
+                     std::vector<ColumnOrdinal>(si.key_columns.begin(),
+                                                si.key_columns.end()),
+                     si.unique);
+  }
+  RefreshStatistics(t->id());
+  view->set_materialized_table(t->id());
+  return t->id();
+}
+
+void Database::RefreshStatistics(TableId id) {
+  TableDef& def = catalog_->mutable_table(id);
+  const TableData* data = table(id);
+  if (data == nullptr) return;
+  def.set_row_count(data->num_rows());
+  for (int c = 0; c < def.num_columns(); ++c) {
+    ColumnStats& stats = def.mutable_column(c).stats;
+    stats.min = Value::Null();
+    stats.max = Value::Null();
+    std::unordered_map<Value, int, ValueHash> distinct;
+    for (const Row& row : data->rows()) {
+      const Value& v = row[c];
+      if (v.is_null()) continue;
+      if (stats.min.is_null() || v < stats.min) stats.min = v;
+      if (stats.max.is_null() || v > stats.max) stats.max = v;
+      if (distinct.size() < 100000) distinct[v] = 1;
+    }
+    stats.distinct = static_cast<int64_t>(distinct.size());
+  }
+}
+
+}  // namespace mvopt

@@ -1,0 +1,75 @@
+// The in-memory database: table storage, a reference SPJG executor, and
+// view materialization. The reference executor is deliberately simple
+// (incremental nested loops + hash aggregation) — it is the correctness
+// oracle the rewrite tests compare against, and the engine that populates
+// materialized views.
+
+#ifndef MVOPT_ENGINE_DATABASE_H_
+#define MVOPT_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/table_data.h"
+#include "query/spjg.h"
+#include "query/view_def.h"
+
+namespace mvopt {
+
+class Database {
+ public:
+  explicit Database(Catalog* catalog) : catalog_(catalog) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates (empty) storage for a catalog table.
+  TableData* AddTable(TableId id);
+
+  TableData* table(TableId id);
+  const TableData* table(TableId id) const;
+
+  Catalog* catalog() { return catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Executes an SPJG query and returns its result rows (bag semantics;
+  /// row order unspecified).
+  std::vector<Row> ExecuteSpjg(const SpjgQuery& query) const;
+
+  /// Executes `query` with table reference `delta_ref` reading from
+  /// `delta_rows` instead of its stored table. Used for incremental view
+  /// maintenance: V ⊕ Q(T1, ..., ΔTi, ..., Tn).
+  std::vector<Row> ExecuteSpjgWithDelta(
+      const SpjgQuery& query, int32_t delta_ref,
+      const std::vector<Row>& delta_rows) const;
+
+  /// Materializes `view`: executes its definition, registers the result
+  /// as a table in the catalog (with statistics), stores the rows, and
+  /// builds the clustered and secondary indexes. Returns the new table id
+  /// and records it in the view definition.
+  TableId MaterializeView(ViewDefinition* view);
+
+  /// Refreshes per-column statistics of `id` from the stored rows.
+  void RefreshStatistics(TableId id);
+
+ private:
+  std::vector<Row> ExecuteSpjgImpl(const SpjgQuery& query, int32_t delta_ref,
+                                   const std::vector<Row>* delta_rows) const;
+
+  Catalog* catalog_;
+  std::unordered_map<TableId, std::unique_ptr<TableData>> tables_;
+};
+
+/// Applies projection / aggregation semantics to joined rows: evaluates
+/// `outputs` (bound expressions, possibly containing aggregate nodes) per
+/// group of `group_by` keys. With is_aggregate=false this is a plain
+/// projection. A scalar aggregate (is_aggregate, empty group_by) over
+/// zero rows yields one row (count 0, other aggregates NULL).
+std::vector<Row> ProjectAndAggregate(const std::vector<Row>& input,
+                                     const std::vector<ExprPtr>& outputs,
+                                     const std::vector<ExprPtr>& group_by,
+                                     bool is_aggregate);
+
+}  // namespace mvopt
+
+#endif  // MVOPT_ENGINE_DATABASE_H_

@@ -1,0 +1,151 @@
+#include "engine/eval.h"
+
+#include <cassert>
+
+#include "common/str_util.h"
+
+namespace mvopt {
+
+ExprPtr BindToSlots(const ExprPtr& expr, const SlotMap& slots) {
+  return expr->RewriteColumns([&slots](ColumnRefId ref) -> ExprPtr {
+    auto it = slots.find(ref);
+    if (it == slots.end()) return nullptr;
+    return Expr::MakeColumn(0, it->second);
+  });
+}
+
+Value ApplyArith(ArithOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  assert(lhs.is_numeric() && rhs.is_numeric());
+  if (op == ArithOp::kDiv) {
+    double d = rhs.AsDouble();
+    if (d == 0.0) return Value::Null();
+    return Value::Double(lhs.AsDouble() / d);
+  }
+  const bool integral = lhs.type() != ValueType::kDouble &&
+                        rhs.type() != ValueType::kDouble;
+  if (integral) {
+    int64_t a = lhs.int64();
+    int64_t b = rhs.int64();
+    switch (op) {
+      case ArithOp::kAdd:
+        return Value::Int64(a + b);
+      case ArithOp::kSub:
+        return Value::Int64(a - b);
+      case ArithOp::kMul:
+        return Value::Int64(a * b);
+      case ArithOp::kDiv:
+        break;  // handled above
+    }
+  }
+  double a = lhs.AsDouble();
+  double b = rhs.AsDouble();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value::Double(a + b);
+    case ArithOp::kSub:
+      return Value::Double(a - b);
+    case ArithOp::kMul:
+      return Value::Double(a * b);
+    case ArithOp::kDiv:
+      break;
+  }
+  return Value::Null();
+}
+
+Value ApplyCompare(CompareOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  int c = lhs.Compare(rhs);
+  bool result = false;
+  switch (op) {
+    case CompareOp::kEq:
+      result = c == 0;
+      break;
+    case CompareOp::kNe:
+      result = c != 0;
+      break;
+    case CompareOp::kLt:
+      result = c < 0;
+      break;
+    case CompareOp::kLe:
+      result = c <= 0;
+      break;
+    case CompareOp::kGt:
+      result = c > 0;
+      break;
+    case CompareOp::kGe:
+      result = c >= 0;
+      break;
+  }
+  return Value::Int64(result ? 1 : 0);
+}
+
+Value EvalScalar(const Expr& expr, const Row& row) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef: {
+      const ColumnRefId ref = expr.column_ref();
+      assert(ref.table_ref == 0 && "expression must be bound to slots");
+      assert(ref.column >= 0 && static_cast<size_t>(ref.column) < row.size());
+      return row[ref.column];
+    }
+    case ExprKind::kLiteral:
+      return expr.literal();
+    case ExprKind::kArithmetic:
+      return ApplyArith(expr.arith_op(), EvalScalar(*expr.child(0), row),
+                        EvalScalar(*expr.child(1), row));
+    case ExprKind::kComparison:
+      return ApplyCompare(expr.compare_op(), EvalScalar(*expr.child(0), row),
+                          EvalScalar(*expr.child(1), row));
+    case ExprKind::kAnd: {
+      // SQL AND: false dominates, then null, then true.
+      bool saw_null = false;
+      for (const auto& c : expr.children()) {
+        Value v = EvalScalar(*c, row);
+        if (v.is_null()) {
+          saw_null = true;
+        } else if (v.int64() == 0) {
+          return Value::Int64(0);
+        }
+      }
+      return saw_null ? Value::Null() : Value::Int64(1);
+    }
+    case ExprKind::kOr: {
+      bool saw_null = false;
+      for (const auto& c : expr.children()) {
+        Value v = EvalScalar(*c, row);
+        if (v.is_null()) {
+          saw_null = true;
+        } else if (v.int64() != 0) {
+          return Value::Int64(1);
+        }
+      }
+      return saw_null ? Value::Null() : Value::Int64(0);
+    }
+    case ExprKind::kNot: {
+      Value v = EvalScalar(*expr.child(0), row);
+      if (v.is_null()) return Value::Null();
+      return Value::Int64(v.int64() == 0 ? 1 : 0);
+    }
+    case ExprKind::kLike: {
+      Value v = EvalScalar(*expr.child(0), row);
+      if (v.is_null()) return Value::Null();
+      assert(v.type() == ValueType::kString);
+      return Value::Int64(SqlLike(v.str(), expr.like_pattern()) ? 1 : 0);
+    }
+    case ExprKind::kIsNotNull: {
+      Value v = EvalScalar(*expr.child(0), row);
+      return Value::Int64(v.is_null() ? 0 : 1);
+    }
+    case ExprKind::kAggregate:
+      assert(false && "aggregates must be evaluated by the aggregator");
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+bool EvalPredicate(const Expr& expr, const Row& row) {
+  Value v = EvalScalar(expr, row);
+  return !v.is_null() && v.int64() != 0;
+}
+
+}  // namespace mvopt

@@ -1,0 +1,41 @@
+// Scalar expression evaluation over rows, with SQL three-valued logic for
+// predicates (NULL comparisons are unknown; filters treat unknown as
+// false). Expressions are evaluated against a single flat row; column
+// references must have been *bound* first: table_ref 0 and column = slot
+// index into the row (see BindToSlots).
+
+#ifndef MVOPT_ENGINE_EVAL_H_
+#define MVOPT_ENGINE_EVAL_H_
+
+#include <unordered_map>
+
+#include "engine/row.h"
+#include "expr/expr.h"
+
+namespace mvopt {
+
+/// Maps original column references to flat row slots.
+using SlotMap = std::unordered_map<ColumnRefId, int, ColumnRefIdHash>;
+
+/// Rewrites `expr` so every column reference becomes {0, slot}. Returns
+/// nullptr if a reference has no slot.
+ExprPtr BindToSlots(const ExprPtr& expr, const SlotMap& slots);
+
+/// Evaluates a bound, aggregate-free expression. Aggregate nodes assert.
+Value EvalScalar(const Expr& expr, const Row& row);
+
+/// Evaluates a bound predicate with SQL semantics: true only if the value
+/// is non-null and non-zero.
+bool EvalPredicate(const Expr& expr, const Row& row);
+
+/// Arithmetic on values: NULL-propagating, int64 preserved when both
+/// sides are integer (except division, always double). Division by zero
+/// yields NULL.
+Value ApplyArith(ArithOp op, const Value& lhs, const Value& rhs);
+
+/// Three-valued comparison: NULL operand -> NULL result, else 0/1.
+Value ApplyCompare(CompareOp op, const Value& lhs, const Value& rhs);
+
+}  // namespace mvopt
+
+#endif  // MVOPT_ENGINE_EVAL_H_

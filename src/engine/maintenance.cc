@@ -1,0 +1,246 @@
+#include "engine/maintenance.h"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "engine/eval.h"
+
+namespace mvopt {
+
+namespace {
+
+// Output-column roles of an aggregation view.
+struct AggLayout {
+  std::vector<int> grouping;                    // ordinals of group-by cols
+  int count = -1;                               // count(*) ordinal
+  std::vector<std::pair<int, AggKind>> aggs;    // sum/min/max ordinals
+  bool has_min_max = false;
+};
+
+AggLayout LayoutOf(const ViewDefinition& view) {
+  AggLayout layout;
+  const SpjgQuery& q = view.query();
+  for (size_t i = 0; i < q.outputs.size(); ++i) {
+    const Expr& e = *q.outputs[i].expr;
+    if (e.kind() == ExprKind::kAggregate) {
+      switch (e.agg_kind()) {
+        case AggKind::kCountStar:
+          layout.count = static_cast<int>(i);
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax:
+          layout.has_min_max = true;
+          [[fallthrough]];
+        case AggKind::kSum:
+          layout.aggs.emplace_back(static_cast<int>(i), e.agg_kind());
+          break;
+        case AggKind::kAvg:
+          assert(false && "avg is not allowed in materialized views");
+          break;
+      }
+    } else {
+      layout.grouping.push_back(static_cast<int>(i));
+    }
+  }
+  assert(layout.count >= 0 && "validated aggregation views carry count(*)");
+  return layout;
+}
+
+// Merges a sum-like value: NULL-aware addition/subtraction.
+Value MergeSum(const Value& current, const Value& delta, bool subtract) {
+  if (delta.is_null()) return current;
+  if (current.is_null()) {
+    // No non-null contribution yet; subtracting from NULL cannot happen
+    // for deltas derived from the view's own content.
+    return subtract ? current : delta;
+  }
+  return ApplyArith(subtract ? ArithOp::kSub : ArithOp::kAdd, current,
+                    delta);
+}
+
+}  // namespace
+
+void ViewMaintainer::RegisterView(ViewDefinition* view) {
+  assert(view->materialized_table() != kInvalidTableId &&
+         "materialize the view before registering it for maintenance");
+  views_.push_back(view);
+}
+
+void ViewMaintainer::Insert(TableId table, std::vector<Row> rows) {
+  // Incremental deltas are computed against the pre-change state (the
+  // delta join substitutes the new rows for the changed table, so the
+  // other tables' current contents are exactly what it needs). Views that
+  // require full recomputation are refreshed after the base change.
+  std::vector<ViewDefinition*> recompute;
+  for (ViewDefinition* view : views_) {
+    if (!Maintain(view, table, rows, DeltaKind::kInsert)) {
+      recompute.push_back(view);
+    }
+  }
+  TableData* data = db_->table(table);
+  assert(data != nullptr);
+  for (auto& r : rows) data->AppendRow(std::move(r));
+  data->RebuildIndexes();
+  for (ViewDefinition* view : recompute) Recompute(view);
+}
+
+void ViewMaintainer::Delete(TableId table, const std::vector<Row>& rows) {
+  std::vector<ViewDefinition*> recompute;
+  for (ViewDefinition* view : views_) {
+    if (!Maintain(view, table, rows, DeltaKind::kDelete)) {
+      recompute.push_back(view);
+    }
+  }
+  TableData* data = db_->table(table);
+  assert(data != nullptr);
+  for (const Row& r : rows) {
+    bool removed = data->RemoveOneMatching(r);
+    assert(removed && "deleted row not found");
+    (void)removed;
+  }
+  data->RebuildIndexes();
+  for (ViewDefinition* view : recompute) Recompute(view);
+}
+
+bool ViewMaintainer::Maintain(ViewDefinition* view, TableId table,
+                              const std::vector<Row>& delta_rows,
+                              DeltaKind kind) {
+  const SpjgQuery& q = view->query();
+  // Which view table reference changed?
+  int32_t ref = -1;
+  int occurrences = 0;
+  for (int t = 0; t < q.num_tables(); ++t) {
+    if (q.tables[t].table == table) {
+      ref = t;
+      ++occurrences;
+    }
+  }
+  if (occurrences == 0) return true;  // view unaffected
+  if (occurrences > 1) {
+    // Self-join on the changed table: ΔV has cross terms; recompute.
+    return false;
+  }
+  if (kind == DeltaKind::kDelete && q.is_aggregate &&
+      LayoutOf(*view).has_min_max) {
+    // Deleting the current MIN/MAX of a group cannot be fixed from the
+    // aggregates alone.
+    return false;
+  }
+
+  std::vector<Row> delta_out = db_->ExecuteSpjgWithDelta(q, ref, delta_rows);
+  if (q.is_aggregate) {
+    MaintainAggregate(view, delta_out, kind);
+  } else {
+    MaintainSpj(view, delta_out, kind);
+  }
+  ++incremental_updates_;
+  return true;
+}
+
+void ViewMaintainer::MaintainSpj(ViewDefinition* view,
+                                 const std::vector<Row>& delta_out,
+                                 DeltaKind kind) {
+  TableData* data = db_->table(view->materialized_table());
+  assert(data != nullptr);
+  if (kind == DeltaKind::kInsert) {
+    for (const Row& r : delta_out) data->AppendRow(r);
+  } else {
+    for (const Row& r : delta_out) {
+      bool removed = data->RemoveOneMatching(r);
+      assert(removed && "view delta row missing from materialized data");
+      (void)removed;
+    }
+  }
+  data->RebuildIndexes();
+}
+
+void ViewMaintainer::MaintainAggregate(ViewDefinition* view,
+                                       const std::vector<Row>& delta_out,
+                                       DeltaKind kind) {
+  TableData* data = db_->table(view->materialized_table());
+  assert(data != nullptr);
+  const AggLayout layout = LayoutOf(*view);
+  const bool subtract = kind == DeltaKind::kDelete;
+
+  // Group lookup by the grouping-column values.
+  std::unordered_map<Row, size_t, RowHash, RowEq> by_key;
+  auto key_of = [&layout](const Row& row) {
+    Row key;
+    key.reserve(layout.grouping.size());
+    for (int g : layout.grouping) key.push_back(row[g]);
+    return key;
+  };
+  for (size_t i = 0; i < data->rows().size(); ++i) {
+    by_key[key_of(data->rows()[i])] = i;
+  }
+
+  std::vector<size_t> dead_groups;
+  for (const Row& d : delta_out) {
+    Row key = key_of(d);
+    auto it = by_key.find(key);
+    if (it == by_key.end()) {
+      // New group: the delta row is itself a complete view row. A delete
+      // can never create a group.
+      assert(!subtract && "deleting from a non-existent group");
+      data->AppendRow(d);
+      by_key[std::move(key)] = data->rows().size() - 1;
+      continue;
+    }
+    Row& row = *data->mutable_row(it->second);
+    // count_big(*) merges additively; "when the count becomes zero, the
+    // group is empty and the row must be deleted" (§2).
+    int64_t new_count =
+        row[layout.count].int64() +
+        (subtract ? -d[layout.count].int64() : d[layout.count].int64());
+    row[layout.count] = Value::Int64(new_count);
+    for (const auto& [ordinal, agg] : layout.aggs) {
+      switch (agg) {
+        case AggKind::kSum:
+          row[ordinal] = MergeSum(row[ordinal], d[ordinal], subtract);
+          break;
+        case AggKind::kMin:
+          if (!d[ordinal].is_null() &&
+              (row[ordinal].is_null() || d[ordinal] < row[ordinal])) {
+            row[ordinal] = d[ordinal];
+          }
+          break;
+        case AggKind::kMax:
+          if (!d[ordinal].is_null() &&
+              (row[ordinal].is_null() || d[ordinal] > row[ordinal])) {
+            row[ordinal] = d[ordinal];
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    if (new_count == 0) dead_groups.push_back(it->second);
+  }
+  // Remove emptied groups (descending positions keep indices valid under
+  // swap-erase: re-resolve via keys instead).
+  if (!dead_groups.empty()) {
+    std::vector<Row> dead_keys;
+    for (size_t i : dead_groups) dead_keys.push_back(key_of(data->rows()[i]));
+    for (const Row& key : dead_keys) {
+      for (size_t i = 0; i < data->rows().size(); ++i) {
+        if (RowEq()(key_of(data->rows()[i]), key)) {
+          data->RemoveRowAt(i);
+          break;
+        }
+      }
+    }
+  }
+  data->RebuildIndexes();
+}
+
+void ViewMaintainer::Recompute(ViewDefinition* view) {
+  TableData* data = db_->table(view->materialized_table());
+  assert(data != nullptr);
+  std::vector<Row> rows = db_->ExecuteSpjg(view->query());
+  data->Clear();
+  for (auto& r : rows) data->AppendRow(std::move(r));
+  data->RebuildIndexes();
+  ++full_recomputations_;
+}
+
+}  // namespace mvopt

@@ -1,0 +1,65 @@
+// Incremental maintenance of materialized views.
+//
+// §2's requirements exist to make this possible: the unique clustered key
+// lets changed groups be located, and the mandatory count_big(*) column
+// lets deletions be handled incrementally — "when the count becomes zero,
+// the group is empty and the row must be deleted".
+//
+// The maintainer propagates per-table deltas:
+//   SPJ view      ΔV = Q(T1, ..., ΔTi, ..., Tn), appended or removed
+//   aggregation   the delta is aggregated and merged into matching
+//                 groups; counts and sums add/subtract, empty groups die
+//
+// Limitations (documented): views referencing the changed table more than
+// once (self-joins) and deletions against MIN/MAX views fall back to full
+// recomputation — the classic non-incremental cases.
+
+#ifndef MVOPT_ENGINE_MAINTENANCE_H_
+#define MVOPT_ENGINE_MAINTENANCE_H_
+
+#include <vector>
+
+#include "engine/database.h"
+
+namespace mvopt {
+
+class ViewMaintainer {
+ public:
+  explicit ViewMaintainer(Database* db) : db_(db) {}
+
+  /// Registers a materialized view for maintenance.
+  void RegisterView(ViewDefinition* view);
+
+  /// Inserts `rows` into `table` and maintains every registered view.
+  void Insert(TableId table, std::vector<Row> rows);
+
+  /// Deletes rows from `table` (each must equal an existing row; one
+  /// occurrence is removed per delta row) and maintains every view.
+  void Delete(TableId table, const std::vector<Row>& rows);
+
+  /// Statistics for tests/benches.
+  int64_t incremental_updates() const { return incremental_updates_; }
+  int64_t full_recomputations() const { return full_recomputations_; }
+
+ private:
+  enum class DeltaKind { kInsert, kDelete };
+
+  /// Returns false if the view needs full recomputation after the base
+  /// change is applied (self-join on the changed table; MIN/MAX delete).
+  bool Maintain(ViewDefinition* view, TableId table,
+                const std::vector<Row>& delta_rows, DeltaKind kind);
+  void MaintainSpj(ViewDefinition* view, const std::vector<Row>& delta_out,
+                   DeltaKind kind);
+  void MaintainAggregate(ViewDefinition* view,
+                         const std::vector<Row>& delta_out, DeltaKind kind);
+  void Recompute(ViewDefinition* view);
+
+  Database* db_;
+  std::vector<ViewDefinition*> views_;
+  int64_t incremental_updates_ = 0;
+  int64_t full_recomputations_ = 0;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_ENGINE_MAINTENANCE_H_

@@ -1,0 +1,37 @@
+// Row representation for the in-memory execution engine.
+
+#ifndef MVOPT_ENGINE_ROW_H_
+#define MVOPT_ENGINE_ROW_H_
+
+#include <vector>
+
+#include "common/hash_util.h"
+#include "common/value.h"
+
+namespace mvopt {
+
+using Row = std::vector<Value>;
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0x811c9dc5u;
+    for (const Value& v : row) HashCombineRaw(&h, v.Hash());
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      // NULL == NULL here: grouping treats nulls as equal.
+      if (a[i].is_null() != b[i].is_null()) return false;
+      if (!a[i].is_null() && a[i] != b[i]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_ENGINE_ROW_H_

@@ -1,0 +1,95 @@
+#include "engine/table_data.h"
+
+#include <algorithm>
+
+namespace mvopt {
+
+bool TableData::RemoveOneMatching(const Row& row) {
+  RowEq eq;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (eq(rows_[i], row)) {
+      RemoveRowAt(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TableData::RemoveRowAt(size_t i) {
+  rows_[i] = std::move(rows_.back());
+  rows_.pop_back();
+}
+
+void TableData::RebuildIndexes() {
+  std::vector<OrderedIndex> old = std::move(indexes_);
+  indexes_.clear();
+  for (auto& idx : old) {
+    BuildIndex(idx.name, idx.key_columns, idx.unique);
+  }
+}
+
+const OrderedIndex& TableData::BuildIndex(
+    const std::string& name, std::vector<ColumnOrdinal> key_columns,
+    bool unique) {
+  OrderedIndex index;
+  index.name = name;
+  index.key_columns = std::move(key_columns);
+  index.unique = unique;
+  index.order.resize(rows_.size());
+  for (uint32_t i = 0; i < rows_.size(); ++i) index.order[i] = i;
+  std::sort(index.order.begin(), index.order.end(),
+            [this, &index](uint32_t a, uint32_t b) {
+              for (ColumnOrdinal c : index.key_columns) {
+                int cmp = rows_[a][c].Compare(rows_[b][c]);
+                if (cmp != 0) return cmp < 0;
+              }
+              return a < b;
+            });
+  indexes_.push_back(std::move(index));
+  return indexes_.back();
+}
+
+const OrderedIndex* TableData::FindIndexOnLeadingColumn(
+    ColumnOrdinal column) const {
+  for (const auto& idx : indexes_) {
+    if (!idx.key_columns.empty() && idx.key_columns[0] == column) {
+      return &idx;
+    }
+  }
+  return nullptr;
+}
+
+std::pair<size_t, size_t> TableData::IndexRange(
+    const OrderedIndex& index, const ValueRange& range) const {
+  const ColumnOrdinal lead = index.key_columns[0];
+  auto key_less_than_bound = [&](uint32_t pos, const RangeBound& b,
+                                 bool or_equal) {
+    int c = rows_[pos][lead].Compare(b.value);
+    return or_equal ? c <= 0 : c < 0;
+  };
+  size_t begin = 0;
+  size_t end = index.order.size();
+  if (!range.lo.is_infinite) {
+    // First position with key >= lo (or > lo when exclusive).
+    begin = std::partition_point(
+                index.order.begin(), index.order.end(),
+                [&](uint32_t pos) {
+                  return key_less_than_bound(pos, range.lo,
+                                             /*or_equal=*/!range.lo.inclusive);
+                }) -
+            index.order.begin();
+  }
+  if (!range.hi.is_infinite) {
+    end = std::partition_point(
+              index.order.begin(), index.order.end(),
+              [&](uint32_t pos) {
+                return key_less_than_bound(pos, range.hi,
+                                           /*or_equal=*/range.hi.inclusive);
+              }) -
+          index.order.begin();
+  }
+  if (end < begin) end = begin;
+  return {begin, end};
+}
+
+}  // namespace mvopt

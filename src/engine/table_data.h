@@ -1,0 +1,78 @@
+// In-memory table storage with ordered indexes. Materialized views are
+// stored exactly like base tables (SQL Server's "indexed views" are
+// clustered indexes over the view result; see §2).
+
+#ifndef MVOPT_ENGINE_TABLE_DATA_H_
+#define MVOPT_ENGINE_TABLE_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "engine/row.h"
+#include "rewrite/range.h"
+
+namespace mvopt {
+
+/// An ordered index: row positions sorted by the key columns.
+struct OrderedIndex {
+  std::string name;
+  std::vector<ColumnOrdinal> key_columns;
+  bool unique = false;
+  std::vector<uint32_t> order;  ///< row positions in key order
+};
+
+class TableData {
+ public:
+  explicit TableData(TableId table, int num_columns)
+      : table_(table), num_columns_(num_columns) {}
+
+  TableId table() const { return table_; }
+  int num_columns() const { return num_columns_; }
+
+  void AppendRow(Row row) { rows_.push_back(std::move(row)); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+  const std::vector<Row>& rows() const { return rows_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  Row* mutable_row(size_t i) { return &rows_[i]; }
+
+  /// Removes one row equal to `row` (NULLs compare equal). Returns false
+  /// if no matching row exists. Indexes become stale; call
+  /// RebuildIndexes() after a batch of mutations.
+  bool RemoveOneMatching(const Row& row);
+
+  /// Swap-erases the row at `i` (indexes become stale).
+  void RemoveRowAt(size_t i);
+
+  void Clear() { rows_.clear(); }
+
+  /// Rebuilds every index from the current rows.
+  void RebuildIndexes();
+
+  /// Builds and stores an ordered index over `key_columns`.
+  const OrderedIndex& BuildIndex(const std::string& name,
+                                 std::vector<ColumnOrdinal> key_columns,
+                                 bool unique);
+
+  const std::vector<OrderedIndex>& indexes() const { return indexes_; }
+
+  /// First index whose leading key column is `column`, or nullptr.
+  const OrderedIndex* FindIndexOnLeadingColumn(ColumnOrdinal column) const;
+
+  /// Positions [begin, end) within `index.order` whose leading key value
+  /// lies in `range`.
+  std::pair<size_t, size_t> IndexRange(const OrderedIndex& index,
+                                       const ValueRange& range) const;
+
+ private:
+  TableId table_;
+  int num_columns_;
+  std::vector<Row> rows_;
+  std::vector<OrderedIndex> indexes_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_ENGINE_TABLE_DATA_H_

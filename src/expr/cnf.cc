@@ -1,0 +1,121 @@
+#include "expr/cnf.h"
+
+#include <unordered_set>
+
+namespace mvopt {
+
+CompareOp NegateCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+namespace {
+
+// Maximum number of conjuncts a distribution step may produce before we
+// give up and keep the disjunction opaque.
+constexpr size_t kDistributionLimit = 64;
+
+// Pushes negations down to atoms. `negated` indicates whether the current
+// subtree is under an odd number of NOTs.
+ExprPtr PushNot(const ExprPtr& e, bool negated) {
+  switch (e->kind()) {
+    case ExprKind::kNot:
+      return PushNot(e->child(0), !negated);
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::vector<ExprPtr> kids;
+      kids.reserve(e->num_children());
+      for (const auto& c : e->children()) kids.push_back(PushNot(c, negated));
+      const bool is_and = (e->kind() == ExprKind::kAnd) != negated;
+      return is_and ? Expr::MakeAnd(std::move(kids))
+                    : Expr::MakeOr(std::move(kids));
+    }
+    case ExprKind::kComparison:
+      if (negated) {
+        return Expr::MakeCompare(NegateCompare(e->compare_op()), e->child(0),
+                                 e->child(1));
+      }
+      return e;
+    default:
+      // Atom (literal boolean, LIKE, IS NOT NULL, ...): wrap if negated.
+      return negated ? Expr::MakeNot(e) : e;
+  }
+}
+
+// CNF of a NOT-normalized expression, as a list of conjuncts.
+std::vector<ExprPtr> CnfConjuncts(const ExprPtr& e) {
+  switch (e->kind()) {
+    case ExprKind::kAnd: {
+      std::vector<ExprPtr> out;
+      for (const auto& c : e->children()) {
+        auto sub = CnfConjuncts(c);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    }
+    case ExprKind::kOr: {
+      // Distribute: CNF(a) x CNF(b) x ... -> one conjunct per pick,
+      // each a disjunction of the picked conjuncts.
+      std::vector<std::vector<ExprPtr>> child_cnfs;
+      size_t product = 1;
+      for (const auto& c : e->children()) {
+        child_cnfs.push_back(CnfConjuncts(c));
+        product *= child_cnfs.back().size();
+        if (product > kDistributionLimit) return {e};  // keep opaque
+      }
+      std::vector<ExprPtr> out;
+      std::vector<size_t> pick(child_cnfs.size(), 0);
+      while (true) {
+        std::vector<ExprPtr> disj;
+        for (size_t i = 0; i < child_cnfs.size(); ++i) {
+          disj.push_back(child_cnfs[i][pick[i]]);
+        }
+        out.push_back(Expr::MakeOr(std::move(disj)));
+        size_t i = 0;
+        for (; i < pick.size(); ++i) {
+          if (++pick[i] < child_cnfs[i].size()) break;
+          pick[i] = 0;
+        }
+        if (i == pick.size()) break;
+      }
+      return out;
+    }
+    default:
+      return {e};
+  }
+}
+
+}  // namespace
+
+std::vector<ExprPtr> ToCnf(const ExprPtr& pred) {
+  if (pred == nullptr) return {};
+  std::vector<ExprPtr> conjuncts = CnfConjuncts(PushNot(pred, false));
+  // Deduplicate structurally.
+  std::vector<ExprPtr> out;
+  for (const auto& c : conjuncts) {
+    bool dup = false;
+    for (const auto& kept : out) {
+      if (kept->Equals(*c)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace mvopt

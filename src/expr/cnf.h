@@ -1,0 +1,27 @@
+// Conversion of predicates to conjunctive normal form. The paper assumes
+// "the selection predicates of view and query expressions have been
+// converted into CNF" (§3); this module performs that conversion:
+// NOT-pushdown (De Morgan + comparison negation), AND flattening, and
+// OR-over-AND distribution with a size guard (oversized disjunctions are
+// kept whole as a single conjunct — they become residual predicates, which
+// matches the prototype's "no ORs in ranges" stance).
+
+#ifndef MVOPT_EXPR_CNF_H_
+#define MVOPT_EXPR_CNF_H_
+
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace mvopt {
+
+/// Returns the conjuncts of `pred` in CNF. The result is a bag: duplicate
+/// conjuncts are removed (structural equality).
+std::vector<ExprPtr> ToCnf(const ExprPtr& pred);
+
+/// Negation of a comparison operator (NOT (a < b) == a >= b).
+CompareOp NegateCompare(CompareOp op);
+
+}  // namespace mvopt
+
+#endif  // MVOPT_EXPR_CNF_H_

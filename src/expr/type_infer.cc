@@ -1,0 +1,44 @@
+#include "expr/type_infer.h"
+
+namespace mvopt {
+
+ValueType InferType(
+    const Expr& expr,
+    const std::function<ValueType(ColumnRefId)>& column_type) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef:
+      return column_type(expr.column_ref());
+    case ExprKind::kLiteral:
+      return expr.literal().type();
+    case ExprKind::kArithmetic: {
+      ValueType lhs = InferType(*expr.child(0), column_type);
+      ValueType rhs = InferType(*expr.child(1), column_type);
+      if (expr.arith_op() == ArithOp::kDiv) return ValueType::kDouble;
+      if (lhs == ValueType::kDouble || rhs == ValueType::kDouble) {
+        return ValueType::kDouble;
+      }
+      return ValueType::kInt64;
+    }
+    case ExprKind::kComparison:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+    case ExprKind::kLike:
+    case ExprKind::kIsNotNull:
+      return ValueType::kInt64;  // boolean as 0/1
+    case ExprKind::kAggregate:
+      switch (expr.agg_kind()) {
+        case AggKind::kCountStar:
+          return ValueType::kInt64;
+        case AggKind::kAvg:
+          return ValueType::kDouble;
+        case AggKind::kSum:
+        case AggKind::kMin:
+        case AggKind::kMax:
+          return InferType(*expr.child(0), column_type);
+      }
+  }
+  return ValueType::kInt64;
+}
+
+}  // namespace mvopt

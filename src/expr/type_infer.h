@@ -1,0 +1,22 @@
+// Result-type inference for expressions, used when registering a
+// materialized view's output schema and by the execution engine.
+
+#ifndef MVOPT_EXPR_TYPE_INFER_H_
+#define MVOPT_EXPR_TYPE_INFER_H_
+
+#include <functional>
+
+#include "catalog/catalog.h"
+#include "expr/expr.h"
+
+namespace mvopt {
+
+/// Infers the value type of `expr`. `column_type(ref)` supplies the type
+/// of each column reference. Booleans are reported as kInt64 (0/1).
+ValueType InferType(
+    const Expr& expr,
+    const std::function<ValueType(ColumnRefId)>& column_type);
+
+}  // namespace mvopt
+
+#endif  // MVOPT_EXPR_TYPE_INFER_H_

@@ -1,0 +1,360 @@
+#include "index/filter_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvopt {
+
+namespace {
+
+// True if sorted keys `a` and `b` intersect.
+bool Intersects(const LatticeIndex::Key& a, const LatticeIndex::Key& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+template <typename T>
+LatticeIndex::Key ToKey(const std::vector<T>& values) {
+  LatticeIndex::Key key;
+  key.reserve(values.size());
+  for (T v : values) key.push_back(static_cast<uint32_t>(v));
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  return key;
+}
+
+}  // namespace
+
+const char* FilterLevelName(FilterLevel level) {
+  switch (level) {
+    case FilterLevel::kHub:
+      return "hub";
+    case FilterLevel::kSourceTables:
+      return "source-tables";
+    case FilterLevel::kOutputExprs:
+      return "output-exprs";
+    case FilterLevel::kOutputColumns:
+      return "output-columns";
+    case FilterLevel::kResidual:
+      return "residual";
+    case FilterLevel::kRangeConstraints:
+      return "range-constraints";
+    case FilterLevel::kGroupingExprs:
+      return "grouping-exprs";
+    case FilterLevel::kGroupingColumns:
+      return "grouping-columns";
+  }
+  return "?";
+}
+
+FilterTree::FilterTree(const std::vector<ViewDescription>* descriptions)
+    : descriptions_(descriptions) {
+  spj_levels_ = {FilterLevel::kHub,           FilterLevel::kSourceTables,
+                 FilterLevel::kOutputExprs,   FilterLevel::kOutputColumns,
+                 FilterLevel::kResidual,      FilterLevel::kRangeConstraints};
+  agg_levels_ = spj_levels_;
+  agg_levels_.push_back(FilterLevel::kGroupingExprs);
+  agg_levels_.push_back(FilterLevel::kGroupingColumns);
+}
+
+void FilterTree::SetLevels(std::vector<FilterLevel> spj_levels,
+                           std::vector<FilterLevel> agg_levels) {
+  assert(num_views_ == 0 && "SetLevels before any AddView");
+  spj_levels_ = std::move(spj_levels);
+  agg_levels_ = std::move(agg_levels);
+}
+
+uint32_t FilterTree::Intern(const std::string& text) {
+  auto [it, inserted] =
+      atoms_.emplace(text, static_cast<uint32_t>(atoms_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+std::optional<uint32_t> FilterTree::LookupAtom(const std::string& text) const {
+  auto it = atoms_.find(text);
+  if (it == atoms_.end()) return std::nullopt;
+  return it->second;
+}
+
+LatticeIndex::Key FilterTree::ViewKey(const ViewDescription& d,
+                                      FilterLevel level) {
+  switch (level) {
+    case FilterLevel::kHub:
+      return ToKey(d.hub);
+    case FilterLevel::kSourceTables:
+      return ToKey(d.source_tables);
+    case FilterLevel::kOutputExprs: {
+      LatticeIndex::Key key;
+      for (const auto& t : d.output_expr_texts) key.push_back(Intern(t));
+      std::sort(key.begin(), key.end());
+      return key;
+    }
+    case FilterLevel::kOutputColumns:
+      return ToKey(d.extended_output_columns);
+    case FilterLevel::kResidual: {
+      LatticeIndex::Key key;
+      for (const auto& t : d.residual_texts) key.push_back(Intern(t));
+      std::sort(key.begin(), key.end());
+      return key;
+    }
+    case FilterLevel::kRangeConstraints:
+      return ToKey(d.reduced_range_columns);
+    case FilterLevel::kGroupingExprs: {
+      LatticeIndex::Key key;
+      for (const auto& t : d.grouping_expr_texts) key.push_back(Intern(t));
+      std::sort(key.begin(), key.end());
+      return key;
+    }
+    case FilterLevel::kGroupingColumns:
+      return ToKey(d.extended_grouping_columns);
+  }
+  return {};
+}
+
+void FilterTree::AddView(ViewId id) {
+  const ViewDescription& d = (*descriptions_)[id];
+  const std::vector<FilterLevel>& levels =
+      d.is_aggregate ? agg_levels_ : spj_levels_;
+  Node* node = d.is_aggregate ? &agg_root_ : &spj_root_;
+  for (size_t depth = 0; depth < levels.size(); ++depth) {
+    LatticeIndex::Key key = ViewKey(d, levels[depth]);
+    int lattice_node = node->index.Insert(key);
+    const bool last = depth + 1 == levels.size();
+    if (last) {
+      if (node->leaves.size() <= static_cast<size_t>(lattice_node)) {
+        node->leaves.resize(lattice_node + 1);
+      }
+      node->leaves[lattice_node].push_back(id);
+    } else {
+      if (node->children.size() <= static_cast<size_t>(lattice_node)) {
+        node->children.resize(lattice_node + 1);
+      }
+      if (node->children[lattice_node] == nullptr) {
+        node->children[lattice_node] = std::make_unique<Node>();
+      }
+      node = node->children[lattice_node].get();
+    }
+  }
+  ++num_views_;
+}
+
+void FilterTree::RemoveView(ViewId id) {
+  const ViewDescription& d = (*descriptions_)[id];
+  const std::vector<FilterLevel>& levels =
+      d.is_aggregate ? agg_levels_ : spj_levels_;
+  Node* node = d.is_aggregate ? &agg_root_ : &spj_root_;
+  for (size_t depth = 0; depth < levels.size(); ++depth) {
+    LatticeIndex::Key key = ViewKey(d, levels[depth]);
+    int lattice_node = node->index.Find(key);
+    assert(lattice_node >= 0 && "view path must exist");
+    const bool last = depth + 1 == levels.size();
+    if (last) {
+      auto& leaf = node->leaves[lattice_node];
+      leaf.erase(std::remove(leaf.begin(), leaf.end(), id), leaf.end());
+      if (leaf.empty()) node->index.Erase(key);
+    } else {
+      node = node->children[lattice_node].get();
+    }
+  }
+  --num_views_;
+}
+
+void FilterTree::SearchLevel(const Node& node, FilterLevel level,
+                             const SearchContext& ctx, bool agg_tree,
+                             std::vector<int>* out) const {
+  switch (level) {
+    case FilterLevel::kHub:
+      // Hub condition (§4.2.2): hub ⊆ query source tables.
+      node.index.SearchSubsets(ctx.source_tables, out);
+      return;
+    case FilterLevel::kSourceTables:
+      // Source table condition (§4.2.1): view tables ⊇ query tables.
+      node.index.SearchSupersets(ctx.source_tables, out);
+      return;
+    case FilterLevel::kOutputExprs: {
+      const bool impossible = agg_tree ? ctx.output_agg_exprs_impossible
+                                       : ctx.output_exprs_impossible;
+      if (impossible) return;  // a required text exists in no view
+      const LatticeIndex::Key& atoms =
+          agg_tree ? ctx.output_agg_expr_atoms : ctx.output_expr_atoms;
+      node.index.SearchSupersets(atoms, out);
+      return;
+    }
+    case FilterLevel::kOutputColumns: {
+      // Output column condition (§4.2.3): every query output class must
+      // be hit by the view's extended output list. Upward-closed, so
+      // descend from the tops. Not applicable when backjoins can recover
+      // missing columns.
+      if (assume_backjoins_) {
+        node.index.SearchDown([](const LatticeIndex::Key&) { return true; },
+                              out);
+        return;
+      }
+      const auto& classes =
+          agg_tree ? ctx.output_classes_agg : ctx.output_classes_spj;
+      node.index.SearchDown(
+          [&classes](const LatticeIndex::Key& key) {
+            for (const auto& cls : classes) {
+              if (!Intersects(key, cls)) return false;
+            }
+            return true;
+          },
+          out);
+      return;
+    }
+    case FilterLevel::kResidual:
+      // Residual predicate condition (§4.2.6): view residual texts ⊆
+      // query residual texts.
+      node.index.SearchSubsets(ctx.residual_atoms, out);
+      return;
+    case FilterLevel::kRangeConstraints:
+      // Weak range constraint condition (§4.2.5); the full condition is
+      // applied per view after the leaf is reached.
+      node.index.SearchSubsets(ctx.extended_range_columns, out);
+      return;
+    case FilterLevel::kGroupingExprs:
+      if (assume_backjoins_) {
+        // The FD relaxation lets grouping expressions be recovered via
+        // backjoins; the textual containment is no longer necessary.
+        node.index.SearchDown([](const LatticeIndex::Key&) { return true; },
+                              out);
+        return;
+      }
+      if (ctx.grouping_exprs_impossible) return;
+      node.index.SearchSupersets(ctx.grouping_expr_atoms, out);
+      return;
+    case FilterLevel::kGroupingColumns:
+      if (assume_backjoins_) {
+        node.index.SearchDown([](const LatticeIndex::Key&) { return true; },
+                              out);
+        return;
+      }
+      node.index.SearchDown(
+          [&ctx](const LatticeIndex::Key& key) {
+            for (const auto& cls : ctx.grouping_classes) {
+              if (!Intersects(key, cls)) return false;
+            }
+            return true;
+          },
+          out);
+      return;
+  }
+}
+
+bool FilterTree::PassesFullRangeCondition(ViewId id,
+                                          const SearchContext& ctx) const {
+  // Range constraint condition (§4.2.5): every range-constrained view
+  // equivalence class must have a column in the query's extended range
+  // constraint list.
+  const ViewDescription& d = (*descriptions_)[id];
+  for (const auto& cls : d.range_constrained_classes) {
+    if (!Intersects(ToKey(cls), ctx.extended_range_columns)) return false;
+  }
+  return true;
+}
+
+void FilterTree::Search(const Node& node,
+                        const std::vector<FilterLevel>& levels, size_t depth,
+                        const SearchContext& ctx, bool agg_tree,
+                        std::vector<ViewId>* out,
+                        FilterSearchStats* stats) const {
+  std::vector<int> qualifying;
+  SearchLevel(node, levels[depth], ctx, agg_tree, &qualifying);
+  if (stats != nullptr) {
+    stats->lattice_nodes_visited += static_cast<int64_t>(qualifying.size());
+  }
+  const bool last = depth + 1 == levels.size();
+  for (int n : qualifying) {
+    if (last) {
+      if (static_cast<size_t>(n) >= node.leaves.size()) continue;
+      for (ViewId id : node.leaves[n]) {
+        if (stats != nullptr) ++stats->views_range_checked;
+        if (PassesFullRangeCondition(id, ctx)) {
+          out->push_back(id);
+        } else if (stats != nullptr) {
+          ++stats->views_range_rejected;
+        }
+      }
+    } else {
+      if (static_cast<size_t>(n) >= node.children.size() ||
+          node.children[n] == nullptr) {
+        continue;
+      }
+      Search(*node.children[n], levels, depth + 1, ctx, agg_tree, out, stats);
+    }
+  }
+}
+
+std::vector<ViewId> FilterTree::FindCandidates(
+    const QueryDescription& query, FilterSearchStats* stats) const {
+  SearchContext ctx;
+  ctx.is_aggregate = query.is_aggregate;
+  ctx.source_tables = ToKey(query.source_tables);
+  ctx.extended_range_columns = ToKey(query.extended_range_columns);
+
+  auto intern_required = [this](const std::vector<std::string>& texts,
+                                LatticeIndex::Key* key, bool* impossible) {
+    for (const auto& t : texts) {
+      auto atom = LookupAtom(t);
+      if (!atom.has_value()) {
+        *impossible = true;  // no view carries this text
+        return;
+      }
+      key->push_back(*atom);
+    }
+    std::sort(key->begin(), key->end());
+    key->erase(std::unique(key->begin(), key->end()), key->end());
+  };
+
+  intern_required(query.output_expr_texts, &ctx.output_expr_atoms,
+                  &ctx.output_exprs_impossible);
+  {
+    std::vector<std::string> combined = query.output_expr_texts;
+    combined.insert(combined.end(), query.agg_expr_texts.begin(),
+                    query.agg_expr_texts.end());
+    intern_required(combined, &ctx.output_agg_expr_atoms,
+                    &ctx.output_agg_exprs_impossible);
+  }
+  intern_required(query.grouping_expr_texts, &ctx.grouping_expr_atoms,
+                  &ctx.grouping_exprs_impossible);
+
+  // Residual atoms: unknown query texts can never appear in a view key,
+  // so they are simply dropped from the superset-side set.
+  for (const auto& t : query.residual_texts) {
+    auto atom = LookupAtom(t);
+    if (atom.has_value()) ctx.residual_atoms.push_back(*atom);
+  }
+  std::sort(ctx.residual_atoms.begin(), ctx.residual_atoms.end());
+
+  for (const auto& cls : query.output_column_classes_spj) {
+    ctx.output_classes_spj.push_back(ToKey(cls));
+  }
+  for (const auto& cls : query.output_column_classes_agg) {
+    ctx.output_classes_agg.push_back(ToKey(cls));
+  }
+  for (const auto& cls : query.grouping_column_classes) {
+    ctx.grouping_classes.push_back(ToKey(cls));
+  }
+
+  std::vector<ViewId> out;
+  if (spj_root_.index.num_live_nodes() > 0 || !spj_root_.leaves.empty()) {
+    Search(spj_root_, spj_levels_, 0, ctx, /*agg_tree=*/false, &out, stats);
+  }
+  if (query.is_aggregate &&
+      (agg_root_.index.num_live_nodes() > 0 || !agg_root_.leaves.empty())) {
+    Search(agg_root_, agg_levels_, 0, ctx, /*agg_tree=*/true, &out, stats);
+  }
+  return out;
+}
+
+}  // namespace mvopt

@@ -1,0 +1,133 @@
+// Filter tree (§4): a multiway search tree over view descriptions that
+// quickly discards views that cannot be used by a query. Every internal
+// node partitions its views by one condition; the keys within a node are
+// organized in a lattice index so subset/superset searches avoid scanning
+// every key.
+//
+// Two parallel trees are kept: one for SPJ views and one for aggregation
+// views (the paper's two extra grouping levels only exist for the
+// latter). SPJ queries search only the SPJ tree — an aggregated view can
+// never answer a pure SPJ query.
+//
+// Level order follows §4.3: hubs, source tables, output expressions,
+// output columns, residual constraints, range constraints, and (for
+// aggregation views) grouping expressions and grouping columns.
+
+#ifndef MVOPT_INDEX_FILTER_TREE_H_
+#define MVOPT_INDEX_FILTER_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/lattice.h"
+#include "query/view_def.h"
+#include "rewrite/view_description.h"
+
+namespace mvopt {
+
+/// The partitioning conditions of §4.2.
+enum class FilterLevel {
+  kHub,
+  kSourceTables,
+  kOutputExprs,
+  kOutputColumns,
+  kResidual,
+  kRangeConstraints,
+  kGroupingExprs,
+  kGroupingColumns,
+};
+
+const char* FilterLevelName(FilterLevel level);
+
+/// Search-side instrumentation (for the §5 effectiveness numbers and the
+/// level-ablation bench).
+struct FilterSearchStats {
+  int64_t lattice_nodes_visited = 0;
+  int64_t views_range_checked = 0;
+  int64_t views_range_rejected = 0;
+};
+
+class FilterTree {
+ public:
+  /// `descriptions` must outlive the tree and grow append-only (it is the
+  /// ViewCatalog's description store).
+  explicit FilterTree(const std::vector<ViewDescription>* descriptions);
+
+  /// Overrides the default level orders (primarily for the ablation
+  /// bench). Must be called before the first AddView. Grouping levels are
+  /// ignored for the SPJ tree.
+  void SetLevels(std::vector<FilterLevel> spj_levels,
+                 std::vector<FilterLevel> agg_levels);
+
+  /// When the matcher may add base-table backjoins (§7 extension), the
+  /// output-column and grouping-column hitting conditions are no longer
+  /// necessary conditions; this disables them.
+  void set_assume_backjoins(bool v) { assume_backjoins_ = v; }
+
+  /// Indexes the view with the given description index (== ViewId).
+  void AddView(ViewId id);
+
+  /// Removes a previously added view.
+  void RemoveView(ViewId id);
+
+  /// Returns ids of views satisfying every partitioning condition for
+  /// `query`, including the full range-constraint check (§4.2.5).
+  std::vector<ViewId> FindCandidates(const QueryDescription& query,
+                                     FilterSearchStats* stats = nullptr) const;
+
+  int num_views() const { return num_views_; }
+
+ private:
+  struct Node {
+    LatticeIndex index;
+    /// Children / leaf payloads indexed by lattice node id.
+    std::vector<std::unique_ptr<Node>> children;
+    std::vector<std::vector<ViewId>> leaves;
+  };
+
+  /// Interned query-side keys, computed once per search.
+  struct SearchContext {
+    LatticeIndex::Key source_tables;
+    LatticeIndex::Key output_expr_atoms;       // SPJ tree
+    bool output_exprs_impossible = false;
+    LatticeIndex::Key output_agg_expr_atoms;   // agg tree (incl. agg texts)
+    bool output_agg_exprs_impossible = false;
+    std::vector<LatticeIndex::Key> output_classes_spj;
+    std::vector<LatticeIndex::Key> output_classes_agg;
+    LatticeIndex::Key residual_atoms;          // unknown texts dropped
+    LatticeIndex::Key extended_range_columns;
+    LatticeIndex::Key grouping_expr_atoms;
+    bool grouping_exprs_impossible = false;
+    std::vector<LatticeIndex::Key> grouping_classes;
+    bool is_aggregate = false;
+  };
+
+  LatticeIndex::Key ViewKey(const ViewDescription& d, FilterLevel level);
+  void Search(const Node& node, const std::vector<FilterLevel>& levels,
+              size_t depth, const SearchContext& ctx, bool agg_tree,
+              std::vector<ViewId>* out, FilterSearchStats* stats) const;
+  void SearchLevel(const Node& node, FilterLevel level,
+                   const SearchContext& ctx, bool agg_tree,
+                   std::vector<int>* out) const;
+  bool PassesFullRangeCondition(ViewId id, const SearchContext& ctx) const;
+
+  uint32_t Intern(const std::string& text);
+  std::optional<uint32_t> LookupAtom(const std::string& text) const;
+
+  const std::vector<ViewDescription>* descriptions_;
+  std::vector<FilterLevel> spj_levels_;
+  std::vector<FilterLevel> agg_levels_;
+  Node spj_root_;
+  Node agg_root_;
+  std::unordered_map<std::string, uint32_t> atoms_;
+  int num_views_ = 0;
+  bool assume_backjoins_ = false;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_INDEX_FILTER_TREE_H_

@@ -1,0 +1,242 @@
+#include "index/lattice.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvopt {
+
+bool LatticeIndex::IsSubset(const Key& a, const Key& b) {
+  if (a.size() > b.size()) return false;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return i == a.size();
+}
+
+int LatticeIndex::Find(const Key& key) const {
+  auto it = by_key_.find(key);
+  return it == by_key_.end() ? -1 : it->second;
+}
+
+void LatticeIndex::CollectSupersetsOf(const Key& key,
+                                      std::vector<int>* out) const {
+  // Structural descent from tops; includes erased nodes (they still route).
+  ++stamp_;
+  visit_stamp_.resize(nodes_.size(), 0);
+  std::vector<int> stack = tops_;
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    if (visit_stamp_[n] == stamp_) continue;
+    visit_stamp_[n] = stamp_;
+    if (!IsSubset(key, nodes_[n].key)) continue;  // subsets fail too
+    out->push_back(n);
+    for (int c : nodes_[n].subsets) stack.push_back(c);
+  }
+}
+
+void LatticeIndex::CollectSubsetsOf(const Key& key,
+                                    std::vector<int>* out) const {
+  ++stamp_;
+  visit_stamp_.resize(nodes_.size(), 0);
+  std::vector<int> stack = roots_;
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    if (visit_stamp_[n] == stamp_) continue;
+    visit_stamp_[n] = stamp_;
+    if (!IsSubset(nodes_[n].key, key)) continue;  // supersets fail too
+    out->push_back(n);
+    for (int p : nodes_[n].supersets) stack.push_back(p);
+  }
+}
+
+int LatticeIndex::Insert(const Key& key) {
+  assert(std::is_sorted(key.begin(), key.end()));
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    Node& node = nodes_[it->second];
+    if (!node.alive) {
+      node.alive = true;
+      ++num_live_;
+    }
+    return it->second;
+  }
+
+  // Locate minimal supersets M and maximal subsets X of the new key.
+  std::vector<int> supersets;
+  CollectSupersetsOf(key, &supersets);
+  std::vector<int> minimal;
+  for (int s : supersets) {
+    bool is_minimal = true;
+    for (int s2 : supersets) {
+      if (s2 != s && IsSubset(nodes_[s2].key, nodes_[s].key)) {
+        is_minimal = false;
+        break;
+      }
+    }
+    if (is_minimal) minimal.push_back(s);
+  }
+  std::vector<int> subsets;
+  CollectSubsetsOf(key, &subsets);
+  std::vector<int> maximal;
+  for (int s : subsets) {
+    bool is_maximal = true;
+    for (int s2 : subsets) {
+      if (s2 != s && IsSubset(nodes_[s].key, nodes_[s2].key)) {
+        is_maximal = false;
+        break;
+      }
+    }
+    if (is_maximal) maximal.push_back(s);
+  }
+
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{key, {}, {}, true});
+  by_key_[key] = id;
+  ++num_live_;
+
+  auto erase_from = [](std::vector<int>* v, int x) {
+    v->erase(std::remove(v->begin(), v->end(), x), v->end());
+  };
+
+  // Remove cover edges between X and M now that the new node interposes.
+  for (int x : maximal) {
+    for (int m : minimal) {
+      if (std::find(nodes_[x].supersets.begin(), nodes_[x].supersets.end(),
+                    m) != nodes_[x].supersets.end()) {
+        erase_from(&nodes_[x].supersets, m);
+        erase_from(&nodes_[m].subsets, x);
+      }
+    }
+  }
+  // Wire the new node in.
+  for (int m : minimal) {
+    if (nodes_[m].subsets.empty()) erase_from(&roots_, m);
+    nodes_[id].supersets.push_back(m);
+    nodes_[m].subsets.push_back(id);
+  }
+  for (int x : maximal) {
+    if (nodes_[x].supersets.empty()) erase_from(&tops_, x);
+    nodes_[x].supersets.push_back(id);
+    nodes_[id].subsets.push_back(x);
+  }
+  if (minimal.empty()) tops_.push_back(id);
+  if (maximal.empty()) roots_.push_back(id);
+  return id;
+}
+
+bool LatticeIndex::Erase(const Key& key) {
+  auto it = by_key_.find(key);
+  if (it == by_key_.end() || !nodes_[it->second].alive) return false;
+  nodes_[it->second].alive = false;
+  --num_live_;
+  return true;
+}
+
+void LatticeIndex::SearchDown(const NodePredicate& pred,
+                              std::vector<int>* out) const {
+  ++stamp_;
+  visit_stamp_.resize(nodes_.size(), 0);
+  std::vector<int> stack = tops_;
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    if (visit_stamp_[n] == stamp_) continue;
+    visit_stamp_[n] = stamp_;
+    if (!pred(nodes_[n].key)) continue;  // all subsets fail
+    if (nodes_[n].alive) out->push_back(n);
+    for (int c : nodes_[n].subsets) stack.push_back(c);
+  }
+}
+
+void LatticeIndex::SearchUp(const NodePredicate& pred,
+                            std::vector<int>* out) const {
+  ++stamp_;
+  visit_stamp_.resize(nodes_.size(), 0);
+  std::vector<int> stack = roots_;
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    if (visit_stamp_[n] == stamp_) continue;
+    visit_stamp_[n] = stamp_;
+    if (!pred(nodes_[n].key)) continue;  // all supersets fail
+    if (nodes_[n].alive) out->push_back(n);
+    for (int p : nodes_[n].supersets) stack.push_back(p);
+  }
+}
+
+void LatticeIndex::SearchSubsets(const Key& query,
+                                 std::vector<int>* out) const {
+  SearchUp([&query](const Key& k) { return IsSubset(k, query); }, out);
+}
+
+void LatticeIndex::SearchSupersets(const Key& query,
+                                   std::vector<int>* out) const {
+  SearchDown([&query](const Key& k) { return IsSubset(query, k); }, out);
+}
+
+void LatticeIndex::LinearScan(const NodePredicate& pred,
+                              std::vector<int>* out) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive && pred(nodes_[i].key)) {
+      out->push_back(static_cast<int>(i));
+    }
+  }
+}
+
+std::string LatticeIndex::CheckStructure() const {
+  auto describe = [this](int n) {
+    std::string s = "node " + std::to_string(n) + " {";
+    for (uint32_t a : nodes_[n].key) s += std::to_string(a) + ",";
+    return s + "}";
+  };
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (int m : nodes_[i].supersets) {
+      if (!IsSubset(nodes_[i].key, nodes_[m].key) ||
+          nodes_[i].key == nodes_[m].key) {
+        return describe(static_cast<int>(i)) + " superset edge to non-strict-"
+               "superset " + describe(m);
+      }
+      // Cover property: nothing strictly between.
+      for (size_t z = 0; z < nodes_.size(); ++z) {
+        if (z == i || static_cast<int>(z) == m) continue;
+        if (IsSubset(nodes_[i].key, nodes_[z].key) &&
+            nodes_[z].key != nodes_[i].key &&
+            IsSubset(nodes_[z].key, nodes_[m].key) &&
+            nodes_[z].key != nodes_[m].key) {
+          return describe(static_cast<int>(i)) + " -> " + describe(m) +
+                 " is not a cover edge: " + describe(static_cast<int>(z)) +
+                 " lies between";
+        }
+      }
+      const auto& back = nodes_[m].subsets;
+      if (std::find(back.begin(), back.end(), static_cast<int>(i)) ==
+          back.end()) {
+        return "missing back pointer " + describe(m);
+      }
+    }
+    bool is_top = nodes_[i].supersets.empty();
+    bool in_tops = std::find(tops_.begin(), tops_.end(),
+                             static_cast<int>(i)) != tops_.end();
+    if (is_top != in_tops) return describe(static_cast<int>(i)) + " tops mismatch";
+    bool is_root = nodes_[i].subsets.empty();
+    bool in_roots = std::find(roots_.begin(), roots_.end(),
+                              static_cast<int>(i)) != roots_.end();
+    if (is_root != in_roots) {
+      return describe(static_cast<int>(i)) + " roots mismatch";
+    }
+  }
+  return "";
+}
+
+}  // namespace mvopt

@@ -1,0 +1,91 @@
+// Lattice index (§4.1): a Hasse diagram over key *sets*, supporting
+// subset/superset searches without scanning every key.
+//
+// Nodes store sorted sets of uint32 atoms. Each node keeps pointers to its
+// minimal supersets and maximal subsets; the index keeps arrays of tops
+// (no supersets) and roots (no subsets). A superset search starts from the
+// tops and descends along subset pointers while the (upward-closed)
+// qualification predicate holds; a subset search starts from the roots and
+// ascends along superset pointers while the (downward-closed) predicate
+// holds.
+//
+// Deletion is lazy: erased nodes stay as routing waypoints and are skipped
+// in results, which keeps the Hasse structure trivially correct.
+
+#ifndef MVOPT_INDEX_LATTICE_H_
+#define MVOPT_INDEX_LATTICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mvopt {
+
+class LatticeIndex {
+ public:
+  /// A key: sorted, duplicate-free atoms.
+  using Key = std::vector<uint32_t>;
+  using NodePredicate = std::function<bool(const Key&)>;
+
+  /// Inserts `key` (must be sorted unique); returns its node id.
+  /// Re-inserting an erased key revives it.
+  int Insert(const Key& key);
+
+  /// Node id of `key`, or -1 (erased keys included while alive=false).
+  int Find(const Key& key) const;
+
+  /// Marks the node for `key` erased. Returns false if absent.
+  bool Erase(const Key& key);
+
+  /// Collects live nodes whose key is a subset of `query`.
+  void SearchSubsets(const Key& query, std::vector<int>* out) const;
+
+  /// Collects live nodes whose key is a superset of `query`.
+  void SearchSupersets(const Key& query, std::vector<int>* out) const;
+
+  /// Generic searches. `pred` must be upward-closed for SearchDown
+  /// (supersets of a passing key pass) and downward-closed for SearchUp.
+  void SearchDown(const NodePredicate& pred, std::vector<int>* out) const;
+  void SearchUp(const NodePredicate& pred, std::vector<int>* out) const;
+
+  /// Baseline for the ablation bench: test every live node.
+  void LinearScan(const NodePredicate& pred, std::vector<int>* out) const;
+
+  const Key& key(int node) const { return nodes_[node].key; }
+  bool alive(int node) const { return nodes_[node].alive; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_live_nodes() const { return num_live_; }
+
+  /// Structure check for tests: edges connect exactly covering pairs and
+  /// tops/roots are consistent. Returns a description of the first
+  /// violation, or empty.
+  std::string CheckStructure() const;
+
+  /// True if `a` is a subset of `b` (both sorted unique).
+  static bool IsSubset(const Key& a, const Key& b);
+
+ private:
+  struct Node {
+    Key key;
+    std::vector<int> supersets;  ///< minimal supersets (cover edges up)
+    std::vector<int> subsets;    ///< maximal subsets (cover edges down)
+    bool alive = true;
+  };
+
+  void CollectSupersetsOf(const Key& key, std::vector<int>* out) const;
+  void CollectSubsetsOf(const Key& key, std::vector<int>* out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<int> tops_;
+  std::vector<int> roots_;
+  std::map<Key, int> by_key_;
+  int num_live_ = 0;
+  mutable std::vector<uint32_t> visit_stamp_;
+  mutable uint32_t stamp_ = 0;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_INDEX_LATTICE_H_

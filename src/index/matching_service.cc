@@ -1,0 +1,87 @@
+#include "index/matching_service.h"
+
+#include <algorithm>
+
+namespace mvopt {
+
+MatchingService::MatchingService(const Catalog* catalog)
+    : MatchingService(catalog, Options()) {}
+
+MatchingService::MatchingService(const Catalog* catalog, Options options)
+    : catalog_(catalog),
+      options_(options),
+      view_catalog_(catalog),
+      filter_tree_(&view_catalog_.descriptions()),
+      matcher_(catalog, options.match) {
+  filter_tree_.set_assume_backjoins(options_.match.enable_backjoins);
+}
+
+ViewDefinition* MatchingService::AddView(const std::string& name,
+                                         SpjgQuery definition,
+                                         std::string* error) {
+  ViewDefinition* view = view_catalog_.AddView(name, std::move(definition),
+                                               error);
+  if (view == nullptr) return nullptr;
+  filter_tree_.AddView(view->id());
+  return view;
+}
+
+std::vector<Substitute> MatchingService::FindSubstitutes(
+    const SpjgQuery& query) {
+  ++stats_.invocations;
+  if (view_catalog_.num_views() == 0) return {};
+  std::vector<ViewId> candidates;
+  if (options_.use_filter_tree) {
+    QueryDescription qd = DescribeQuery(*catalog_, query);
+    candidates = filter_tree_.FindCandidates(qd);
+  } else {
+    // Without the index every view description must be considered; the
+    // only cheap pre-test retained is the aggregation/table-set screen
+    // performed inside the matcher itself.
+    candidates.reserve(view_catalog_.num_views());
+    for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
+      candidates.push_back(id);
+    }
+  }
+  stats_.candidates += static_cast<int64_t>(candidates.size());
+
+  std::vector<Substitute> out;
+  for (ViewId id : candidates) {
+    ++stats_.full_tests;
+    MatchResult result = matcher_.Match(query, view_catalog_.view(id));
+    if (result.ok()) {
+      ++stats_.substitutes;
+      out.push_back(std::move(*result.substitute));
+    } else {
+      ++stats_.rejects[static_cast<size_t>(result.reason)];
+    }
+  }
+  return out;
+}
+
+std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
+    const SpjgQuery& query) {
+  if (query.is_aggregate || view_catalog_.num_views() < 2) {
+    return std::nullopt;
+  }
+  // Candidate legs need not contain the query's ranges (that is the
+  // point), so probe with only the structural conditions intact: every
+  // view whose table set qualifies.
+  std::vector<ViewId> candidates;
+  QueryDescription qd = DescribeQuery(*catalog_, query);
+  for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
+    const ViewDescription& d = view_catalog_.description(id);
+    if (d.is_aggregate) continue;
+    bool tables_ok = std::includes(d.source_tables.begin(),
+                                   d.source_tables.end(),
+                                   qd.source_tables.begin(),
+                                   qd.source_tables.end());
+    if (tables_ok) candidates.push_back(id);
+  }
+  UnionMatchOptions opts;
+  opts.match = options_.match;
+  UnionMatcher matcher(catalog_, &view_catalog_, opts);
+  return matcher.Match(query, candidates);
+}
+
+}  // namespace mvopt

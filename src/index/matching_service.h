@@ -1,0 +1,76 @@
+// MatchingService: the façade the optimizer's view-matching rule calls.
+// Combines the view catalog, the filter tree (§4) and the view-matching
+// algorithm (§3), and accumulates the effectiveness statistics reported
+// in §5 (candidate-set fraction, pass rate, substitutes per invocation).
+
+#ifndef MVOPT_INDEX_MATCHING_SERVICE_H_
+#define MVOPT_INDEX_MATCHING_SERVICE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "index/filter_tree.h"
+#include "query/substitute.h"
+#include "rewrite/matcher.h"
+#include "rewrite/union_matcher.h"
+#include "rewrite/view_catalog.h"
+
+namespace mvopt {
+
+struct MatchingStats {
+  int64_t invocations = 0;    ///< FindSubstitutes calls
+  int64_t candidates = 0;     ///< views surviving the filter (summed)
+  int64_t full_tests = 0;     ///< matcher executions
+  int64_t substitutes = 0;    ///< substitutes produced
+  /// Rejection counts by reason (indexed by RejectReason).
+  std::array<int64_t, 16> rejects{};
+
+  void Reset() { *this = MatchingStats(); }
+};
+
+class MatchingService {
+ public:
+  struct Options {
+    bool use_filter_tree = true;
+    MatchOptions match;
+  };
+
+  explicit MatchingService(const Catalog* catalog);
+  MatchingService(const Catalog* catalog, Options options);
+
+  /// Validates + registers + indexes a view. nullptr with *error on
+  /// rejection.
+  ViewDefinition* AddView(const std::string& name, SpjgQuery definition,
+                          std::string* error = nullptr);
+
+  /// The view-matching rule body: all substitutes for `query`.
+  std::vector<Substitute> FindSubstitutes(const SpjgQuery& query);
+
+  /// §7 extension: a union substitute assembled from several
+  /// range-partitioned views (SPJ queries only). Tries the views that
+  /// survive a relaxed filter probe. Not part of FindSubstitutes so the
+  /// §5 experiments stay paper-faithful.
+  std::optional<UnionSubstitute> FindUnionSubstitute(const SpjgQuery& query);
+
+  const ViewCatalog& views() const { return view_catalog_; }
+  ViewCatalog& mutable_views() { return view_catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+  const FilterTree& filter_tree() const { return filter_tree_; }
+  const ViewMatcher& matcher() const { return matcher_; }
+
+  MatchingStats& stats() { return stats_; }
+  const MatchingStats& stats() const { return stats_; }
+
+ private:
+  const Catalog* catalog_;
+  Options options_;
+  ViewCatalog view_catalog_;
+  FilterTree filter_tree_;
+  ViewMatcher matcher_;
+  MatchingStats stats_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_INDEX_MATCHING_SERVICE_H_

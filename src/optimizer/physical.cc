@@ -1,0 +1,80 @@
+#include "optimizer/physical.h"
+
+#include <cstdio>
+
+namespace mvopt {
+
+const char* PhysKindName(PhysKind kind) {
+  switch (kind) {
+    case PhysKind::kTableScan:
+      return "TableScan";
+    case PhysKind::kIndexRangeScan:
+      return "IndexRangeScan";
+    case PhysKind::kHashJoin:
+      return "HashJoin";
+    case PhysKind::kHashAggregate:
+      return "HashAggregate";
+    case PhysKind::kProject:
+      return "Project";
+    case PhysKind::kViewScan:
+      return "ViewScan";
+    case PhysKind::kViewIndexScan:
+      return "ViewIndexScan";
+  }
+  return "?";
+}
+
+bool PhysPlan::UsesView() const {
+  if (kind == PhysKind::kViewScan || kind == PhysKind::kViewIndexScan) {
+    return true;
+  }
+  for (const auto& c : children) {
+    if (c->UsesView()) return true;
+  }
+  return false;
+}
+
+std::string PhysPlan::ToString(const Catalog& catalog, int indent) const {
+  std::string pad(indent * 2, ' ');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (rows=%.0f cost=%.0f)", rows, cost);
+  std::string line = pad + PhysKindName(kind);
+  switch (kind) {
+    case PhysKind::kTableScan:
+    case PhysKind::kViewScan:
+      line += "(" + catalog.table(table).name() + ")";
+      break;
+    case PhysKind::kIndexRangeScan:
+    case PhysKind::kViewIndexScan:
+      line += "(" + catalog.table(table).name() + "." + index_name + " " +
+              index_range.ToString() + ")";
+      break;
+    case PhysKind::kHashJoin: {
+      line += "(";
+      for (size_t i = 0; i < join_keys.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += "t" + std::to_string(join_keys[i].first.table_ref) + ".c" +
+                std::to_string(join_keys[i].first.column) + "=t" +
+                std::to_string(join_keys[i].second.table_ref) + ".c" +
+                std::to_string(join_keys[i].second.column);
+      }
+      line += ")";
+      break;
+    }
+    case PhysKind::kHashAggregate:
+      line += "(groups=" + std::to_string(group_by.size()) + ")";
+      break;
+    case PhysKind::kProject:
+      line += "(" + std::to_string(outputs.size()) + " cols)";
+      break;
+  }
+  if (!filter.empty()) {
+    line += " filter[" + std::to_string(filter.size()) + "]";
+  }
+  line += buf;
+  line += "\n";
+  for (const auto& c : children) line += c->ToString(catalog, indent + 1);
+  return line;
+}
+
+}  // namespace mvopt

@@ -1,0 +1,44 @@
+// Executes physical plans against the in-memory database. Materialized
+// (batch) execution: every node produces its full result plus a slot map
+// from the global column references it exposes to row positions.
+
+#ifndef MVOPT_OPTIMIZER_PLAN_EXEC_H_
+#define MVOPT_OPTIMIZER_PLAN_EXEC_H_
+
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/eval.h"
+#include "optimizer/physical.h"
+
+namespace mvopt {
+
+class PlanExecutor {
+ public:
+  explicit PlanExecutor(const Database* db) : db_(db) {}
+
+  /// Executes `root` and returns the final output rows (column order =
+  /// the root node's output order, which the optimizer aligns with the
+  /// original query's output list).
+  std::vector<Row> Execute(const PhysPlanPtr& root);
+
+ private:
+  struct Result {
+    std::vector<Row> rows;
+    SlotMap slots;
+    int width = 0;
+  };
+
+  Result Run(const PhysPlan& plan);
+  Result RunScan(const PhysPlan& plan);
+  Result RunViewScan(const PhysPlan& plan);
+  Result RunJoin(const PhysPlan& plan);
+  Result RunAggregate(const PhysPlan& plan);
+  Result RunProject(const PhysPlan& plan);
+
+  const Database* db_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_OPTIMIZER_PLAN_EXEC_H_

@@ -1,0 +1,516 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace mvopt {
+
+namespace {
+
+enum class TokKind {
+  kEnd,
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kSymbol,  // punctuation / operators
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;  // uppercased for idents/symbols
+  std::string raw;   // original spelling
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) { Tokenize(); }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const std::vector<Token>& tokens() const { return tokens_; }
+
+ private:
+  void Tokenize() {
+    size_t i = 0;
+    const size_t n = input_.size();
+    while (i < n) {
+      char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token tok;
+      tok.pos = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(input_[j])) ||
+                         input_[j] == '_')) {
+          ++j;
+        }
+        tok.kind = TokKind::kIdent;
+        tok.raw = input_.substr(i, j - i);
+        tok.text = Upper(tok.raw);
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i;
+        bool is_float = false;
+        while (j < n && (std::isdigit(static_cast<unsigned char>(input_[j])) ||
+                         input_[j] == '.')) {
+          if (input_[j] == '.') is_float = true;
+          ++j;
+        }
+        tok.kind = is_float ? TokKind::kFloat : TokKind::kInt;
+        tok.raw = tok.text = input_.substr(i, j - i);
+        i = j;
+      } else if (c == '\'') {
+        size_t j = i + 1;
+        std::string value;
+        while (j < n && input_[j] != '\'') value += input_[j++];
+        if (j >= n) {
+          error_ = "unterminated string literal at position " +
+                   std::to_string(i);
+          return;
+        }
+        tok.kind = TokKind::kString;
+        tok.text = tok.raw = value;
+        i = j + 1;
+      } else {
+        // Multi-char operators first.
+        static const char* const kOps[] = {"<=", ">=", "<>", "!="};
+        std::string two = input_.substr(i, 2);
+        bool matched = false;
+        for (const char* op : kOps) {
+          if (two == op) {
+            tok.kind = TokKind::kSymbol;
+            tok.text = tok.raw = (two == "!=") ? "<>" : two;
+            i += 2;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          tok.kind = TokKind::kSymbol;
+          tok.text = tok.raw = std::string(1, c);
+          ++i;
+        }
+      }
+      tokens_.push_back(std::move(tok));
+    }
+    Token end;
+    end.kind = TokKind::kEnd;
+    end.pos = n;
+    tokens_.push_back(end);
+  }
+
+  static std::string Upper(const std::string& s) {
+    std::string out = s;
+    for (char& c : out) c = static_cast<char>(std::toupper(
+                            static_cast<unsigned char>(c)));
+    return out;
+  }
+
+  const std::string& input_;
+  std::vector<Token> tokens_;
+  std::string error_;
+};
+
+class Parser {
+ public:
+  Parser(const Catalog& catalog, const std::string& sql)
+      : catalog_(catalog), lexer_(sql), builder_(&catalog) {}
+
+  std::optional<SpjgQuery> Parse(std::string* error) {
+    if (!lexer_.ok()) {
+      if (error != nullptr) *error = lexer_.error();
+      return std::nullopt;
+    }
+    std::optional<SpjgQuery> result = ParseQuery();
+    if (!result.has_value() && error != nullptr) *error = error_;
+    return result;
+  }
+
+ private:
+  struct SelectItem {
+    // Deferred: parsed after FROM so column names resolve; store token
+    // positions instead. Simpler: we pre-scan FROM first (see
+    // ParseQuery).
+  };
+
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= lexer_.tokens().size()) i = lexer_.tokens().size() - 1;
+    return lexer_.tokens()[i];
+  }
+  const Token& Advance() { return lexer_.tokens()[pos_++]; }
+  bool Accept(const std::string& text) {
+    if (Peek().text == text && Peek().kind != TokKind::kString) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Expect(const std::string& text) {
+    if (Accept(text)) return true;
+    Fail("expected '" + text + "'");
+    return false;
+  }
+  void Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at position " + std::to_string(Peek().pos) +
+               " (near '" + Peek().raw + "')";
+    }
+  }
+
+  std::optional<SpjgQuery> ParseQuery() {
+    if (!Expect("SELECT")) return std::nullopt;
+    // The FROM clause must be parsed before expressions can resolve
+    // column names, so locate and parse it first.
+    size_t select_start = pos_;
+    int depth = 0;
+    while (Peek().kind != TokKind::kEnd &&
+           !(depth == 0 && Peek().text == "FROM" &&
+             Peek().kind == TokKind::kIdent)) {
+      if (Peek().text == "(") ++depth;
+      if (Peek().text == ")") --depth;
+      ++pos_;
+    }
+    if (Peek().kind == TokKind::kEnd) {
+      Fail("missing FROM clause");
+      return std::nullopt;
+    }
+    size_t from_pos = pos_;
+    ++pos_;  // consume FROM
+    if (!ParseFromList()) return std::nullopt;
+    size_t after_from = pos_;
+
+    // Now parse the select list.
+    pos_ = select_start;
+    if (!ParseSelectList(from_pos)) return std::nullopt;
+    pos_ = after_from;
+
+    if (Accept("WHERE")) {
+      ExprPtr pred = ParseOr();
+      if (pred == nullptr) return std::nullopt;
+      builder_.Where(std::move(pred));
+    }
+    if (Accept("GROUP")) {
+      if (!Expect("BY")) return std::nullopt;
+      do {
+        ExprPtr g = ParseAdditive();
+        if (g == nullptr) return std::nullopt;
+        builder_.GroupBy(std::move(g));
+      } while (Accept(","));
+      has_group_by_ = true;
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      Fail("unexpected trailing input");
+      return std::nullopt;
+    }
+    if (saw_aggregate_ && !has_group_by_) builder_.SetAggregate();
+    return builder_.Build();
+  }
+
+  bool ParseFromList() {
+    do {
+      if (Peek().kind != TokKind::kIdent) {
+        Fail("expected table name");
+        return false;
+      }
+      std::string name = Advance().raw;
+      const TableDef* table = catalog_.FindTable(name);
+      if (table == nullptr) {
+        Fail("unknown table '" + name + "'");
+        return false;
+      }
+      std::string alias = name;
+      if (Peek().kind == TokKind::kIdent && !IsKeyword(Peek().text)) {
+        alias = Advance().raw;
+      }
+      int32_t slot = builder_.AddTableId(table->id(), alias);
+      scopes_.push_back(Scope{alias, table, slot});
+    } while (Accept(","));
+    return true;
+  }
+
+  bool ParseSelectList(size_t stop_pos) {
+    do {
+      ExprPtr e = ParseAdditive();
+      if (e == nullptr) return false;
+      std::string name;
+      if (Accept("AS")) {
+        if (Peek().kind != TokKind::kIdent) {
+          Fail("expected output name after AS");
+          return false;
+        }
+        name = Advance().raw;
+      }
+      builder_.Output(std::move(e), std::move(name));
+    } while (Accept(",") && pos_ < stop_pos);
+    if (pos_ != stop_pos) {
+      Fail("malformed select list");
+      return false;
+    }
+    return true;
+  }
+
+  // predicate := and (OR and)*
+  ExprPtr ParseOr() {
+    ExprPtr lhs = ParseAnd();
+    if (lhs == nullptr) return nullptr;
+    std::vector<ExprPtr> terms{lhs};
+    while (Accept("OR")) {
+      ExprPtr rhs = ParseAnd();
+      if (rhs == nullptr) return nullptr;
+      terms.push_back(std::move(rhs));
+    }
+    return terms.size() == 1 ? terms[0] : Expr::MakeOr(std::move(terms));
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr lhs = ParseNot();
+    if (lhs == nullptr) return nullptr;
+    std::vector<ExprPtr> terms{lhs};
+    while (Accept("AND")) {
+      ExprPtr rhs = ParseNot();
+      if (rhs == nullptr) return nullptr;
+      terms.push_back(std::move(rhs));
+    }
+    return terms.size() == 1 ? terms[0] : Expr::MakeAnd(std::move(terms));
+  }
+
+  ExprPtr ParseNot() {
+    if (Accept("NOT")) {
+      ExprPtr inner = ParseNot();
+      if (inner == nullptr) return nullptr;
+      return Expr::MakeNot(std::move(inner));
+    }
+    return ParseComparison();
+  }
+
+  ExprPtr ParseComparison() {
+    ExprPtr lhs = ParseAdditive();
+    if (lhs == nullptr) return nullptr;
+    // BETWEEN a AND b
+    if (Accept("BETWEEN")) {
+      ExprPtr lo = ParseAdditive();
+      if (lo == nullptr) return nullptr;
+      if (!Expect("AND")) return nullptr;
+      ExprPtr hi = ParseAdditive();
+      if (hi == nullptr) return nullptr;
+      return Expr::MakeAnd(
+          {Expr::MakeCompare(CompareOp::kGe, lhs, std::move(lo)),
+           Expr::MakeCompare(CompareOp::kLe, lhs, std::move(hi))});
+    }
+    if (Accept("LIKE")) {
+      if (Peek().kind != TokKind::kString) {
+        Fail("expected pattern string after LIKE");
+        return nullptr;
+      }
+      return Expr::MakeLike(std::move(lhs), Advance().raw);
+    }
+    if (Accept("IS")) {
+      if (!Expect("NOT")) return nullptr;
+      if (!Expect("NULL")) return nullptr;
+      return Expr::MakeIsNotNull(std::move(lhs));
+    }
+    static const struct {
+      const char* text;
+      CompareOp op;
+    } kCmp[] = {{"=", CompareOp::kEq},  {"<>", CompareOp::kNe},
+                {"<=", CompareOp::kLe}, {">=", CompareOp::kGe},
+                {"<", CompareOp::kLt},  {">", CompareOp::kGt}};
+    for (const auto& c : kCmp) {
+      if (Accept(c.text)) {
+        ExprPtr rhs = ParseAdditive();
+        if (rhs == nullptr) return nullptr;
+        return Expr::MakeCompare(c.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    // A bare expression in predicate position is not boolean SQL we
+    // support; but allow parenthesized predicates to fall through here.
+    return lhs;
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr lhs = ParseMultiplicative();
+    if (lhs == nullptr) return nullptr;
+    while (true) {
+      if (Accept("+")) {
+        ExprPtr rhs = ParseMultiplicative();
+        if (rhs == nullptr) return nullptr;
+        lhs = Expr::MakeArith(ArithOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (Accept("-")) {
+        ExprPtr rhs = ParseMultiplicative();
+        if (rhs == nullptr) return nullptr;
+        lhs = Expr::MakeArith(ArithOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr lhs = ParsePrimary();
+    if (lhs == nullptr) return nullptr;
+    while (true) {
+      if (Accept("*")) {
+        ExprPtr rhs = ParsePrimary();
+        if (rhs == nullptr) return nullptr;
+        lhs = Expr::MakeArith(ArithOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (Accept("/")) {
+        ExprPtr rhs = ParsePrimary();
+        if (rhs == nullptr) return nullptr;
+        lhs = Expr::MakeArith(ArithOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& tok = Peek();
+    if (tok.kind == TokKind::kInt) {
+      Advance();
+      return Expr::MakeLiteral(Value::Int64(std::atoll(tok.text.c_str())));
+    }
+    if (tok.kind == TokKind::kFloat) {
+      Advance();
+      return Expr::MakeLiteral(Value::Double(std::atof(tok.text.c_str())));
+    }
+    if (tok.kind == TokKind::kString) {
+      Advance();
+      return Expr::MakeLiteral(Value::String(tok.raw));
+    }
+    if (Accept("(")) {
+      ExprPtr inner = ParseOr();
+      if (inner == nullptr) return nullptr;
+      if (!Expect(")")) return nullptr;
+      return inner;
+    }
+    if (tok.kind == TokKind::kIdent) {
+      // DATE n  or  DATE(n) (the printer's spelling)
+      if (tok.text == "DATE" &&
+          (Peek(1).kind == TokKind::kInt || Peek(1).text == "(")) {
+        Advance();
+        bool parens = Accept("(");
+        if (Peek().kind != TokKind::kInt) {
+          Fail("expected integer after DATE");
+          return nullptr;
+        }
+        const Token& n = Advance();
+        if (parens && !Expect(")")) return nullptr;
+        return Expr::MakeLiteral(Value::Date(std::atoll(n.text.c_str())));
+      }
+      // Aggregates.
+      if ((tok.text == "COUNT" || tok.text == "COUNT_BIG") &&
+          Peek(1).text == "(") {
+        Advance();
+        Expect("(");
+        if (!Expect("*")) return nullptr;
+        if (!Expect(")")) return nullptr;
+        saw_aggregate_ = true;
+        return Expr::MakeAggregate(AggKind::kCountStar, nullptr);
+      }
+      static const struct {
+        const char* name;
+        AggKind kind;
+      } kAggs[] = {{"SUM", AggKind::kSum},
+                   {"MIN", AggKind::kMin},
+                   {"MAX", AggKind::kMax},
+                   {"AVG", AggKind::kAvg}};
+      for (const auto& a : kAggs) {
+        if (tok.text == a.name && Peek(1).text == "(") {
+          Advance();
+          Expect("(");
+          ExprPtr arg = ParseAdditive();
+          if (arg == nullptr) return nullptr;
+          if (!Expect(")")) return nullptr;
+          saw_aggregate_ = true;
+          return Expr::MakeAggregate(a.kind, std::move(arg));
+        }
+      }
+      return ParseColumnRef();
+    }
+    Fail("expected expression");
+    return nullptr;
+  }
+
+  ExprPtr ParseColumnRef() {
+    std::string first = Advance().raw;
+    if (Accept(".")) {
+      if (Peek().kind != TokKind::kIdent) {
+        Fail("expected column name after '.'");
+        return nullptr;
+      }
+      std::string column = Advance().raw;
+      for (const Scope& s : scopes_) {
+        if (s.alias == first) {
+          auto ord = s.table->FindColumn(column);
+          if (!ord.has_value()) {
+            Fail("table '" + first + "' has no column '" + column + "'");
+            return nullptr;
+          }
+          return Expr::MakeColumn(s.slot, *ord);
+        }
+      }
+      Fail("unknown table or alias '" + first + "'");
+      return nullptr;
+    }
+    // Bare column: resolve against all tables; must be unambiguous.
+    ExprPtr found;
+    for (const Scope& s : scopes_) {
+      auto ord = s.table->FindColumn(first);
+      if (ord.has_value()) {
+        if (found != nullptr) {
+          Fail("ambiguous column '" + first + "'");
+          return nullptr;
+        }
+        found = Expr::MakeColumn(s.slot, *ord);
+      }
+    }
+    if (found == nullptr) {
+      Fail("unknown column '" + first + "'");
+      return nullptr;
+    }
+    return found;
+  }
+
+  static bool IsKeyword(const std::string& upper) {
+    static const char* const kKeywords[] = {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY",  "AND", "OR",
+        "NOT",    "AS",   "LIKE",  "IS",    "NULL", "BETWEEN"};
+    for (const char* k : kKeywords) {
+      if (upper == k) return true;
+    }
+    return false;
+  }
+
+  struct Scope {
+    std::string alias;
+    const TableDef* table;
+    int32_t slot;
+  };
+
+  const Catalog& catalog_;
+  Lexer lexer_;
+  SpjgBuilder builder_;
+  std::vector<Scope> scopes_;
+  size_t pos_ = 0;
+  bool saw_aggregate_ = false;
+  bool has_group_by_ = false;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<SpjgQuery> ParseSpjg(const Catalog& catalog,
+                                   const std::string& sql,
+                                   std::string* error) {
+  Parser parser(catalog, sql);
+  return parser.Parse(error);
+}
+
+}  // namespace mvopt

@@ -1,0 +1,34 @@
+// A small SQL parser for the SPJG dialect the library handles (§2):
+//
+//   SELECT <expr> [AS name], ...
+//   FROM   <table> [alias], ...
+//   [WHERE <predicate>]
+//   [GROUP BY <expr>, ...]
+//
+// Expressions: column references (qualified "t.col" or bare), integer /
+// floating / 'string' literals, DATE n, + - * /, comparisons
+// (= <> < <= > >=), BETWEEN ... AND ..., LIKE 'pattern', IS NOT NULL,
+// AND / OR / NOT, and the aggregates COUNT(*), COUNT_BIG(*), SUM, MIN,
+// MAX, AVG. Keywords are case-insensitive. The WHERE clause is converted
+// to CNF by the builder, so the result is a normalized SpjgQuery ready
+// for the matcher and optimizer.
+
+#ifndef MVOPT_QUERY_PARSER_H_
+#define MVOPT_QUERY_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "query/spjg.h"
+
+namespace mvopt {
+
+/// Parses `sql` against `catalog`. On failure returns nullopt and sets
+/// `*error` (position-annotated message) if provided.
+std::optional<SpjgQuery> ParseSpjg(const Catalog& catalog,
+                                   const std::string& sql,
+                                   std::string* error = nullptr);
+
+}  // namespace mvopt
+
+#endif  // MVOPT_QUERY_PARSER_H_

@@ -1,0 +1,111 @@
+#include "query/spjg.h"
+
+#include <cassert>
+
+#include "common/str_util.h"
+#include "expr/cnf.h"
+
+namespace mvopt {
+
+std::string SpjgQuery::ColumnName(const Catalog& catalog,
+                                  ColumnRefId ref) const {
+  assert(ref.table_ref >= 0 && ref.table_ref < num_tables());
+  const TableRef& tr = tables[ref.table_ref];
+  const TableDef& t = catalog.table(tr.table);
+  const std::string& prefix = tr.alias.empty() ? t.name() : tr.alias;
+  return prefix + "." + t.column(ref.column).name;
+}
+
+std::string SpjgQuery::ToSql(const Catalog& catalog) const {
+  std::function<std::string(ColumnRefId)> namer =
+      [&](ColumnRefId ref) { return ColumnName(catalog, ref); };
+
+  std::vector<std::string> select_items;
+  for (const auto& o : outputs) {
+    std::string item = o.expr->ToString(&namer);
+    if (!o.name.empty()) item += " AS " + o.name;
+    select_items.push_back(std::move(item));
+  }
+  std::vector<std::string> from_items;
+  for (const auto& tr : tables) {
+    const TableDef& t = catalog.table(tr.table);
+    std::string item = t.name();
+    if (!tr.alias.empty() && tr.alias != t.name()) item += " " + tr.alias;
+    from_items.push_back(std::move(item));
+  }
+  std::string sql = "SELECT " + Join(select_items, ", ") + "\nFROM " +
+                    Join(from_items, ", ");
+  if (!conjuncts.empty()) {
+    std::vector<std::string> where_items;
+    for (const auto& c : conjuncts) where_items.push_back(c->ToString(&namer));
+    sql += "\nWHERE " + Join(where_items, " AND ");
+  }
+  if (is_aggregate && !group_by.empty()) {
+    std::vector<std::string> gb_items;
+    for (const auto& g : group_by) gb_items.push_back(g->ToString(&namer));
+    sql += "\nGROUP BY " + Join(gb_items, ", ");
+  }
+  return sql;
+}
+
+int32_t SpjgBuilder::AddTable(const std::string& table_name,
+                              std::string alias) {
+  const TableDef* t = catalog_->FindTable(table_name);
+  assert(t != nullptr && "unknown table");
+  return AddTableId(t->id(), std::move(alias));
+}
+
+int32_t SpjgBuilder::AddTableId(TableId id, std::string alias) {
+  tables_.push_back(TableRef{id, std::move(alias)});
+  return static_cast<int32_t>(tables_.size()) - 1;
+}
+
+ExprPtr SpjgBuilder::Col(int32_t table_ref,
+                         const std::string& column_name) const {
+  assert(table_ref >= 0 && table_ref < static_cast<int32_t>(tables_.size()));
+  const TableDef& t = catalog_->table(tables_[table_ref].table);
+  auto ord = t.FindColumn(column_name);
+  assert(ord.has_value() && "unknown column");
+  return Expr::MakeColumn(table_ref, *ord);
+}
+
+void SpjgBuilder::Output(ExprPtr expr, std::string name) {
+  if (name.empty() && expr->kind() == ExprKind::kColumnRef) {
+    const TableDef& t =
+        catalog_->table(tables_[expr->column_ref().table_ref].table);
+    name = t.column(expr->column_ref().column).name;
+  }
+  if (name.empty()) {
+    name = "expr" + std::to_string(outputs_.size());
+  }
+  outputs_.push_back(OutputExpr{std::move(name), std::move(expr)});
+}
+
+void SpjgBuilder::GroupBy(ExprPtr expr) {
+  assert(!expr->ContainsAggregate());
+  group_by_.push_back(std::move(expr));
+  is_aggregate_ = true;
+}
+
+SpjgQuery SpjgBuilder::Build() const {
+  SpjgQuery q;
+  q.tables = tables_;
+  for (const auto& p : predicates_) {
+    for (const auto& c : ToCnf(p)) {
+      bool dup = false;
+      for (const auto& kept : q.conjuncts) {
+        if (kept->Equals(*c)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) q.conjuncts.push_back(c);
+    }
+  }
+  q.outputs = outputs_;
+  q.group_by = group_by_;
+  q.is_aggregate = is_aggregate_;
+  return q;
+}
+
+}  // namespace mvopt

@@ -1,0 +1,95 @@
+// The SPJG normal form: the relational expression class handled by the
+// paper (§2) — selections, inner joins, and an optional final group-by.
+//
+// An SpjgQuery holds a FROM list of table references, a WHERE predicate as
+// a list of CNF conjuncts, an output list of named expressions, and an
+// optional GROUP BY list. Column references inside expressions use
+// (table_ref slot, column ordinal) addressing into the FROM list.
+
+#ifndef MVOPT_QUERY_SPJG_H_
+#define MVOPT_QUERY_SPJG_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "expr/expr.h"
+
+namespace mvopt {
+
+/// One FROM-list entry.
+struct TableRef {
+  TableId table = kInvalidTableId;
+  std::string alias;  // for printing; empty -> table name
+};
+
+/// One named output expression.
+struct OutputExpr {
+  std::string name;
+  ExprPtr expr;
+};
+
+/// An SPJG expression. Plain data; invariants (CNF conjuncts, aggregates
+/// only at output-expression roots, group-by exprs aggregate-free) are
+/// established by SpjgBuilder / ViewDefinition validation.
+struct SpjgQuery {
+  std::vector<TableRef> tables;
+  std::vector<ExprPtr> conjuncts;
+  std::vector<OutputExpr> outputs;
+  std::vector<ExprPtr> group_by;
+  /// True when the expression has group-by semantics. A scalar aggregate
+  /// (no GROUP BY clause) has is_aggregate=true and empty group_by.
+  bool is_aggregate = false;
+
+  int num_tables() const { return static_cast<int>(tables.size()); }
+
+  /// Renders SQL-ish text (SELECT ... FROM ... WHERE ... GROUP BY ...).
+  /// `catalog` supplies table/column names.
+  std::string ToSql(const Catalog& catalog) const;
+
+  /// Name of a column reference as "alias.column".
+  std::string ColumnName(const Catalog& catalog, ColumnRefId ref) const;
+};
+
+/// Convenience builder producing a normalized SpjgQuery: the WHERE
+/// predicate is converted to CNF, aliases are defaulted, and simple-column
+/// outputs are auto-named.
+class SpjgBuilder {
+ public:
+  explicit SpjgBuilder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Adds a FROM entry; returns its table_ref slot.
+  int32_t AddTable(const std::string& table_name, std::string alias = "");
+  int32_t AddTableId(TableId id, std::string alias = "");
+
+  /// Column expression by name within a previously added table ref.
+  ExprPtr Col(int32_t table_ref, const std::string& column_name) const;
+
+  /// Adds one WHERE conjunct (converted to CNF on Build).
+  void Where(ExprPtr pred) { predicates_.push_back(std::move(pred)); }
+
+  /// Adds an output expression; empty name auto-derives from columns.
+  void Output(ExprPtr expr, std::string name = "");
+
+  /// Adds a GROUP BY expression (also marks the query aggregate).
+  void GroupBy(ExprPtr expr);
+
+  /// Marks aggregate semantics without grouping columns (scalar agg).
+  void SetAggregate() { is_aggregate_ = true; }
+
+  SpjgQuery Build() const;
+
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  const Catalog* catalog_;
+  std::vector<TableRef> tables_;
+  std::vector<ExprPtr> predicates_;
+  std::vector<OutputExpr> outputs_;
+  std::vector<ExprPtr> group_by_;
+  bool is_aggregate_ = false;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_QUERY_SPJG_H_

@@ -1,0 +1,26 @@
+#include "query/substitute.h"
+
+namespace mvopt {
+
+SpjgQuery Substitute::ToQueryOverView(TableId view_table,
+                                      const std::string& view_alias) const {
+  SpjgQuery q;
+  q.tables.push_back(TableRef{view_table, view_alias});
+  for (size_t j = 0; j < backjoins.size(); ++j) {
+    q.tables.push_back(TableRef{backjoins[j].table,
+                                "bj" + std::to_string(j)});
+    for (const auto& [view_ordinal, column] : backjoins[j].key_join) {
+      q.conjuncts.push_back(Expr::MakeCompare(
+          CompareOp::kEq, Expr::MakeColumn(0, view_ordinal),
+          Expr::MakeColumn(static_cast<int32_t>(1 + j), column)));
+    }
+  }
+  q.conjuncts.insert(q.conjuncts.end(), predicates.begin(),
+                     predicates.end());
+  q.outputs = outputs;
+  q.group_by = group_by;
+  q.is_aggregate = needs_aggregation;
+  return q;
+}
+
+}  // namespace mvopt

@@ -1,0 +1,55 @@
+// Substitute expressions: the output of view matching (§3). A substitute
+// evaluates the matched query expression from a single materialized view:
+//
+//   SELECT <outputs> FROM <view> WHERE <compensating predicates>
+//   [GROUP BY <compensating group-by>]
+//
+// All column references inside a Substitute use table_ref 0 = the view,
+// with column ordinals indexing the view's output list.
+
+#ifndef MVOPT_QUERY_SUBSTITUTE_H_
+#define MVOPT_QUERY_SUBSTITUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/spjg.h"
+#include "query/view_def.h"
+
+namespace mvopt {
+
+/// A base-table backjoin (§7 extension): the view lacks some columns but
+/// outputs a unique key of `table`, so joining the view back to the base
+/// table recovers every column of the contributing row. In substitute
+/// expressions the backjoined table occupies table_ref 1 + its index.
+struct BackjoinSpec {
+  TableId table = kInvalidTableId;
+  /// Equi-join terms: view output ordinal = backjoined table's column.
+  std::vector<std::pair<int, ColumnOrdinal>> key_join;
+};
+
+struct Substitute {
+  ViewId view_id = kInvalidViewId;
+  /// Base tables joined back to recover missing columns (usually empty).
+  std::vector<BackjoinSpec> backjoins;
+  /// Compensating predicates over view outputs (column-equality, range and
+  /// residual compensation, in that order of construction).
+  std::vector<ExprPtr> predicates;
+  /// Output expressions over view outputs; positionally and by name
+  /// aligned with the matched query's output list.
+  std::vector<OutputExpr> outputs;
+  /// Compensating group-by over view outputs; empty when no further
+  /// aggregation is needed.
+  std::vector<ExprPtr> group_by;
+  bool needs_aggregation = false;
+
+  /// Converts to an ordinary SpjgQuery over the view's materialized table,
+  /// ready for execution or memo insertion. Requires the view to have been
+  /// registered as a table (`view_table`).
+  SpjgQuery ToQueryOverView(TableId view_table,
+                            const std::string& view_alias = "") const;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_QUERY_SUBSTITUTE_H_

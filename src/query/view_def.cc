@@ -1,0 +1,97 @@
+#include "query/view_def.h"
+
+namespace mvopt {
+
+std::optional<std::string> ViewDefinition::Validate(const SpjgQuery& query,
+                                                    bool allow_min_max) {
+  if (query.tables.empty()) return "view must reference at least one table";
+  if (query.outputs.empty()) return "view must have output columns";
+
+  if (!query.is_aggregate) {
+    for (const auto& o : query.outputs) {
+      if (o.expr->ContainsAggregate()) {
+        return "non-aggregate view contains aggregate output";
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Aggregation view: every group-by expression must be an output.
+  for (const auto& g : query.group_by) {
+    bool found = false;
+    for (const auto& o : query.outputs) {
+      if (o.expr->Equals(*g)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return "aggregation view must output every grouping expression";
+    }
+  }
+  // Outputs: either a grouping expression or an allowed aggregate.
+  bool has_count = false;
+  for (const auto& o : query.outputs) {
+    if (o.expr->kind() == ExprKind::kAggregate) {
+      switch (o.expr->agg_kind()) {
+        case AggKind::kCountStar:
+          has_count = true;
+          break;
+        case AggKind::kSum:
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax:
+          if (!allow_min_max) {
+            return "min/max aggregates not allowed in materialized views";
+          }
+          break;
+        case AggKind::kAvg:
+          return "avg not allowed in materialized views (store sum+count)";
+      }
+      if (o.expr->num_children() == 1 &&
+          o.expr->child(0)->ContainsAggregate()) {
+        return "nested aggregates are not allowed";
+      }
+      continue;
+    }
+    if (o.expr->ContainsAggregate()) {
+      return "aggregates must be top-level output expressions";
+    }
+    bool is_grouping = false;
+    for (const auto& g : query.group_by) {
+      if (o.expr->Equals(*g)) {
+        is_grouping = true;
+        break;
+      }
+    }
+    if (!is_grouping) {
+      return "aggregation view output '" + o.name +
+             "' is neither a grouping expression nor an aggregate";
+    }
+  }
+  if (!has_count) {
+    return "aggregation view must contain a count(*) output "
+           "(incremental-maintenance requirement)";
+  }
+  return std::nullopt;
+}
+
+int ViewDefinition::CountColumnOrdinal() const {
+  for (size_t i = 0; i < query_.outputs.size(); ++i) {
+    const Expr& e = *query_.outputs[i].expr;
+    if (e.kind() == ExprKind::kAggregate &&
+        e.agg_kind() == AggKind::kCountStar) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int ViewDefinition::FindOutput(const Expr& expr) const {
+  for (size_t i = 0; i < query_.outputs.size(); ++i) {
+    if (query_.outputs[i].expr->Equals(expr)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace mvopt

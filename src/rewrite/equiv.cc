@@ -1,0 +1,102 @@
+#include "rewrite/equiv.h"
+
+#include <cassert>
+
+namespace mvopt {
+
+void EquivalenceClasses::AddTableColumns(int32_t table_ref, int num_columns) {
+  for (int c = 0; c < num_columns; ++c) {
+    EnsureIndex(ColumnRefId{table_ref, c});
+  }
+}
+
+void EquivalenceClasses::AddEquality(ColumnRefId a, ColumnRefId b) {
+  int ia = EnsureIndex(a);
+  int ib = EnsureIndex(b);
+  Union(ia, ib);
+  classes_valid_ = false;
+}
+
+void EquivalenceClasses::AddEqualities(
+    const std::vector<ColumnEqualityPred>& preds) {
+  for (const auto& p : preds) AddEquality(p.lhs, p.rhs);
+}
+
+int EquivalenceClasses::IndexOf(ColumnRefId col) const {
+  auto it = index_.find(col);
+  return it == index_.end() ? -1 : it->second;
+}
+
+int EquivalenceClasses::EnsureIndex(ColumnRefId col) {
+  auto it = index_.find(col);
+  if (it != index_.end()) return it->second;
+  int idx = static_cast<int>(columns_.size());
+  index_.emplace(col, idx);
+  columns_.push_back(col);
+  parent_.push_back(idx);
+  classes_valid_ = false;
+  return idx;
+}
+
+int EquivalenceClasses::Find(int x) const {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+void EquivalenceClasses::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra != rb) parent_[rb] = ra;
+}
+
+void EquivalenceClasses::BuildClassesIfNeeded() const {
+  if (classes_valid_) return;
+  root_to_class_.clear();
+  classes_.clear();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    int root = Find(static_cast<int>(i));
+    auto [it, inserted] =
+        root_to_class_.emplace(root, static_cast<int>(classes_.size()));
+    if (inserted) classes_.emplace_back();
+    classes_[it->second].push_back(columns_[i]);
+  }
+  classes_valid_ = true;
+}
+
+int EquivalenceClasses::ClassOf(ColumnRefId col) const {
+  int idx = IndexOf(col);
+  if (idx < 0) return -1;
+  BuildClassesIfNeeded();
+  return root_to_class_.at(Find(idx));
+}
+
+bool EquivalenceClasses::IsTrivial(ColumnRefId col) const {
+  int cls = ClassOf(col);
+  assert(cls >= 0);
+  return classes_[cls].size() == 1;
+}
+
+const std::vector<ColumnRefId>& EquivalenceClasses::ClassMembers(
+    int class_id) const {
+  BuildClassesIfNeeded();
+  return classes_[class_id];
+}
+
+int EquivalenceClasses::NumClasses() const {
+  BuildClassesIfNeeded();
+  return static_cast<int>(classes_.size());
+}
+
+std::vector<int> EquivalenceClasses::NontrivialClasses() const {
+  BuildClassesIfNeeded();
+  std::vector<int> out;
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].size() >= 2) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace mvopt

@@ -1,0 +1,72 @@
+// Column equivalence classes (§3.1.1).
+//
+// Knowledge about column equality predicates is captured as a set of
+// equivalence classes over column references, computed by union-find.
+// Every column of every referenced table starts in its own (trivial)
+// class; each (Ti.Cp = Tj.Cq) predicate merges two classes.
+
+#ifndef MVOPT_REWRITE_EQUIV_H_
+#define MVOPT_REWRITE_EQUIV_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "expr/classify.h"
+#include "expr/expr.h"
+
+namespace mvopt {
+
+class EquivalenceClasses {
+ public:
+  /// Registers all `num_columns` columns of table slot `table_ref` as
+  /// trivial classes (idempotent per slot).
+  void AddTableColumns(int32_t table_ref, int num_columns);
+
+  /// Merges the classes of `a` and `b` (registering them if needed).
+  void AddEquality(ColumnRefId a, ColumnRefId b);
+
+  /// Applies every equality predicate in `preds`.
+  void AddEqualities(const std::vector<ColumnEqualityPred>& preds);
+
+  /// Dense id of the class containing `col`; -1 if the column was never
+  /// registered. Ids are stable between mutations only for lookups made
+  /// after the last AddEquality.
+  int ClassOf(ColumnRefId col) const;
+
+  bool AreEquivalent(ColumnRefId a, ColumnRefId b) const {
+    int ca = ClassOf(a);
+    return ca >= 0 && ca == ClassOf(b);
+  }
+
+  /// True if the column's class has exactly one member.
+  bool IsTrivial(ColumnRefId col) const;
+
+  /// Members of the class with dense id `class_id`.
+  const std::vector<ColumnRefId>& ClassMembers(int class_id) const;
+
+  /// Number of classes (trivial included).
+  int NumClasses() const;
+
+  /// Dense ids of all classes with >= 2 members.
+  std::vector<int> NontrivialClasses() const;
+
+ private:
+  // Union-find over dense column indices.
+  int Find(int x) const;
+  void Union(int a, int b);
+  int IndexOf(ColumnRefId col) const;
+  int EnsureIndex(ColumnRefId col);
+  void BuildClassesIfNeeded() const;
+
+  std::unordered_map<ColumnRefId, int, ColumnRefIdHash> index_;
+  std::vector<ColumnRefId> columns_;  // dense index -> column
+  mutable std::vector<int> parent_;
+  // Lazily rebuilt class enumeration.
+  mutable bool classes_valid_ = false;
+  mutable std::unordered_map<int, int> root_to_class_;
+  mutable std::vector<std::vector<ColumnRefId>> classes_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_REWRITE_EQUIV_H_

@@ -1,0 +1,121 @@
+#include "rewrite/fk_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvopt {
+
+FkJoinGraph FkJoinGraph::Build(const Catalog& catalog,
+                               const std::vector<TableRef>& tables,
+                               const EquivalenceClasses& classes,
+                               const FkGraphOptions& options,
+                               const std::vector<ColumnRefId>* null_rejected) {
+  FkJoinGraph g;
+  g.num_nodes_ = static_cast<int>(tables.size());
+  assert(g.num_nodes_ <= 64);
+
+  auto column_null_rejected = [&](ColumnRefId col) {
+    if (null_rejected == nullptr) return false;
+    return std::find(null_rejected->begin(), null_rejected->end(), col) !=
+           null_rejected->end();
+  };
+
+  for (int i = 0; i < g.num_nodes_; ++i) {
+    const TableDef& ti = catalog.table(tables[i].table);
+    for (const ForeignKeyDef& fk : ti.foreign_keys()) {
+      for (int j = 0; j < g.num_nodes_; ++j) {
+        if (i == j || fk.referenced_table != tables[j].table) continue;
+        // Referenced columns must form (cover) a unique key of Tj.
+        const TableDef& tj = catalog.table(tables[j].table);
+        if (!tj.CoversUniqueKey(fk.key_columns)) continue;
+        // Every FK column must be non-null (or null-rejected by the
+        // expression) and equated with its key column, directly or
+        // transitively via equivalence classes.
+        bool ok = true;
+        for (size_t k = 0; k < fk.fk_columns.size(); ++k) {
+          ColumnRefId fcol{i, fk.fk_columns[k]};
+          ColumnRefId kcol{j, fk.key_columns[k]};
+          if (!ti.column(fk.fk_columns[k]).not_null) {
+            const bool relaxed =
+                options.optimistic_nullable_fk ||
+                (options.allow_nullable_fk_with_null_rejection &&
+                 column_null_rejected(fcol));
+            if (!relaxed) {
+              ok = false;
+              break;
+            }
+          }
+          if (!classes.AreEquivalent(fcol, kcol)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        // Deduplicate parallel edges between the same slot pair.
+        bool dup = false;
+        for (const auto& e : g.edges_) {
+          if (e.from_ref == i && e.to_ref == j) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) g.edges_.push_back(FkJoinEdge{i, j, &fk});
+      }
+    }
+  }
+  return g;
+}
+
+namespace {
+
+// Shared elimination loop. Deletes any remaining node outside `keep_mask`
+// that has no outgoing edges and exactly one incoming edge (both counted
+// among remaining nodes); records used edges in order if `used` != null.
+uint64_t RunElimination(int num_nodes, const std::vector<FkJoinEdge>& edges,
+                        uint64_t keep_mask, std::vector<FkJoinEdge>* used) {
+  uint64_t alive = (num_nodes >= 64) ? ~0ULL : ((1ULL << num_nodes) - 1);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < num_nodes; ++v) {
+      uint64_t bit = 1ULL << v;
+      if (!(alive & bit) || (keep_mask & bit)) continue;
+      int out_deg = 0;
+      int in_deg = 0;
+      const FkJoinEdge* in_edge = nullptr;
+      for (const auto& e : edges) {
+        uint64_t from_bit = 1ULL << e.from_ref;
+        uint64_t to_bit = 1ULL << e.to_ref;
+        if (!(alive & from_bit) || !(alive & to_bit)) continue;
+        if (e.from_ref == v) ++out_deg;
+        if (e.to_ref == v) {
+          ++in_deg;
+          in_edge = &e;
+        }
+      }
+      if (out_deg == 0 && in_deg == 1) {
+        alive &= ~bit;
+        if (used != nullptr) used->push_back(*in_edge);
+        changed = true;
+      }
+    }
+  }
+  return alive;
+}
+
+}  // namespace
+
+std::optional<std::vector<FkJoinEdge>> FkJoinGraph::EliminateAllExcept(
+    uint64_t keep_mask) const {
+  std::vector<FkJoinEdge> used;
+  uint64_t alive = RunElimination(num_nodes_, edges_, keep_mask, &used);
+  uint64_t all = (num_nodes_ >= 64) ? ~0ULL : ((1ULL << num_nodes_) - 1);
+  if (alive != (keep_mask & all)) return std::nullopt;
+  return used;
+}
+
+uint64_t FkJoinGraph::ComputeHub(uint64_t protect_mask) const {
+  return RunElimination(num_nodes_, edges_, protect_mask, nullptr);
+}
+
+}  // namespace mvopt

@@ -1,0 +1,79 @@
+// Foreign-key join graph (§3.2): recognizing cardinality-preserving joins
+// so a view referencing extra tables can still answer a query.
+//
+// Nodes are the table references of an SPJG expression. There is an edge
+// Ti -> Tj when the expression specifies (directly or transitively, via
+// equivalence classes) an equijoin from a foreign key of Ti to a unique
+// key of Tj satisfying all five requirements: equijoin, all key columns,
+// non-null FK columns, declared foreign key, unique referenced key.
+//
+// The §3.2 relaxation is supported: an FK column that allows nulls is
+// acceptable when the (query) expression contains a null-rejecting
+// predicate on that column.
+
+#ifndef MVOPT_REWRITE_FK_GRAPH_H_
+#define MVOPT_REWRITE_FK_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/spjg.h"
+#include "rewrite/equiv.h"
+
+namespace mvopt {
+
+/// One cardinality-preserving join edge.
+struct FkJoinEdge {
+  int32_t from_ref = -1;  ///< referencing table slot (the surviving side)
+  int32_t to_ref = -1;    ///< referenced table slot (eliminable side)
+  const ForeignKeyDef* fk = nullptr;  ///< owned by the catalog
+};
+
+/// Options controlling edge admission.
+struct FkGraphOptions {
+  /// Allow an FK column that permits nulls when `null_rejected_columns`
+  /// marks it (paper §3.2 last paragraph, flag-guarded extension).
+  bool allow_nullable_fk_with_null_rejection = false;
+  /// Treat every nullable FK column as acceptable. Used when computing
+  /// view hubs: the query (unknown at that point) may supply the
+  /// null-rejecting predicate, and an optimistically smaller hub can only
+  /// admit more candidates, never reject a valid one.
+  bool optimistic_nullable_fk = false;
+};
+
+class FkJoinGraph {
+ public:
+  /// Builds the graph for `tables` (slots 0..n-1 of some SPJG expression)
+  /// using equalities captured in `classes`. `null_rejected` (optional,
+  /// same indexing as column refs) marks columns with null-rejecting
+  /// predicates for the nullable-FK relaxation.
+  static FkJoinGraph Build(
+      const Catalog& catalog, const std::vector<TableRef>& tables,
+      const EquivalenceClasses& classes, const FkGraphOptions& options = {},
+      const std::vector<ColumnRefId>* null_rejected = nullptr);
+
+  /// Tries to eliminate every node whose bit is NOT set in `keep_mask` by
+  /// repeatedly deleting nodes with no outgoing edges and exactly one
+  /// incoming edge. Returns the edges used, in elimination order, or
+  /// nullopt if some node outside `keep_mask` could not be eliminated.
+  std::optional<std::vector<FkJoinEdge>> EliminateAllExcept(
+      uint64_t keep_mask) const;
+
+  /// Runs elimination as far as possible, never eliminating nodes whose
+  /// bit is set in `protect_mask`; returns the bitmask of surviving nodes
+  /// (the hub, §4.2.2).
+  uint64_t ComputeHub(uint64_t protect_mask) const;
+
+  const std::vector<FkJoinEdge>& edges() const { return edges_; }
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<FkJoinEdge> edges_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_REWRITE_FK_GRAPH_H_

@@ -1,0 +1,95 @@
+// The view-matching algorithm of §3: decides whether an SPJG query
+// expression can be computed from a materialized SPJG view and, if so,
+// constructs the substitute expression.
+//
+// Pipeline (per candidate table-reference mapping):
+//   1. translate the view into the query's table-reference space,
+//   2. eliminate the view's extra tables through cardinality-preserving
+//      foreign-key joins and extend the query's equivalence classes with
+//      the eliminated join conditions (§3.2),
+//   3. equijoin subsumption test + compensating column-equality
+//      predicates (§3.1.2),
+//   4. range subsumption test + compensating range predicates,
+//   5. residual subsumption test + compensating residual predicates,
+//   6. route every compensating predicate and query output to view output
+//      columns (§3.1.3, §3.1.4),
+//   7. aggregation handling: grouping containment, count(*) -> SUM(cnt),
+//      SUM rollup, AVG -> SUM/COUNT (§3.3).
+
+#ifndef MVOPT_REWRITE_MATCHER_H_
+#define MVOPT_REWRITE_MATCHER_H_
+
+#include <optional>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "query/spjg.h"
+#include "query/substitute.h"
+#include "query/view_def.h"
+
+namespace mvopt {
+
+struct MatchOptions {
+  /// §3.2 relaxation: accept a nullable FK column when the query has a
+  /// null-rejecting predicate on it.
+  bool allow_nullable_fk_with_null_rejection = true;
+  /// Cap on table-reference mappings tried for self-join ambiguity.
+  int max_table_mappings = 24;
+  /// Allow MIN/MAX in views and queries (§7 extension).
+  bool allow_min_max = true;
+  /// Fold CHECK constraints into the antecedent of Wq => Wv (§3.1.2).
+  bool use_check_constraints = true;
+  /// §7 extension: when a column cannot be routed to a view output, allow
+  /// joining the view back to a base table whose unique key the view
+  /// outputs, recovering every column of that table. Off by default
+  /// (paper-faithful single-table substitutes).
+  bool enable_backjoins = false;
+};
+
+/// Why a view was rejected (ordered roughly by test order; used by the
+/// experiment harness to report where candidates die).
+enum class RejectReason {
+  kNone,
+  kSourceTables,            ///< view lacks tables the query needs
+  kExtraTableElimination,   ///< extra tables not cardinality-preserving
+  kEquijoinSubsumption,     ///< view equates columns the query does not
+  kRangeSubsumption,        ///< view range does not contain query range
+  kResidualSubsumption,     ///< view residual missing from query
+  kCompensationNotComputable,  ///< compensating predicate column not in output
+  kOutputNotComputable,     ///< query output not computable from view output
+  kViewMoreAggregated,      ///< SPJ query, aggregated view
+  kGroupingMismatch,        ///< query grouping not a subset of view grouping
+  kAggregateNotComputable,  ///< query aggregate has no matching view output
+};
+
+const char* RejectReasonName(RejectReason reason);
+
+struct MatchResult {
+  std::optional<Substitute> substitute;
+  RejectReason reason = RejectReason::kNone;
+
+  bool ok() const { return substitute.has_value(); }
+};
+
+class ViewMatcher {
+ public:
+  explicit ViewMatcher(const Catalog* catalog, MatchOptions options = {})
+      : catalog_(catalog), options_(options) {}
+
+  /// Tests whether `query` can be computed from `view` alone and builds
+  /// the substitute. Both expressions must be in SPJG normal form with
+  /// CNF conjunct lists (SpjgBuilder guarantees this).
+  MatchResult Match(const SpjgQuery& query, const ViewDefinition& view) const;
+
+ private:
+  MatchResult MatchWithMapping(const SpjgQuery& query,
+                               const ViewDefinition& view,
+                               const std::vector<int32_t>& view_to_slot) const;
+
+  const Catalog* catalog_;
+  MatchOptions options_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_REWRITE_MATCHER_H_

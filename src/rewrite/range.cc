@@ -1,0 +1,117 @@
+#include "rewrite/range.h"
+
+#include <cassert>
+
+namespace mvopt {
+
+// Returns true if lower bound `a` is tighter (larger) than `b`.
+bool LowerBoundTighter(const RangeBound& a, const RangeBound& b) {
+  if (a.is_infinite) return false;
+  if (b.is_infinite) return true;
+  int c = a.value.Compare(b.value);
+  if (c != 0) return c > 0;
+  return !a.inclusive && b.inclusive;  // open beats closed at same value
+}
+
+// Returns true if upper bound `a` is tighter (smaller) than `b`.
+bool UpperBoundTighter(const RangeBound& a, const RangeBound& b) {
+  if (a.is_infinite) return false;
+  if (b.is_infinite) return true;
+  int c = a.value.Compare(b.value);
+  if (c != 0) return c < 0;
+  return !a.inclusive && b.inclusive;
+}
+
+void ValueRange::Apply(CompareOp op, const Value& bound) {
+  RangeBound b;
+  b.value = bound;
+  b.is_infinite = false;
+  switch (op) {
+    case CompareOp::kEq:
+      b.inclusive = true;
+      if (LowerBoundTighter(b, lo)) lo = b;
+      if (UpperBoundTighter(b, hi)) hi = b;
+      return;
+    case CompareOp::kLt:
+      b.inclusive = false;
+      if (UpperBoundTighter(b, hi)) hi = b;
+      return;
+    case CompareOp::kLe:
+      b.inclusive = true;
+      if (UpperBoundTighter(b, hi)) hi = b;
+      return;
+    case CompareOp::kGt:
+      b.inclusive = false;
+      if (LowerBoundTighter(b, lo)) lo = b;
+      return;
+    case CompareOp::kGe:
+      b.inclusive = true;
+      if (LowerBoundTighter(b, lo)) lo = b;
+      return;
+    case CompareOp::kNe:
+      assert(false && "<> is a residual predicate, not a range");
+      return;
+  }
+}
+
+bool ValueRange::Contains(const ValueRange& other) const {
+  // this.lo must be no tighter than other.lo, and same for hi.
+  if (LowerBoundTighter(lo, other.lo)) return false;
+  if (UpperBoundTighter(hi, other.hi)) return false;
+  return true;
+}
+
+bool ValueRange::IsEmpty() const {
+  if (lo.is_infinite || hi.is_infinite) return false;
+  int c = lo.value.Compare(hi.value);
+  if (c > 0) return true;
+  if (c == 0) return !(lo.inclusive && hi.inclusive);
+  return false;
+}
+
+bool ValueRange::IsPoint() const {
+  return !lo.is_infinite && !hi.is_infinite && lo.inclusive &&
+         hi.inclusive && lo.value == hi.value;
+}
+
+bool ValueRange::SameLowerBound(const ValueRange& other) const {
+  if (lo.is_infinite != other.lo.is_infinite) return false;
+  if (lo.is_infinite) return true;
+  return lo.inclusive == other.lo.inclusive && lo.value == other.lo.value;
+}
+
+bool ValueRange::SameUpperBound(const ValueRange& other) const {
+  if (hi.is_infinite != other.hi.is_infinite) return false;
+  if (hi.is_infinite) return true;
+  return hi.inclusive == other.hi.inclusive && hi.value == other.hi.value;
+}
+
+std::string ValueRange::ToString() const {
+  std::string out = lo.is_infinite
+                        ? "(-inf"
+                        : (lo.inclusive ? "[" : "(") + lo.value.ToString();
+  out += ", ";
+  out += hi.is_infinite
+             ? "+inf)"
+             : hi.value.ToString() + (hi.inclusive ? "]" : ")");
+  return out;
+}
+
+RangeMap RangeMap::Build(const std::vector<RangePred>& preds,
+                         const EquivalenceClasses& classes) {
+  RangeMap map;
+  for (const auto& p : preds) {
+    int cls = classes.ClassOf(p.column);
+    assert(cls >= 0 && "range predicate on unregistered column");
+    map.ranges_[cls].Apply(p.op, p.bound);
+  }
+  return map;
+}
+
+ValueRange RangeMap::Get(int class_id) const {
+  auto it = ranges_.find(class_id);
+  if (it == ranges_.end()) return ValueRange{};
+  return it->second;
+}
+
+}  // namespace mvopt

@@ -1,0 +1,84 @@
+// Range intervals for the range subsumption test (§3.1.2).
+//
+// Each (query or view) equivalence class gets a range [lo, hi] with
+// independently open/closed/infinite bounds, built by folding the range
+// predicates referencing columns of the class. (Ti.Cp = c) sets both
+// bounds; < / <= / > / >= tighten one side.
+
+#ifndef MVOPT_REWRITE_RANGE_H_
+#define MVOPT_REWRITE_RANGE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/classify.h"
+#include "rewrite/equiv.h"
+
+namespace mvopt {
+
+/// One endpoint of a range.
+struct RangeBound {
+  Value value;            ///< meaningful only when !is_infinite
+  bool inclusive = true;  ///< closed endpoint?
+  bool is_infinite = true;
+};
+
+/// A (possibly unbounded, possibly empty) interval.
+struct ValueRange {
+  RangeBound lo;
+  RangeBound hi;
+
+  bool IsUnconstrained() const { return lo.is_infinite && hi.is_infinite; }
+
+  /// Tightens the range with `col op bound`.
+  void Apply(CompareOp op, const Value& bound);
+
+  /// True if this range contains `other` (this ⊇ other), the subsumption
+  /// direction required of a view range vs. the query range.
+  bool Contains(const ValueRange& other) const;
+
+  /// True if no value can satisfy the range (contradictory predicates).
+  bool IsEmpty() const;
+
+  /// True if the range pins a single value [c, c].
+  bool IsPoint() const;
+
+  /// Bound-wise equality (same endpoints and openness).
+  bool SameLowerBound(const ValueRange& other) const;
+  bool SameUpperBound(const ValueRange& other) const;
+
+  std::string ToString() const;
+};
+
+/// Bound orderings (shared with the union-substitute matcher).
+/// LowerBoundTighter(a, b): a is a stricter lower bound than b.
+bool LowerBoundTighter(const RangeBound& a, const RangeBound& b);
+/// UpperBoundTighter(a, b): a is a stricter upper bound than b.
+bool UpperBoundTighter(const RangeBound& a, const RangeBound& b);
+
+/// Ranges keyed by equivalence-class id.
+class RangeMap {
+ public:
+  /// Folds `preds` into per-class ranges using `classes` for lookup.
+  static RangeMap Build(const std::vector<RangePred>& preds,
+                        const EquivalenceClasses& classes);
+
+  /// Range of class `class_id`; unconstrained if absent.
+  ValueRange Get(int class_id) const;
+
+  bool HasConstraint(int class_id) const {
+    return ranges_.find(class_id) != ranges_.end();
+  }
+
+  const std::unordered_map<int, ValueRange>& ranges() const {
+    return ranges_;
+  }
+
+ private:
+  std::unordered_map<int, ValueRange> ranges_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_REWRITE_RANGE_H_

@@ -1,0 +1,20 @@
+#include "rewrite/view_catalog.h"
+
+namespace mvopt {
+
+ViewDefinition* ViewCatalog::AddView(const std::string& name,
+                                     SpjgQuery definition,
+                                     std::string* error) {
+  auto invalid = ViewDefinition::Validate(definition);
+  if (invalid.has_value()) {
+    if (error != nullptr) *error = *invalid;
+    return nullptr;
+  }
+  ViewId id = static_cast<ViewId>(views_.size());
+  views_.push_back(
+      std::make_unique<ViewDefinition>(id, name, std::move(definition)));
+  descriptions_.push_back(DescribeView(*catalog_, *views_.back()));
+  return views_.back().get();
+}
+
+}  // namespace mvopt

@@ -1,0 +1,49 @@
+// Registry of materialized views: validated definitions plus their
+// precomputed descriptions (§4). Exhaustive (no-index) candidate
+// enumeration lives here; the filter tree in src/index builds on the same
+// descriptions.
+
+#ifndef MVOPT_REWRITE_VIEW_CATALOG_H_
+#define MVOPT_REWRITE_VIEW_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/view_def.h"
+#include "rewrite/view_description.h"
+
+namespace mvopt {
+
+class ViewCatalog {
+ public:
+  explicit ViewCatalog(const Catalog* catalog) : catalog_(catalog) {}
+  ViewCatalog(const ViewCatalog&) = delete;
+  ViewCatalog& operator=(const ViewCatalog&) = delete;
+
+  /// Validates and registers a view. Returns the definition, or nullptr
+  /// with `*error` set when the view is not indexable.
+  ViewDefinition* AddView(const std::string& name, SpjgQuery definition,
+                          std::string* error = nullptr);
+
+  int num_views() const { return static_cast<int>(views_.size()); }
+  const ViewDefinition& view(ViewId id) const { return *views_[id]; }
+  ViewDefinition& mutable_view(ViewId id) { return *views_[id]; }
+  const ViewDescription& description(ViewId id) const {
+    return descriptions_[id];
+  }
+  const std::vector<ViewDescription>& descriptions() const {
+    return descriptions_;
+  }
+
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  const Catalog* catalog_;
+  std::vector<std::unique_ptr<ViewDefinition>> views_;
+  std::vector<ViewDescription> descriptions_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_REWRITE_VIEW_CATALOG_H_

@@ -1,0 +1,98 @@
+// Precomputed descriptions of views and queries (§4: "we maintain in
+// memory a description of every materialized view"). Descriptions carry
+// the key sets the filter tree partitions on: source tables, hubs,
+// extended output/grouping column lists, residual/output/grouping
+// expression texts, and range-constraint lists.
+//
+// Column identities are flattened to catalog granularity (table id +
+// column ordinal) for indexing; per-reference precision is restored by the
+// full matching tests, so the filter conditions stay necessary conditions.
+
+#ifndef MVOPT_REWRITE_VIEW_DESCRIPTION_H_
+#define MVOPT_REWRITE_VIEW_DESCRIPTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/spjg.h"
+#include "query/view_def.h"
+
+namespace mvopt {
+
+/// Catalog-level column identity used as filter-tree key atoms.
+inline uint32_t CatalogColId(TableId table, ColumnOrdinal column) {
+  return (static_cast<uint32_t>(table) << 12) | static_cast<uint32_t>(column);
+}
+
+/// Per-view metadata for filtering (computed once at view registration).
+struct ViewDescription {
+  ViewId id = kInvalidViewId;
+  bool is_aggregate = false;
+
+  /// Sorted unique catalog ids of referenced tables (§4.2.1).
+  std::vector<TableId> source_tables;
+  /// The hub: tables that cannot be eliminated via cardinality-preserving
+  /// joins, with the §4.2.2 refinement protecting predicate-constrained
+  /// tables (sorted unique).
+  std::vector<TableId> hub;
+  /// Extended output column list: every column equivalent (view classes)
+  /// to a simple output column (§4.2.3); sorted unique catalog ids.
+  std::vector<uint32_t> extended_output_columns;
+  /// Texts of non-simple output expressions, aggregates included (§4.2.7).
+  std::vector<std::string> output_expr_texts;
+  /// Residual predicate texts (§4.2.6).
+  std::vector<std::string> residual_texts;
+  /// Reduced range constraint list: catalog ids of range-constrained
+  /// columns in trivial equivalence classes (§4.2.5 weak condition).
+  std::vector<uint32_t> reduced_range_columns;
+  /// Full range constraint list: one column set per range-constrained
+  /// view equivalence class (§4.2.5 full condition).
+  std::vector<std::vector<uint32_t>> range_constrained_classes;
+  /// Extended grouping column list (§4.2.4); aggregation views only.
+  std::vector<uint32_t> extended_grouping_columns;
+  /// Grouping expression texts, "$" for plain columns (§4.2.8).
+  std::vector<std::string> grouping_expr_texts;
+};
+
+/// Per-query search keys, computed once per view-matching invocation.
+struct QueryDescription {
+  bool is_aggregate = false;
+
+  std::vector<TableId> source_tables;
+  /// One entry per column that must be routable to a view output when the
+  /// view is an SPJ view: the catalog ids of the column's query
+  /// equivalence class. Covers simple outputs, simple aggregate
+  /// arguments, and simple grouping expressions.
+  std::vector<std::vector<uint32_t>> output_column_classes_spj;
+  /// Same, for aggregation views (aggregate arguments excluded — they map
+  /// to the view's aggregate outputs, not plain columns).
+  std::vector<std::vector<uint32_t>> output_column_classes_agg;
+  /// Texts of complex non-aggregate output expressions.
+  std::vector<std::string> output_expr_texts;
+  /// Normalized aggregate output texts an aggregation view must provide
+  /// (SUM text for SUM and AVG; MIN/MAX texts; count(*) excluded since
+  /// every materialized aggregation view carries one).
+  std::vector<std::string> agg_expr_texts;
+  std::vector<std::string> residual_texts;
+  /// Extended range constraint list: catalog ids of every column in a
+  /// range-constrained query equivalence class.
+  std::vector<uint32_t> extended_range_columns;
+  /// Grouping-column classes (simple grouping expressions only).
+  std::vector<std::vector<uint32_t>> grouping_column_classes;
+  /// All grouping expression texts.
+  std::vector<std::string> grouping_expr_texts;
+};
+
+/// Computes a view's description (in the view's own reference space).
+ViewDescription DescribeView(const Catalog& catalog,
+                             const ViewDefinition& view);
+
+/// Computes a query's search keys.
+QueryDescription DescribeQuery(const Catalog& catalog,
+                               const SpjgQuery& query);
+
+}  // namespace mvopt
+
+#endif  // MVOPT_REWRITE_VIEW_DESCRIPTION_H_

@@ -1,0 +1,193 @@
+#include "tpch/datagen.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mvopt {
+namespace tpch {
+
+namespace {
+
+const char* const kWords[] = {"steel",  "brass",  "copper", "linen",
+                              "silk",   "cream",  "navy",   "rose",
+                              "ivory",  "khaki",  "lemon",  "plum",
+                              "smoke",  "snow",   "spring", "misty"};
+constexpr int kNumWords = 16;
+
+const char* const kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                 "HOUSEHOLD", "MACHINERY"};
+const char* const kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                   "4-NOT SPECIFIED", "5-LOW"};
+const char* const kModes[] = {"AIR", "RAIL", "SHIP", "TRUCK", "MAIL"};
+const char* const kInstruct[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                 "TAKE BACK RETURN", "NONE"};
+
+std::string RandomName(Rng* rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += " ";
+    out += kWords[rng->Uniform(0, kNumWords - 1)];
+  }
+  return out;
+}
+
+int64_t Scaled(double sf, int64_t base) {
+  int64_t n = static_cast<int64_t>(std::llround(base * sf));
+  return n < 1 ? 1 : n;
+}
+
+TableData* Storage(Database* db, TableId id) {
+  TableData* t = db->table(id);
+  return t != nullptr ? t : db->AddTable(id);
+}
+
+}  // namespace
+
+void GenerateData(Database* db, const Schema& schema,
+                  const DataGenOptions& options) {
+  Rng rng(options.seed);
+  const double sf = options.scale_factor;
+
+  // region
+  TableData* region = Storage(db, schema.region);
+  const char* const region_names[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                      "MIDDLE EAST"};
+  for (int64_t i = 0; i < 5; ++i) {
+    region->AppendRow({Value::Int64(i), Value::String(region_names[i]),
+                       Value::String(RandomName(&rng, 4))});
+  }
+
+  // nation
+  TableData* nation = Storage(db, schema.nation);
+  for (int64_t i = 0; i < 25; ++i) {
+    nation->AppendRow({Value::Int64(i),
+                       Value::String("NATION_" + std::to_string(i)),
+                       Value::Int64(i % 5),
+                       Value::String(RandomName(&rng, 4))});
+  }
+
+  // supplier
+  const int64_t n_supplier = Scaled(sf, 10000);
+  TableData* supplier = Storage(db, schema.supplier);
+  supplier->Reserve(n_supplier);
+  for (int64_t i = 1; i <= n_supplier; ++i) {
+    supplier->AppendRow(
+        {Value::Int64(i), Value::String("Supplier#" + std::to_string(i)),
+         Value::String(RandomName(&rng, 2)), Value::Int64(rng.Uniform(0, 24)),
+         Value::String("27-" + std::to_string(rng.Uniform(100, 999))),
+         Value::Double(rng.Uniform(-99999, 999999) / 100.0),
+         Value::String(RandomName(&rng, 5))});
+  }
+
+  // part
+  const int64_t n_part = Scaled(sf, 200000);
+  TableData* part = Storage(db, schema.part);
+  part->Reserve(n_part);
+  for (int64_t i = 1; i <= n_part; ++i) {
+    part->AppendRow(
+        {Value::Int64(i), Value::String(RandomName(&rng, 3)),
+         Value::String("Manufacturer#" +
+                       std::to_string(rng.Uniform(1, 5))),
+         Value::String("Brand#" + std::to_string(rng.Uniform(11, 55))),
+         Value::String(RandomName(&rng, 2)), Value::Int64(rng.Uniform(1, 50)),
+         Value::String(RandomName(&rng, 1)),
+         Value::Double((90000 + (i % 2000) * 10) / 100.0),
+         Value::String(RandomName(&rng, 4))});
+  }
+
+  // partsupp: 4 suppliers per part.
+  TableData* partsupp = Storage(db, schema.partsupp);
+  partsupp->Reserve(n_part * 4);
+  for (int64_t p = 1; p <= n_part; ++p) {
+    for (int64_t k = 0; k < 4; ++k) {
+      int64_t s = ((p + k * (n_supplier / 4 + 1)) % n_supplier) + 1;
+      partsupp->AppendRow({Value::Int64(p), Value::Int64(s),
+                           Value::Int64(rng.Uniform(1, 9999)),
+                           Value::Double(rng.Uniform(100, 100000) / 100.0),
+                           Value::String(RandomName(&rng, 5))});
+    }
+  }
+
+  // customer
+  const int64_t n_customer = Scaled(sf, 150000);
+  TableData* customer = Storage(db, schema.customer);
+  customer->Reserve(n_customer);
+  for (int64_t i = 1; i <= n_customer; ++i) {
+    customer->AppendRow(
+        {Value::Int64(i), Value::String("Customer#" + std::to_string(i)),
+         Value::String(RandomName(&rng, 2)), Value::Int64(rng.Uniform(0, 24)),
+         Value::String("13-" + std::to_string(rng.Uniform(100, 999))),
+         Value::Double(rng.Uniform(-99999, 999999) / 100.0),
+         Value::String(kSegments[rng.Uniform(0, 4)]),
+         Value::String(RandomName(&rng, 6))});
+  }
+
+  // orders + lineitem
+  const int64_t n_orders = Scaled(sf, 1500000);
+  TableData* orders = Storage(db, schema.orders);
+  TableData* lineitem = Storage(db, schema.lineitem);
+  orders->Reserve(n_orders);
+  for (int64_t i = 1; i <= n_orders; ++i) {
+    const int64_t orderkey = i * 4 - 3;  // sparse keys, like dbgen
+    const int64_t orderdate = rng.Uniform(8036, 10591);
+    const int64_t custkey = rng.Uniform(1, n_customer);
+    const int lines = static_cast<int>(rng.Uniform(1, 7));
+    double total = 0;
+    for (int ln = 1; ln <= lines; ++ln) {
+      const int64_t partkey = rng.Uniform(1, n_part);
+      const int64_t slot = rng.Uniform(0, 3);
+      const int64_t suppkey =
+          ((partkey + slot * (n_supplier / 4 + 1)) % n_supplier) + 1;
+      const int64_t quantity = rng.Uniform(1, 50);
+      const double extended =
+          quantity * ((90000 + (partkey % 2000) * 10) / 100.0);
+      total += extended;
+      const int64_t shipdate = orderdate + rng.Uniform(1, 121);
+      lineitem->AppendRow(
+          {Value::Int64(orderkey), Value::Int64(partkey),
+           Value::Int64(suppkey), Value::Int64(ln), Value::Int64(quantity),
+           Value::Double(extended),
+           Value::Double(rng.Uniform(0, 10) / 100.0),
+           Value::Double(rng.Uniform(0, 8) / 100.0),
+           Value::String(rng.Bernoulli(0.5) ? "N" : "R"),
+           Value::String(rng.Bernoulli(0.5) ? "O" : "F"),
+           Value::Date(shipdate), Value::Date(shipdate + rng.Uniform(-30, 30)),
+           Value::Date(shipdate + rng.Uniform(1, 30)),
+           Value::String(kInstruct[rng.Uniform(0, 3)]),
+           Value::String(kModes[rng.Uniform(0, 4)]),
+           Value::String(RandomName(&rng, 4))});
+    }
+    orders->AppendRow(
+        {Value::Int64(orderkey), Value::Int64(custkey),
+         Value::String(rng.Bernoulli(0.5) ? "O" : "F"), Value::Double(total),
+         Value::Date(orderdate), Value::String(kPriorities[rng.Uniform(0, 4)]),
+         Value::String("Clerk#" + std::to_string(rng.Uniform(1, 1000))),
+         Value::Int64(0), Value::String(RandomName(&rng, 6))});
+  }
+
+  if (options.build_primary_indexes) {
+    Catalog* catalog = db->catalog();
+    for (TableId id :
+         {schema.region, schema.nation, schema.supplier, schema.part,
+          schema.partsupp, schema.customer, schema.orders, schema.lineitem}) {
+      const TableDef& def = catalog->table(id);
+      if (!def.unique_keys().empty()) {
+        Storage(db, id)->BuildIndex(def.name() + "_pk",
+                                    def.unique_keys()[0], true);
+      }
+    }
+  }
+  if (options.refresh_statistics) {
+    for (TableId id :
+         {schema.region, schema.nation, schema.supplier, schema.part,
+          schema.partsupp, schema.customer, schema.orders, schema.lineitem}) {
+      db->RefreshStatistics(id);
+    }
+  }
+}
+
+}  // namespace tpch
+}  // namespace mvopt

@@ -1,0 +1,31 @@
+// Synthetic TPC-H data generator: foreign-key consistent rows with
+// plausible column domains (the substitute for dbgen — optimization-time
+// experiments are data-independent, and the correctness tests only need
+// referentially intact data with the schema's value ranges).
+
+#ifndef MVOPT_TPCH_DATAGEN_H_
+#define MVOPT_TPCH_DATAGEN_H_
+
+#include <cstdint>
+
+#include "engine/database.h"
+#include "tpch/schema.h"
+
+namespace mvopt {
+namespace tpch {
+
+struct DataGenOptions {
+  double scale_factor = 0.001;  ///< SF 1 = 6M lineitem rows
+  uint64_t seed = 20010521;     ///< SIGMOD 2001 :-)
+  bool build_primary_indexes = true;
+  bool refresh_statistics = true;
+};
+
+/// Populates all eight tables in `db` (storage is created if missing).
+void GenerateData(Database* db, const Schema& schema,
+                  const DataGenOptions& options);
+
+}  // namespace tpch
+}  // namespace mvopt
+
+#endif  // MVOPT_TPCH_DATAGEN_H_

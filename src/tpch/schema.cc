@@ -1,0 +1,197 @@
+#include "tpch/schema.h"
+
+#include <cmath>
+
+namespace mvopt {
+namespace tpch {
+
+namespace {
+
+constexpr bool kNotNull = true;
+constexpr bool kNullable = false;
+
+int64_t Scaled(double scale_factor, int64_t base) {
+  int64_t n = static_cast<int64_t>(std::llround(base * scale_factor));
+  return n < 1 ? 1 : n;
+}
+
+void SetIntStats(TableDef* t, ColumnOrdinal c, int64_t lo, int64_t hi,
+                 int64_t distinct) {
+  ColumnStats& s = t->mutable_column(c).stats;
+  s.min = Value::Int64(lo);
+  s.max = Value::Int64(hi);
+  s.distinct = distinct;
+}
+
+}  // namespace
+
+Schema BuildSchema(Catalog* catalog, double scale_factor) {
+  Schema s;
+
+  TableDef* region = catalog->CreateTable("region");
+  ColumnOrdinal r_regionkey =
+      region->AddColumn("r_regionkey", ValueType::kInt64, kNotNull);
+  region->AddColumn("r_name", ValueType::kString, kNotNull);
+  region->AddColumn("r_comment", ValueType::kString, kNullable);
+  region->SetPrimaryKey({r_regionkey});
+  region->set_row_count(5);
+  SetIntStats(region, r_regionkey, 0, 4, 5);
+  s.region = region->id();
+
+  TableDef* nation = catalog->CreateTable("nation");
+  ColumnOrdinal n_nationkey =
+      nation->AddColumn("n_nationkey", ValueType::kInt64, kNotNull);
+  nation->AddColumn("n_name", ValueType::kString, kNotNull);
+  ColumnOrdinal n_regionkey =
+      nation->AddColumn("n_regionkey", ValueType::kInt64, kNotNull);
+  nation->AddColumn("n_comment", ValueType::kString, kNullable);
+  nation->SetPrimaryKey({n_nationkey});
+  nation->AddForeignKey({{n_regionkey}, s.region, {r_regionkey}});
+  nation->set_row_count(25);
+  SetIntStats(nation, n_nationkey, 0, 24, 25);
+  SetIntStats(nation, n_regionkey, 0, 4, 5);
+  s.nation = nation->id();
+
+  const int64_t n_supplier = Scaled(scale_factor, 10000);
+  TableDef* supplier = catalog->CreateTable("supplier");
+  ColumnOrdinal s_suppkey =
+      supplier->AddColumn("s_suppkey", ValueType::kInt64, kNotNull);
+  supplier->AddColumn("s_name", ValueType::kString, kNotNull);
+  supplier->AddColumn("s_address", ValueType::kString, kNullable);
+  ColumnOrdinal s_nationkey =
+      supplier->AddColumn("s_nationkey", ValueType::kInt64, kNotNull);
+  supplier->AddColumn("s_phone", ValueType::kString, kNullable);
+  supplier->AddColumn("s_acctbal", ValueType::kDouble, kNullable);
+  supplier->AddColumn("s_comment", ValueType::kString, kNullable);
+  supplier->SetPrimaryKey({s_suppkey});
+  supplier->AddForeignKey({{s_nationkey}, s.nation, {n_nationkey}});
+  supplier->set_row_count(n_supplier);
+  SetIntStats(supplier, s_suppkey, 1, n_supplier, n_supplier);
+  SetIntStats(supplier, s_nationkey, 0, 24, 25);
+  s.supplier = supplier->id();
+
+  const int64_t n_part = Scaled(scale_factor, 200000);
+  TableDef* part = catalog->CreateTable("part");
+  ColumnOrdinal p_partkey =
+      part->AddColumn("p_partkey", ValueType::kInt64, kNotNull);
+  part->AddColumn("p_name", ValueType::kString, kNotNull);
+  part->AddColumn("p_mfgr", ValueType::kString, kNullable);
+  part->AddColumn("p_brand", ValueType::kString, kNullable);
+  part->AddColumn("p_type", ValueType::kString, kNullable);
+  ColumnOrdinal p_size = part->AddColumn("p_size", ValueType::kInt64,
+                                         kNullable);
+  part->AddColumn("p_container", ValueType::kString, kNullable);
+  part->AddColumn("p_retailprice", ValueType::kDouble, kNullable);
+  part->AddColumn("p_comment", ValueType::kString, kNullable);
+  part->SetPrimaryKey({p_partkey});
+  part->set_row_count(n_part);
+  SetIntStats(part, p_partkey, 1, n_part, n_part);
+  SetIntStats(part, p_size, 1, 50, 50);
+  s.part = part->id();
+
+  const int64_t n_partsupp = Scaled(scale_factor, 800000);
+  TableDef* partsupp = catalog->CreateTable("partsupp");
+  ColumnOrdinal ps_partkey =
+      partsupp->AddColumn("ps_partkey", ValueType::kInt64, kNotNull);
+  ColumnOrdinal ps_suppkey =
+      partsupp->AddColumn("ps_suppkey", ValueType::kInt64, kNotNull);
+  ColumnOrdinal ps_availqty =
+      partsupp->AddColumn("ps_availqty", ValueType::kInt64, kNullable);
+  partsupp->AddColumn("ps_supplycost", ValueType::kDouble, kNullable);
+  partsupp->AddColumn("ps_comment", ValueType::kString, kNullable);
+  partsupp->SetPrimaryKey({ps_partkey, ps_suppkey});
+  partsupp->AddForeignKey({{ps_partkey}, s.part, {p_partkey}});
+  partsupp->AddForeignKey({{ps_suppkey}, s.supplier, {s_suppkey}});
+  partsupp->set_row_count(n_partsupp);
+  SetIntStats(partsupp, ps_partkey, 1, n_part, n_part);
+  SetIntStats(partsupp, ps_suppkey, 1, n_supplier, n_supplier);
+  SetIntStats(partsupp, ps_availqty, 1, 9999, 9999);
+  s.partsupp = partsupp->id();
+
+  const int64_t n_customer = Scaled(scale_factor, 150000);
+  TableDef* customer = catalog->CreateTable("customer");
+  ColumnOrdinal c_custkey =
+      customer->AddColumn("c_custkey", ValueType::kInt64, kNotNull);
+  customer->AddColumn("c_name", ValueType::kString, kNotNull);
+  customer->AddColumn("c_address", ValueType::kString, kNullable);
+  ColumnOrdinal c_nationkey =
+      customer->AddColumn("c_nationkey", ValueType::kInt64, kNotNull);
+  customer->AddColumn("c_phone", ValueType::kString, kNullable);
+  customer->AddColumn("c_acctbal", ValueType::kDouble, kNullable);
+  customer->AddColumn("c_mktsegment", ValueType::kString, kNullable);
+  customer->AddColumn("c_comment", ValueType::kString, kNullable);
+  customer->SetPrimaryKey({c_custkey});
+  customer->AddForeignKey({{c_nationkey}, s.nation, {n_nationkey}});
+  customer->set_row_count(n_customer);
+  SetIntStats(customer, c_custkey, 1, n_customer, n_customer);
+  SetIntStats(customer, c_nationkey, 0, 24, 25);
+  s.customer = customer->id();
+
+  const int64_t n_orders = Scaled(scale_factor, 1500000);
+  TableDef* orders = catalog->CreateTable("orders");
+  ColumnOrdinal o_orderkey =
+      orders->AddColumn("o_orderkey", ValueType::kInt64, kNotNull);
+  ColumnOrdinal o_custkey =
+      orders->AddColumn("o_custkey", ValueType::kInt64, kNotNull);
+  orders->AddColumn("o_orderstatus", ValueType::kString, kNullable);
+  orders->AddColumn("o_totalprice", ValueType::kDouble, kNullable);
+  ColumnOrdinal o_orderdate =
+      orders->AddColumn("o_orderdate", ValueType::kDate, kNotNull);
+  orders->AddColumn("o_orderpriority", ValueType::kString, kNullable);
+  orders->AddColumn("o_clerk", ValueType::kString, kNullable);
+  orders->AddColumn("o_shippriority", ValueType::kInt64, kNullable);
+  orders->AddColumn("o_comment", ValueType::kString, kNullable);
+  orders->SetPrimaryKey({o_orderkey});
+  orders->AddForeignKey({{o_custkey}, s.customer, {c_custkey}});
+  orders->set_row_count(n_orders);
+  SetIntStats(orders, o_orderkey, 1, n_orders * 4, n_orders);
+  SetIntStats(orders, o_custkey, 1, n_customer, n_customer);
+  SetIntStats(orders, o_orderdate, 8036, 10591, 2400);  // 1992..1998
+  s.orders = orders->id();
+
+  const int64_t n_lineitem = Scaled(scale_factor, 6000000);
+  TableDef* lineitem = catalog->CreateTable("lineitem");
+  ColumnOrdinal l_orderkey =
+      lineitem->AddColumn("l_orderkey", ValueType::kInt64, kNotNull);
+  ColumnOrdinal l_partkey =
+      lineitem->AddColumn("l_partkey", ValueType::kInt64, kNotNull);
+  ColumnOrdinal l_suppkey =
+      lineitem->AddColumn("l_suppkey", ValueType::kInt64, kNotNull);
+  ColumnOrdinal l_linenumber =
+      lineitem->AddColumn("l_linenumber", ValueType::kInt64, kNotNull);
+  ColumnOrdinal l_quantity =
+      lineitem->AddColumn("l_quantity", ValueType::kInt64, kNullable);
+  lineitem->AddColumn("l_extendedprice", ValueType::kDouble, kNullable);
+  lineitem->AddColumn("l_discount", ValueType::kDouble, kNullable);
+  lineitem->AddColumn("l_tax", ValueType::kDouble, kNullable);
+  lineitem->AddColumn("l_returnflag", ValueType::kString, kNullable);
+  lineitem->AddColumn("l_linestatus", ValueType::kString, kNullable);
+  ColumnOrdinal l_shipdate =
+      lineitem->AddColumn("l_shipdate", ValueType::kDate, kNullable);
+  ColumnOrdinal l_commitdate =
+      lineitem->AddColumn("l_commitdate", ValueType::kDate, kNullable);
+  lineitem->AddColumn("l_receiptdate", ValueType::kDate, kNullable);
+  lineitem->AddColumn("l_shipinstruct", ValueType::kString, kNullable);
+  lineitem->AddColumn("l_shipmode", ValueType::kString, kNullable);
+  lineitem->AddColumn("l_comment", ValueType::kString, kNullable);
+  lineitem->SetPrimaryKey({l_orderkey, l_linenumber});
+  lineitem->AddForeignKey({{l_orderkey}, s.orders, {o_orderkey}});
+  lineitem->AddForeignKey({{l_partkey}, s.part, {p_partkey}});
+  lineitem->AddForeignKey({{l_suppkey}, s.supplier, {s_suppkey}});
+  lineitem->AddForeignKey(
+      {{l_partkey, l_suppkey}, s.partsupp, {ps_partkey, ps_suppkey}});
+  lineitem->set_row_count(n_lineitem);
+  SetIntStats(lineitem, l_orderkey, 1, n_orders * 4, n_orders);
+  SetIntStats(lineitem, l_partkey, 1, n_part, n_part);
+  SetIntStats(lineitem, l_suppkey, 1, n_supplier, n_supplier);
+  SetIntStats(lineitem, l_linenumber, 1, 7, 7);
+  SetIntStats(lineitem, l_quantity, 1, 50, 50);
+  SetIntStats(lineitem, l_shipdate, 8036, 10713, 2522);
+  SetIntStats(lineitem, l_commitdate, 8036, 10713, 2522);
+  s.lineitem = lineitem->id();
+
+  return s;
+}
+
+}  // namespace tpch
+}  // namespace mvopt

@@ -1,0 +1,34 @@
+// TPC-H/R schema used by all examples and by the §5 experiments: the
+// eight standard tables with primary keys, foreign keys and not-null
+// constraints — exactly the constraint classes the view-matching
+// algorithm exploits.
+
+#ifndef MVOPT_TPCH_SCHEMA_H_
+#define MVOPT_TPCH_SCHEMA_H_
+
+#include "catalog/catalog.h"
+
+namespace mvopt {
+namespace tpch {
+
+/// Table ids of the eight TPC-H tables inside a Catalog.
+struct Schema {
+  TableId region = kInvalidTableId;
+  TableId nation = kInvalidTableId;
+  TableId supplier = kInvalidTableId;
+  TableId part = kInvalidTableId;
+  TableId partsupp = kInvalidTableId;
+  TableId customer = kInvalidTableId;
+  TableId orders = kInvalidTableId;
+  TableId lineitem = kInvalidTableId;
+};
+
+/// Creates the TPC-H tables in `catalog` and returns their ids. Row-count
+/// statistics are initialized for `scale_factor` (SF 1 = 6M lineitems);
+/// the data generator refines column statistics when it populates data.
+Schema BuildSchema(Catalog* catalog, double scale_factor = 0.01);
+
+}  // namespace tpch
+}  // namespace mvopt
+
+#endif  // MVOPT_TPCH_SCHEMA_H_

@@ -1,0 +1,342 @@
+#include "tpch/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "optimizer/cardinality.h"
+
+namespace mvopt {
+namespace tpch {
+
+namespace {
+
+bool IsRangeable(const ColumnDef& col) {
+  return (col.type == ValueType::kInt64 || col.type == ValueType::kDate) &&
+         !col.stats.min.is_null() && !col.stats.max.is_null();
+}
+
+// Per-column selection weight — the role of the paper's "parameter file"
+// that "specified ... the frequency with which a column received a range
+// predicate, and the frequency with which a column was chosen as an
+// output column". Concentrating on keys, foreign keys and dates makes
+// independently generated views and queries constrain and expose the
+// same columns, which is what produces the paper's match rates.
+double ColumnWeight(const TableDef& table, ColumnOrdinal col) {
+  for (const auto& key : table.unique_keys()) {
+    for (ColumnOrdinal k : key) {
+      if (k == col) return 8.0;
+    }
+  }
+  for (const auto& fk : table.foreign_keys()) {
+    for (ColumnOrdinal k : fk.fk_columns) {
+      if (k == col) return 8.0;
+    }
+  }
+  const ColumnDef& def = table.column(col);
+  if (def.type == ValueType::kDate) return 4.0;
+  if (def.type == ValueType::kInt64) return 2.0;
+  return 1.0;
+}
+
+bool IsSummable(const ColumnDef& col) {
+  return col.type == ValueType::kInt64 || col.type == ValueType::kDouble;
+}
+
+Value MakeBound(const ColumnDef& col, double fraction) {
+  const double lo = col.stats.min.AsDouble();
+  const double hi = col.stats.max.AsDouble();
+  const double x = lo + fraction * (hi - lo);
+  switch (col.type) {
+    case ValueType::kInt64:
+      return Value::Int64(static_cast<int64_t>(std::llround(x)));
+    case ValueType::kDate:
+      return Value::Date(static_cast<int64_t>(std::llround(x)));
+    default:
+      return Value::Double(x);
+  }
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const Catalog* catalog, uint64_t seed,
+                                     WorkloadOptions options)
+    : catalog_(catalog), options_(options), rng_(seed) {
+  for (TableId t = 0; t < catalog->num_tables(); ++t) {
+    tables_.push_back(t);
+  }
+}
+
+WorkloadGenerator::WorkloadGenerator(const Catalog* catalog,
+                                     std::vector<TableId> tables,
+                                     uint64_t seed, WorkloadOptions options)
+    : catalog_(catalog),
+      tables_(std::move(tables)),
+      options_(options),
+      rng_(seed) {}
+
+int WorkloadGenerator::PickQueryTableCount() {
+  // Paper: 40% two tables, 20% three, 17% four, 13% five, 8% six, 2% seven.
+  static const double kWeights[] = {40, 20, 17, 13, 8, 2};
+  return 2 + static_cast<int>(rng_.Weighted(
+                 std::vector<double>(kWeights, kWeights + 6)));
+}
+
+SpjgQuery WorkloadGenerator::Generate(int num_tables, double card_lo,
+                                      double card_hi, bool aggregate,
+                                      bool include_ranged_outputs) {
+  SpjgBuilder builder(catalog_);
+
+  // --- FK join random walk.
+  struct Ref {
+    int32_t slot;
+    TableId table;
+  };
+  std::vector<Ref> refs;
+  // The initial table: prefer the bigger tables so range tuning has room
+  // (the paper used a frequency parameter file; this plays that role).
+  std::vector<double> init_weights;
+  for (TableId t : tables_) {
+    init_weights.push_back(
+        std::log2(2.0 + static_cast<double>(catalog_->table(t).row_count())));
+  }
+  TableId first = tables_[rng_.Weighted(init_weights)];
+  refs.push_back(Ref{builder.AddTableId(first), first});
+
+  struct Candidate {
+    int32_t from_slot;      // existing ref
+    TableId other;          // table to add
+    const ForeignKeyDef* fk;
+    bool outgoing;          // FK belongs to the existing ref?
+  };
+  int attempts = 0;
+  while (static_cast<int>(refs.size()) < num_tables && attempts < 50) {
+    ++attempts;
+    std::vector<Candidate> candidates;
+    for (const Ref& r : refs) {
+      // Outgoing FKs of r.table.
+      for (const auto& fk : catalog_->table(r.table).foreign_keys()) {
+        candidates.push_back(Candidate{r.slot, fk.referenced_table, &fk,
+                                       true});
+      }
+      // Incoming FKs: tables referencing r.table.
+      for (TableId u : tables_) {
+        for (const auto& fk : catalog_->table(u).foreign_keys()) {
+          if (fk.referenced_table == r.table) {
+            candidates.push_back(Candidate{r.slot, u, &fk, false});
+          }
+        }
+      }
+    }
+    if (candidates.empty()) break;
+    const Candidate& pick =
+        candidates[rng_.Uniform(0, static_cast<int64_t>(candidates.size()) -
+                                       1)];
+    // Avoid duplicate table references: self-joins are legal but the §5
+    // workload never produced them (FK walks over TPC-H).
+    bool already = false;
+    for (const Ref& r : refs) {
+      if (r.table == pick.other) already = true;
+    }
+    if (already) continue;
+    int32_t new_slot = builder.AddTableId(pick.other);
+    refs.push_back(Ref{new_slot, pick.other});
+    const ForeignKeyDef& fk = *pick.fk;
+    for (size_t k = 0; k < fk.fk_columns.size(); ++k) {
+      ColumnRefId fcol{pick.outgoing ? pick.from_slot : new_slot,
+                       fk.fk_columns[k]};
+      ColumnRefId kcol{pick.outgoing ? new_slot : pick.from_slot,
+                       fk.key_columns[k]};
+      builder.Where(Expr::MakeCompare(CompareOp::kEq,
+                                      Expr::MakeColumn(fcol),
+                                      Expr::MakeColumn(kcol)));
+    }
+  }
+
+  // --- Range predicates until the estimated cardinality lands in the
+  // band relative to the largest included table.
+  CardinalityEstimator estimator(catalog_);
+  int64_t largest = 1;
+  for (const Ref& r : refs) {
+    largest = std::max(largest, catalog_->table(r.table).row_count());
+  }
+  const double target_lo = card_lo * static_cast<double>(largest);
+  const double target_hi = card_hi * static_cast<double>(largest);
+  const double target_mid = 0.5 * (target_lo + target_hi);
+
+  std::vector<std::pair<int32_t, ColumnOrdinal>> ranged_columns;
+  for (int i = 0; i < options_.max_predicate_attempts; ++i) {
+    SpjgQuery probe = builder.Build();
+    double est = estimator.EstimateSpj(probe);
+    if (est <= target_hi) break;
+    // Pick a rangeable column, weighted by the parameter-file frequencies.
+    const Ref& r = refs[rng_.Uniform(0, static_cast<int64_t>(refs.size()) -
+                                            1)];
+    const TableDef& t = catalog_->table(r.table);
+    std::vector<ColumnOrdinal> rangeable;
+    std::vector<double> weights;
+    for (int c = 0; c < t.num_columns(); ++c) {
+      if (IsRangeable(t.column(c))) {
+        rangeable.push_back(c);
+        weights.push_back(ColumnWeight(t, c));
+      }
+    }
+    if (rangeable.empty()) continue;
+    ColumnOrdinal c = rangeable[rng_.Weighted(weights)];
+    ranged_columns.emplace_back(r.slot, c);
+    // Fraction of the domain this predicate should keep.
+    double needed = std::min(1.0, target_mid / est);
+    // Widen a little at random so views are not razor-thin.
+    needed = std::min(1.0, needed * (0.8 + 0.4 * rng_.NextDouble()));
+    ExprPtr col = Expr::MakeColumn(r.slot, c);
+    if (rng_.Bernoulli(0.5)) {
+      // One-sided: col >= bound keeping `needed` of the domain.
+      builder.Where(Expr::MakeCompare(
+          CompareOp::kGe, col, Expr::MakeLiteral(MakeBound(t.column(c),
+                                                           1.0 - needed))));
+    } else {
+      double start = rng_.NextDouble() * (1.0 - needed);
+      builder.Where(Expr::MakeCompare(
+          CompareOp::kGe, col,
+          Expr::MakeLiteral(MakeBound(t.column(c), start))));
+      builder.Where(Expr::MakeCompare(
+          CompareOp::kLe, col,
+          Expr::MakeLiteral(MakeBound(t.column(c), start + needed))));
+    }
+  }
+
+  // --- Random output columns.
+  struct OutCol {
+    int32_t slot;
+    ColumnOrdinal column;
+    bool summable;
+  };
+  std::vector<OutCol> outputs;
+  auto add_output = [&](int32_t slot, ColumnOrdinal c) {
+    for (const OutCol& o : outputs) {
+      if (o.slot == slot && o.column == c) return;
+    }
+    const TableDef& t = catalog_->table(refs[slot].table);
+    outputs.push_back(OutCol{slot, c, IsSummable(t.column(c))});
+  };
+  for (const Ref& r : refs) {
+    const TableDef& t = catalog_->table(r.table);
+    for (int c = 0; c < t.num_columns(); ++c) {
+      if (static_cast<int>(outputs.size()) >= options_.max_outputs) break;
+      const double p = std::min(
+          0.9, options_.output_column_prob * ColumnWeight(t, c) / 2.0);
+      if (rng_.Bernoulli(p)) {
+        add_output(r.slot, static_cast<ColumnOrdinal>(c));
+      }
+    }
+  }
+  if (include_ranged_outputs) {
+    // Views expose the columns they constrain so compensating range
+    // predicates can be applied over their output.
+    for (const auto& [slot, c] : ranged_columns) add_output(slot, c);
+  }
+  if (outputs.empty()) {
+    // Guarantee at least one output: the first table's first column.
+    outputs.push_back(OutCol{refs[0].slot, 0,
+                             IsSummable(catalog_->table(refs[0].table)
+                                            .column(0))});
+  }
+
+  auto output_name = [&](const OutCol& o, const char* prefix,
+                         size_t i) {
+    (void)o;
+    return std::string(prefix) + std::to_string(i);
+  };
+
+  if (!aggregate) {
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      builder.Output(Expr::MakeColumn(outputs[i].slot, outputs[i].column),
+                     output_name(outputs[i], "c", i));
+    }
+    return builder.Build();
+  }
+
+  // --- Aggregation: grouping subset + SUM over remaining numeric
+  // columns + count(*).
+  std::vector<OutCol> grouping;
+  std::vector<OutCol> summed;
+  for (const OutCol& o : outputs) {
+    if (rng_.Bernoulli(options_.grouping_prob)) {
+      grouping.push_back(o);
+    } else if (o.summable) {
+      summed.push_back(o);
+    }
+  }
+  if (grouping.empty() && summed.empty()) grouping.push_back(outputs[0]);
+  for (size_t i = 0; i < grouping.size(); ++i) {
+    ExprPtr col = Expr::MakeColumn(grouping[i].slot, grouping[i].column);
+    builder.Output(col, output_name(grouping[i], "g", i));
+    builder.GroupBy(col);
+  }
+  builder.SetAggregate();
+  builder.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  for (size_t i = 0; i < summed.size(); ++i) {
+    builder.Output(
+        Expr::MakeAggregate(AggKind::kSum, Expr::MakeColumn(
+                                               summed[i].slot,
+                                               summed[i].column)),
+        output_name(summed[i], "s", i));
+  }
+  return builder.Build();
+}
+
+SpjgQuery WorkloadGenerator::GenerateView() {
+  int tables = 1;
+  while (tables < options_.max_view_tables &&
+         rng_.Bernoulli(options_.fk_join_prob)) {
+    ++tables;
+  }
+  return Generate(tables, options_.view_card_lo, options_.view_card_hi,
+                  rng_.Bernoulli(options_.agg_view_fraction),
+                  /*include_ranged_outputs=*/true);
+}
+
+SpjgQuery WorkloadGenerator::GenerateQuery() {
+  return Generate(PickQueryTableCount(), options_.query_card_lo,
+                  options_.query_card_hi,
+                  rng_.Bernoulli(options_.agg_query_fraction),
+                  /*include_ranged_outputs=*/false);
+}
+
+void WorkloadGenerator::AttachDefaultIndexes(ViewDefinition* view) {
+  const SpjgQuery& q = view->query();
+  IndexDef clustered;
+  clustered.name = view->name() + "_cidx";
+  if (q.is_aggregate) {
+    // Grouping outputs form the unique key.
+    for (size_t i = 0; i < q.outputs.size(); ++i) {
+      for (const auto& g : q.group_by) {
+        if (q.outputs[i].expr->Equals(*g)) {
+          clustered.key_columns.push_back(static_cast<int>(i));
+          break;
+        }
+      }
+    }
+    clustered.unique = true;
+    if (clustered.key_columns.empty()) {
+      // Scalar aggregate: single row; key on the count column.
+      clustered.key_columns.push_back(0);
+    }
+  } else {
+    clustered.key_columns.push_back(0);
+    clustered.unique = false;
+  }
+  view->set_clustered_index(clustered);
+
+  if (rng_.Bernoulli(0.3) && q.outputs.size() > 1) {
+    IndexDef secondary;
+    secondary.name = view->name() + "_sidx";
+    secondary.key_columns.push_back(static_cast<int>(
+        rng_.Uniform(0, static_cast<int64_t>(q.outputs.size()) - 1)));
+    secondary.unique = false;
+    view->AddSecondaryIndex(secondary);
+  }
+}
+
+}  // namespace tpch
+}  // namespace mvopt

@@ -1,0 +1,80 @@
+// The §5 random workload generator. Views: random initial table, extra
+// tables joined in through foreign-key equijoins, range predicates added
+// on random columns until the estimated SPJ cardinality is within 25-75%
+// of the largest table included, random output columns, ~75% aggregation
+// views (random grouping subset, remaining numerical outputs become SUM
+// arguments, plus the mandatory count(*)). Queries: generated the same
+// way with a different seed, cardinality tuned to 8-12%, and the paper's
+// table-count distribution (2:40%, 3:20%, 4:17%, 5:13%, 6:8%, 7:2%).
+
+#ifndef MVOPT_TPCH_WORKLOAD_H_
+#define MVOPT_TPCH_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "query/spjg.h"
+#include "query/view_def.h"
+#include "tpch/schema.h"
+
+namespace mvopt {
+namespace tpch {
+
+struct WorkloadOptions {
+  double agg_view_fraction = 0.75;
+  double agg_query_fraction = 0.5;
+  double view_card_lo = 0.25;
+  double view_card_hi = 0.75;
+  double query_card_lo = 0.08;
+  double query_card_hi = 0.12;
+  /// Probability a column becomes an output column.
+  double output_column_prob = 0.2;
+  /// Probability an output column is used for grouping (agg views).
+  double grouping_prob = 0.5;
+  /// Probability of continuing the FK join walk (views).
+  double fk_join_prob = 0.55;
+  int max_view_tables = 5;
+  int max_outputs = 8;
+  int max_predicate_attempts = 12;
+};
+
+class WorkloadGenerator {
+ public:
+  /// Generates over the tables [0, catalog->num_tables()) present at
+  /// construction time — construct before materializing views, or use
+  /// the table-list overload, so view tables are never drawn as sources.
+  WorkloadGenerator(const Catalog* catalog, uint64_t seed,
+                    WorkloadOptions options = WorkloadOptions());
+
+  /// Restricts generation to `tables` (e.g. the eight TPC-H ids).
+  WorkloadGenerator(const Catalog* catalog, std::vector<TableId> tables,
+                    uint64_t seed, WorkloadOptions options = WorkloadOptions());
+
+  /// A random materialized-view definition (always passes
+  /// ViewDefinition::Validate).
+  SpjgQuery GenerateView();
+
+  /// A random query with the paper's table-count distribution.
+  SpjgQuery GenerateQuery();
+
+  /// Attaches a clustered index (grouping key for aggregation views,
+  /// first output otherwise) and a random secondary index to `view`.
+  void AttachDefaultIndexes(ViewDefinition* view);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  SpjgQuery Generate(int num_tables, double card_lo, double card_hi,
+                     bool aggregate, bool include_ranged_outputs);
+  int PickQueryTableCount();
+
+  const Catalog* catalog_;
+  std::vector<TableId> tables_;
+  WorkloadOptions options_;
+  Rng rng_;
+};
+
+}  // namespace tpch
+}  // namespace mvopt
+
+#endif  // MVOPT_TPCH_WORKLOAD_H_

@@ -1,0 +1,217 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/eval.h"
+#include "query/spjg.h"
+
+namespace mvopt {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : db_(&catalog_) {
+    TableDef* dept = catalog_.CreateTable("dept");
+    dept->AddColumn("d_id", ValueType::kInt64, true);
+    dept->AddColumn("d_name", ValueType::kString, true);
+    dept->SetPrimaryKey({0});
+    dept_ = dept->id();
+
+    TableDef* emp = catalog_.CreateTable("emp");
+    emp->AddColumn("e_id", ValueType::kInt64, true);
+    emp->AddColumn("e_dept", ValueType::kInt64, true);
+    emp->AddColumn("e_salary", ValueType::kDouble, false);
+    emp->SetPrimaryKey({0});
+    emp->AddForeignKey({{1}, dept_, {0}});
+    emp_ = emp->id();
+
+    TableData* d = db_.AddTable(dept_);
+    d->AppendRow({Value::Int64(1), Value::String("eng")});
+    d->AppendRow({Value::Int64(2), Value::String("sales")});
+
+    TableData* e = db_.AddTable(emp_);
+    e->AppendRow({Value::Int64(10), Value::Int64(1), Value::Double(100.0)});
+    e->AppendRow({Value::Int64(11), Value::Int64(1), Value::Double(200.0)});
+    e->AppendRow({Value::Int64(12), Value::Int64(2), Value::Double(50.0)});
+    e->AppendRow({Value::Int64(13), Value::Int64(2), Value::Null()});
+    db_.RefreshStatistics(dept_);
+    db_.RefreshStatistics(emp_);
+  }
+
+  Catalog catalog_;
+  Database db_;
+  TableId dept_;
+  TableId emp_;
+};
+
+TEST_F(EngineTest, ScanProject) {
+  SpjgBuilder b(&catalog_);
+  int e = b.AddTable("emp");
+  b.Output(b.Col(e, "e_id"));
+  auto rows = db_.ExecuteSpjg(b.Build());
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST_F(EngineTest, FilterWithRange) {
+  SpjgBuilder b(&catalog_);
+  int e = b.AddTable("emp");
+  b.Where(Expr::MakeCompare(CompareOp::kGt, b.Col(e, "e_salary"),
+                            Expr::MakeLiteral(Value::Double(60.0))));
+  b.Output(b.Col(e, "e_id"));
+  auto rows = db_.ExecuteSpjg(b.Build());
+  // NULL salary fails the predicate (three-valued logic).
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(EngineTest, EquijoinProducesMatchingPairs) {
+  SpjgBuilder b(&catalog_);
+  int e = b.AddTable("emp");
+  int d = b.AddTable("dept");
+  b.Where(Expr::MakeCompare(CompareOp::kEq, b.Col(e, "e_dept"),
+                            b.Col(d, "d_id")));
+  b.Output(b.Col(e, "e_id"));
+  b.Output(b.Col(d, "d_name"));
+  auto rows = db_.ExecuteSpjg(b.Build());
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST_F(EngineTest, GroupByWithCountAndSum) {
+  SpjgBuilder b(&catalog_);
+  int e = b.AddTable("emp");
+  b.Output(b.Col(e, "e_dept"));
+  b.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  b.Output(Expr::MakeAggregate(AggKind::kSum, b.Col(e, "e_salary")), "total");
+  b.GroupBy(b.Col(e, "e_dept"));
+  auto rows = db_.ExecuteSpjg(b.Build());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const Row& r : rows) {
+    EXPECT_EQ(r[1], Value::Int64(2));
+    if (r[0] == Value::Int64(1)) {
+      EXPECT_EQ(r[2], Value::Double(300.0));
+    } else {
+      // Dept 2: one NULL salary is ignored by SUM.
+      EXPECT_EQ(r[2], Value::Double(50.0));
+    }
+  }
+}
+
+TEST_F(EngineTest, ScalarAggregateOverEmptyInput) {
+  SpjgBuilder b(&catalog_);
+  int e = b.AddTable("emp");
+  b.Where(Expr::MakeCompare(CompareOp::kGt, b.Col(e, "e_salary"),
+                            Expr::MakeLiteral(Value::Double(1e9))));
+  b.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  b.Output(Expr::MakeAggregate(AggKind::kSum, b.Col(e, "e_salary")), "s");
+  b.SetAggregate();
+  auto rows = db_.ExecuteSpjg(b.Build());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int64(0));
+  EXPECT_TRUE(rows[0][1].is_null());
+}
+
+TEST_F(EngineTest, MinMaxAvgAggregates) {
+  SpjgBuilder b(&catalog_);
+  int e = b.AddTable("emp");
+  b.Output(Expr::MakeAggregate(AggKind::kMin, b.Col(e, "e_salary")), "lo");
+  b.Output(Expr::MakeAggregate(AggKind::kMax, b.Col(e, "e_salary")), "hi");
+  b.Output(Expr::MakeAggregate(AggKind::kAvg, b.Col(e, "e_salary")), "avg");
+  b.SetAggregate();
+  auto rows = db_.ExecuteSpjg(b.Build());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Double(50.0));
+  EXPECT_EQ(rows[0][1], Value::Double(200.0));
+  // AVG over non-null salaries: (100+200+50)/3.
+  EXPECT_NEAR(rows[0][2].AsDouble(), 350.0 / 3.0, 1e-9);
+}
+
+TEST_F(EngineTest, MaterializeViewRegistersTableWithIndexes) {
+  SpjgBuilder b(&catalog_);
+  int e = b.AddTable("emp");
+  b.Output(b.Col(e, "e_dept"));
+  b.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  b.Output(Expr::MakeAggregate(AggKind::kSum, b.Col(e, "e_salary")), "total");
+  b.GroupBy(b.Col(e, "e_dept"));
+  ViewDefinition view(0, "emp_by_dept", b.Build());
+  IndexDef ci;
+  ci.name = "ci";
+  ci.key_columns = {0};
+  ci.unique = true;
+  view.set_clustered_index(ci);
+
+  TableId vt = db_.MaterializeView(&view);
+  EXPECT_EQ(view.materialized_table(), vt);
+  const TableDef& def = catalog_.table(vt);
+  EXPECT_EQ(def.name(), "emp_by_dept");
+  ASSERT_EQ(def.num_columns(), 3);
+  EXPECT_EQ(def.column(0).name, "e_dept");
+  EXPECT_EQ(def.column(1).type, ValueType::kInt64);
+  EXPECT_EQ(def.column(2).type, ValueType::kDouble);
+  EXPECT_EQ(def.row_count(), 2);
+  const TableData* data = db_.table(vt);
+  ASSERT_EQ(data->indexes().size(), 1u);
+  EXPECT_TRUE(data->indexes()[0].unique);
+  // Statistics were refreshed from the materialized rows.
+  EXPECT_EQ(def.column(0).stats.distinct, 2);
+}
+
+TEST_F(EngineTest, IndexRangeScanBounds) {
+  TableData* e = db_.table(emp_);
+  const OrderedIndex& idx = e->BuildIndex("sal", {2}, false);
+  // Salaries sorted: NULL, 50, 100, 200.
+  ValueRange all;
+  auto [b0, e0] = e->IndexRange(idx, all);
+  EXPECT_EQ(e0 - b0, 4u);
+  ValueRange over60;
+  over60.Apply(CompareOp::kGt, Value::Double(60.0));
+  auto [b1, e1] = e->IndexRange(idx, over60);
+  EXPECT_EQ(e1 - b1, 2u);
+  ValueRange between;
+  between.Apply(CompareOp::kGe, Value::Double(50.0));
+  between.Apply(CompareOp::kLe, Value::Double(100.0));
+  auto [b2, e2] = e->IndexRange(idx, between);
+  EXPECT_EQ(e2 - b2, 2u);
+  ValueRange empty;
+  empty.Apply(CompareOp::kGt, Value::Double(1000.0));
+  auto [b3, e3] = e->IndexRange(idx, empty);
+  EXPECT_EQ(e3 - b3, 0u);
+}
+
+TEST(EvalTest, ThreeValuedLogic) {
+  Row row = {Value::Null(), Value::Int64(5)};
+  ExprPtr null_col = Expr::MakeColumn(0, 0);
+  ExprPtr five = Expr::MakeColumn(0, 1);
+  // NULL = NULL is unknown.
+  EXPECT_TRUE(
+      EvalScalar(*Expr::MakeCompare(CompareOp::kEq, null_col, null_col), row)
+          .is_null());
+  // unknown AND false = false; unknown OR true = true.
+  ExprPtr unknown = Expr::MakeCompare(CompareOp::kEq, null_col, five);
+  ExprPtr falsity = Expr::MakeCompare(CompareOp::kLt, five, five);
+  ExprPtr truth = Expr::MakeCompare(CompareOp::kEq, five, five);
+  EXPECT_EQ(EvalScalar(*Expr::MakeAnd({unknown, falsity}), row),
+            Value::Int64(0));
+  EXPECT_TRUE(EvalScalar(*Expr::MakeAnd({unknown, truth}), row).is_null());
+  EXPECT_EQ(EvalScalar(*Expr::MakeOr({unknown, truth}), row),
+            Value::Int64(1));
+  EXPECT_TRUE(EvalScalar(*Expr::MakeOr({unknown, falsity}), row).is_null());
+  EXPECT_TRUE(EvalScalar(*Expr::MakeNot(unknown), row).is_null());
+  // Filters treat unknown as false.
+  EXPECT_FALSE(EvalPredicate(*unknown, row));
+}
+
+TEST(EvalTest, ArithmeticNullPropagationAndDivision) {
+  EXPECT_TRUE(
+      ApplyArith(ArithOp::kAdd, Value::Null(), Value::Int64(1)).is_null());
+  EXPECT_EQ(ApplyArith(ArithOp::kMul, Value::Int64(6), Value::Int64(7)),
+            Value::Int64(42));
+  EXPECT_EQ(ApplyArith(ArithOp::kAdd, Value::Int64(1), Value::Double(0.5)),
+            Value::Double(1.5));
+  // Division always yields double; division by zero yields NULL.
+  EXPECT_EQ(ApplyArith(ArithOp::kDiv, Value::Int64(7), Value::Int64(2)),
+            Value::Double(3.5));
+  EXPECT_TRUE(
+      ApplyArith(ArithOp::kDiv, Value::Int64(7), Value::Int64(0)).is_null());
+}
+
+}  // namespace
+}  // namespace mvopt

@@ -1,0 +1,81 @@
+#include "rewrite/equiv.h"
+
+#include <gtest/gtest.h>
+
+namespace mvopt {
+namespace {
+
+ColumnRefId C(int t, int c) { return ColumnRefId{t, c}; }
+
+TEST(EquivTest, TrivialClassesAfterRegistration) {
+  EquivalenceClasses ec;
+  ec.AddTableColumns(0, 3);
+  EXPECT_EQ(ec.NumClasses(), 3);
+  EXPECT_TRUE(ec.IsTrivial(C(0, 0)));
+  EXPECT_FALSE(ec.AreEquivalent(C(0, 0), C(0, 1)));
+}
+
+TEST(EquivTest, MergeAndTransitivity) {
+  EquivalenceClasses ec;
+  ec.AddTableColumns(0, 2);
+  ec.AddTableColumns(1, 2);
+  ec.AddTableColumns(2, 2);
+  // A=B and B=C implies A=C (the §3.1.2 transitivity example).
+  ec.AddEquality(C(0, 0), C(1, 0));
+  ec.AddEquality(C(1, 0), C(2, 0));
+  EXPECT_TRUE(ec.AreEquivalent(C(0, 0), C(2, 0)));
+  EXPECT_FALSE(ec.IsTrivial(C(0, 0)));
+  EXPECT_EQ(ec.NontrivialClasses().size(), 1u);
+  EXPECT_EQ(ec.ClassMembers(ec.ClassOf(C(0, 0))).size(), 3u);
+}
+
+TEST(EquivTest, EquivalentPredicatesSameClasses) {
+  // (A=B, B=C) and (A=C, C=B) produce the same classes.
+  EquivalenceClasses ec1;
+  ec1.AddTableColumns(0, 3);
+  ec1.AddEquality(C(0, 0), C(0, 1));
+  ec1.AddEquality(C(0, 1), C(0, 2));
+  EquivalenceClasses ec2;
+  ec2.AddTableColumns(0, 3);
+  ec2.AddEquality(C(0, 0), C(0, 2));
+  ec2.AddEquality(C(0, 2), C(0, 1));
+  for (int c = 0; c < 3; ++c) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(ec1.AreEquivalent(C(0, c), C(0, d)),
+                ec2.AreEquivalent(C(0, c), C(0, d)));
+    }
+  }
+}
+
+TEST(EquivTest, RedundantEqualityIsNoop) {
+  EquivalenceClasses ec;
+  ec.AddTableColumns(0, 2);
+  ec.AddEquality(C(0, 0), C(0, 1));
+  int before = ec.NumClasses();
+  ec.AddEquality(C(0, 1), C(0, 0));
+  EXPECT_EQ(ec.NumClasses(), before);
+}
+
+TEST(EquivTest, UnregisteredColumnHasNoClass) {
+  EquivalenceClasses ec;
+  ec.AddTableColumns(0, 1);
+  EXPECT_EQ(ec.ClassOf(C(5, 5)), -1);
+  EXPECT_FALSE(ec.AreEquivalent(C(5, 5), C(0, 0)));
+}
+
+TEST(EquivTest, ManyDisjointMerges) {
+  EquivalenceClasses ec;
+  for (int t = 0; t < 10; ++t) ec.AddTableColumns(t, 4);
+  // Chain column 0 across all tables; column 1 pairwise (0,1),(2,3)...
+  for (int t = 0; t + 1 < 10; ++t) ec.AddEquality(C(t, 0), C(t + 1, 0));
+  for (int t = 0; t + 1 < 10; t += 2) ec.AddEquality(C(t, 1), C(t + 1, 1));
+  EXPECT_EQ(ec.ClassMembers(ec.ClassOf(C(0, 0))).size(), 10u);
+  EXPECT_EQ(ec.ClassMembers(ec.ClassOf(C(0, 1))).size(), 2u);
+  EXPECT_TRUE(ec.AreEquivalent(C(0, 0), C(9, 0)));
+  EXPECT_FALSE(ec.AreEquivalent(C(1, 1), C(2, 1)));
+  // 1 class of 10 + 5 classes of 2 + 20 trivial (cols 2,3) + 0 col1 left.
+  EXPECT_EQ(ec.NumClasses(), 1 + 5 + 20);
+}
+
+}  // namespace
+}  // namespace mvopt

@@ -1,0 +1,99 @@
+// Normalization invariances promised in DESIGN.md §6: matcher acceptance
+// must not depend on conjunct order or on which side of an equality /
+// comparison a term is written on.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/matching_service.h"
+#include "rewrite/matcher.h"
+#include "tpch/schema.h"
+#include "tpch/workload.h"
+
+namespace mvopt {
+namespace {
+
+SpjgQuery ShuffleConjuncts(SpjgQuery q, Rng* rng) {
+  rng->Shuffle(&q.conjuncts);
+  return q;
+}
+
+// Flips every binary comparison (a op b -> b flip(op) a).
+SpjgQuery MirrorComparisons(SpjgQuery q) {
+  for (auto& c : q.conjuncts) {
+    if (c->kind() == ExprKind::kComparison) {
+      c = Expr::MakeCompare(FlipCompare(c->compare_op()), c->child(1),
+                            c->child(0));
+    }
+  }
+  return q;
+}
+
+class InvarianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InvarianceTest, MatchingInvariantUnderConjunctOrderAndMirroring) {
+  const uint64_t seed = GetParam();
+  Catalog catalog;
+  tpch::BuildSchema(&catalog, 0.5);
+  ViewCatalog views(&catalog);
+  tpch::WorkloadGenerator view_gen(&catalog, seed * 19 + 3);
+  for (int i = 0; i < 30; ++i) {
+    std::string error;
+    ASSERT_NE(views.AddView("v" + std::to_string(i), view_gen.GenerateView(),
+                            &error),
+              nullptr)
+        << error;
+  }
+  ViewMatcher matcher(&catalog);
+  tpch::WorkloadGenerator query_gen(&catalog, seed * 23 + 9);
+  Rng rng(seed);
+  int accepted = 0;
+  for (int j = 0; j < 40; ++j) {
+    SpjgQuery query = query_gen.GenerateQuery();
+    SpjgQuery shuffled = ShuffleConjuncts(query, &rng);
+    SpjgQuery mirrored = MirrorComparisons(query);
+    for (ViewId v = 0; v < views.num_views(); ++v) {
+      MatchResult base = matcher.Match(query, views.view(v));
+      MatchResult shuf = matcher.Match(shuffled, views.view(v));
+      MatchResult mirr = matcher.Match(mirrored, views.view(v));
+      EXPECT_EQ(base.ok(), shuf.ok())
+          << "conjunct order changed the verdict for view " << v << ":\n"
+          << query.ToSql(catalog);
+      EXPECT_EQ(base.ok(), mirr.ok())
+          << "comparison mirroring changed the verdict for view " << v
+          << ":\n"
+          << query.ToSql(catalog);
+      if (base.ok()) {
+        ++accepted;
+        // Same number of compensations (their order may differ).
+        EXPECT_EQ(base.substitute->predicates.size(),
+                  shuf.substitute->predicates.size());
+      }
+    }
+  }
+  (void)accepted;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvarianceTest, ::testing::Values(1, 2, 3));
+
+// Views must also match themselves: a query identical to the view is the
+// simplest completeness property the algorithm must never miss.
+TEST(SelfMatchTest, EveryGeneratedViewMatchesItself) {
+  Catalog catalog;
+  tpch::BuildSchema(&catalog, 0.5);
+  ViewMatcher matcher(&catalog);
+  tpch::WorkloadGenerator gen(&catalog, 424242);
+  for (int i = 0; i < 60; ++i) {
+    SpjgQuery def = gen.GenerateView();
+    ViewDefinition view(0, "self", def);
+    MatchResult r = matcher.Match(def, view);
+    ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason) << "\n"
+                        << def.ToSql(catalog);
+    // Self-match needs no compensation and no regrouping.
+    EXPECT_TRUE(r.substitute->predicates.empty());
+    EXPECT_FALSE(r.substitute->needs_aggregation);
+  }
+}
+
+}  // namespace
+}  // namespace mvopt

@@ -1,0 +1,727 @@
+#include "rewrite/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "query/spjg.h"
+#include "tpch/schema.h"
+
+namespace mvopt {
+namespace {
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  MatcherTest() : schema_(tpch::BuildSchema(&catalog_)), matcher_(&catalog_) {}
+
+  ViewDefinition MakeView(SpjgQuery q, const std::string& name = "v") {
+    auto err = ViewDefinition::Validate(q);
+    EXPECT_FALSE(err.has_value()) << *err;
+    return ViewDefinition(0, name, std::move(q));
+  }
+
+  static ExprPtr Eq(ExprPtr a, ExprPtr b) {
+    return Expr::MakeCompare(CompareOp::kEq, std::move(a), std::move(b));
+  }
+  static ExprPtr Lit(int64_t v) {
+    return Expr::MakeLiteral(Value::Int64(v));
+  }
+  static ExprPtr Cmp(CompareOp op, ExprPtr a, int64_t v) {
+    return Expr::MakeCompare(op, std::move(a), Lit(v));
+  }
+
+  Catalog catalog_;
+  tpch::Schema schema_;
+  ViewMatcher matcher_;
+};
+
+// ---------------------------------------------------------------------
+// Paper Example 2: SPJ view and query over lineitem/orders/part with
+// equijoins, ranges and residuals.
+// ---------------------------------------------------------------------
+
+TEST_F(MatcherTest, PaperExample2FullPipeline) {
+  // View: joins lineitem-orders-part; p_partkey > 150; 50 < o_custkey <
+  // 500; p_name like '%abc%'. Outputs all columns the query needs.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int o = vb.AddTable("orders");
+  int p = vb.AddTable("part");
+  vb.Where(Eq(vb.Col(l, "l_orderkey"), vb.Col(o, "o_orderkey")));
+  vb.Where(Eq(vb.Col(l, "l_partkey"), vb.Col(p, "p_partkey")));
+  vb.Where(Cmp(CompareOp::kGt, vb.Col(p, "p_partkey"), 150));
+  vb.Where(Cmp(CompareOp::kGt, vb.Col(o, "o_custkey"), 50));
+  vb.Where(Cmp(CompareOp::kLt, vb.Col(o, "o_custkey"), 500));
+  vb.Where(Expr::MakeLike(vb.Col(p, "p_name"), "%abc%"));
+  vb.Output(vb.Col(l, "l_orderkey"));
+  vb.Output(vb.Col(l, "l_partkey"));
+  vb.Output(vb.Col(o, "o_custkey"));
+  vb.Output(vb.Col(o, "o_orderdate"));
+  vb.Output(vb.Col(l, "l_shipdate"));
+  vb.Output(vb.Col(l, "l_quantity"));
+  vb.Output(vb.Col(l, "l_extendedprice"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  // Query: same joins plus o_orderdate = l_shipdate; l_partkey in
+  // (150,160); o_custkey = 123; same LIKE; extra residual
+  // l_quantity*l_extendedprice > 100.
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  int qo = qb.AddTable("orders");
+  int qp = qb.AddTable("part");
+  qb.Where(Eq(qb.Col(ql, "l_orderkey"), qb.Col(qo, "o_orderkey")));
+  qb.Where(Eq(qb.Col(ql, "l_partkey"), qb.Col(qp, "p_partkey")));
+  qb.Where(Eq(qb.Col(qo, "o_orderdate"), qb.Col(ql, "l_shipdate")));
+  qb.Where(Cmp(CompareOp::kGt, qb.Col(ql, "l_partkey"), 150));
+  qb.Where(Cmp(CompareOp::kLt, qb.Col(ql, "l_partkey"), 160));
+  qb.Where(Cmp(CompareOp::kEq, qb.Col(qo, "o_custkey"), 123));
+  qb.Where(Expr::MakeLike(qb.Col(qp, "p_name"), "%abc%"));
+  qb.Where(Cmp(CompareOp::kGt,
+               Expr::MakeArith(ArithOp::kMul, qb.Col(ql, "l_quantity"),
+                               qb.Col(ql, "l_extendedprice")),
+               100));
+  qb.Output(qb.Col(ql, "l_orderkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  const Substitute& sub = *r.substitute;
+  // Expected compensations: (o_orderdate = l_shipdate), (l_partkey < 160),
+  // (o_custkey = 123), (l_quantity*l_extendedprice > 100). The lower
+  // partkey bound (>150) and the LIKE already hold in the view.
+  EXPECT_EQ(sub.predicates.size(), 4u);
+  EXPECT_FALSE(sub.needs_aggregation);
+  ASSERT_EQ(sub.outputs.size(), 1u);
+  // Output routed to view output 0 (l_orderkey).
+  EXPECT_EQ(sub.outputs[0].expr->kind(), ExprKind::kColumnRef);
+  EXPECT_EQ(sub.outputs[0].expr->column_ref().column, 0);
+}
+
+TEST_F(MatcherTest, EquijoinSubsumptionRejectsConflictingViewEqualities) {
+  // View additionally equates o_orderdate = l_shipdate; query does not.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int o = vb.AddTable("orders");
+  vb.Where(Eq(vb.Col(l, "l_orderkey"), vb.Col(o, "o_orderkey")));
+  vb.Where(Eq(vb.Col(o, "o_orderdate"), vb.Col(l, "l_shipdate")));
+  vb.Output(vb.Col(l, "l_orderkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  int qo = qb.AddTable("orders");
+  qb.Where(Eq(qb.Col(ql, "l_orderkey"), qb.Col(qo, "o_orderkey")));
+  qb.Output(qb.Col(ql, "l_orderkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kEquijoinSubsumption);
+}
+
+TEST_F(MatcherTest, RangeSubsumptionRejectsNarrowerView) {
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  vb.Where(Cmp(CompareOp::kGt, vb.Col(l, "l_partkey"), 1000));
+  vb.Output(vb.Col(l, "l_partkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Where(Cmp(CompareOp::kGt, qb.Col(ql, "l_partkey"), 500));
+  qb.Output(qb.Col(ql, "l_partkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kRangeSubsumption);
+}
+
+TEST_F(MatcherTest, OpenClosedBoundCompensation) {
+  // View: l_partkey >= 100. Query: l_partkey > 100 — contained, but the
+  // strictly-greater bound must be enforced.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  vb.Where(Cmp(CompareOp::kGe, vb.Col(l, "l_partkey"), 100));
+  vb.Output(vb.Col(l, "l_partkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Where(Cmp(CompareOp::kGt, qb.Col(ql, "l_partkey"), 100));
+  qb.Output(qb.Col(ql, "l_partkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.substitute->predicates.size(), 1u);
+  EXPECT_EQ(r.substitute->predicates[0]->compare_op(), CompareOp::kGt);
+
+  // And the reverse direction must be rejected: view > 100, query >= 100.
+  SpjgBuilder vb2(&catalog_);
+  int l2 = vb2.AddTable("lineitem");
+  vb2.Where(Cmp(CompareOp::kGt, vb2.Col(l2, "l_partkey"), 100));
+  vb2.Output(vb2.Col(l2, "l_partkey"));
+  ViewDefinition view2 = MakeView(vb2.Build());
+  SpjgBuilder qb2(&catalog_);
+  int ql2 = qb2.AddTable("lineitem");
+  qb2.Where(Cmp(CompareOp::kGe, qb2.Col(ql2, "l_partkey"), 100));
+  qb2.Output(qb2.Col(ql2, "l_partkey"));
+  MatchResult r2 = matcher_.Match(qb2.Build(), view2);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.reason, RejectReason::kRangeSubsumption);
+}
+
+TEST_F(MatcherTest, ResidualSubsumptionRejectsExtraViewResidual) {
+  SpjgBuilder vb(&catalog_);
+  int p = vb.AddTable("part");
+  vb.Where(Expr::MakeLike(vb.Col(p, "p_name"), "%steel%"));
+  vb.Output(vb.Col(p, "p_partkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int qp = qb.AddTable("part");
+  qb.Output(qb.Col(qp, "p_partkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kResidualSubsumption);
+}
+
+TEST_F(MatcherTest, ResidualRoutedThroughEquivalences) {
+  // View residual references p_partkey; query's equivalent residual
+  // references l_partkey. The equijoin makes them interchangeable.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int p = vb.AddTable("part");
+  vb.Where(Eq(vb.Col(l, "l_partkey"), vb.Col(p, "p_partkey")));
+  vb.Where(Expr::MakeCompare(CompareOp::kNe, vb.Col(p, "p_partkey"), Lit(7)));
+  vb.Output(vb.Col(l, "l_orderkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  int qp = qb.AddTable("part");
+  qb.Where(Eq(qb.Col(ql, "l_partkey"), qb.Col(qp, "p_partkey")));
+  qb.Where(
+      Expr::MakeCompare(CompareOp::kNe, qb.Col(ql, "l_partkey"), Lit(7)));
+  qb.Output(qb.Col(ql, "l_orderkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  EXPECT_TRUE(r.substitute->predicates.empty());
+}
+
+TEST_F(MatcherTest, ViewWithFewerTablesIsRejected) {
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  vb.Output(vb.Col(l, "l_orderkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  int qo = qb.AddTable("orders");
+  qb.Where(Eq(qb.Col(ql, "l_orderkey"), qb.Col(qo, "o_orderkey")));
+  qb.Output(qb.Col(ql, "l_orderkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kSourceTables);
+}
+
+TEST_F(MatcherTest, OutputNotComputableRejected) {
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  vb.Output(vb.Col(l, "l_orderkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Output(qb.Col(ql, "l_quantity"));  // not in view output
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kOutputNotComputable);
+}
+
+TEST_F(MatcherTest, OutputRoutedThroughQueryEquivalence) {
+  // Query wants o_orderkey; view outputs l_orderkey; query equates them.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int o = vb.AddTable("orders");
+  vb.Where(Eq(vb.Col(l, "l_orderkey"), vb.Col(o, "o_orderkey")));
+  vb.Output(vb.Col(l, "l_orderkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  int qo = qb.AddTable("orders");
+  qb.Where(Eq(qb.Col(ql, "l_orderkey"), qb.Col(qo, "o_orderkey")));
+  qb.Output(qb.Col(qo, "o_orderkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  EXPECT_EQ(r.substitute->outputs[0].expr->kind(), ExprKind::kColumnRef);
+}
+
+// ---------------------------------------------------------------------
+// Paper Example 3: views with extra tables eliminated through
+// cardinality-preserving foreign-key joins.
+// ---------------------------------------------------------------------
+
+TEST_F(MatcherTest, PaperExample3ExtraTablesEliminated) {
+  // View v3: lineitem ⋈ orders ⋈ customer, o_orderkey >= 500.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int o = vb.AddTable("orders");
+  int c = vb.AddTable("customer");
+  vb.Where(Eq(vb.Col(l, "l_orderkey"), vb.Col(o, "o_orderkey")));
+  vb.Where(Eq(vb.Col(o, "o_custkey"), vb.Col(c, "c_custkey")));
+  vb.Where(Cmp(CompareOp::kGe, vb.Col(o, "o_orderkey"), 500));
+  vb.Output(vb.Col(c, "c_custkey"));
+  vb.Output(vb.Col(c, "c_name"));
+  vb.Output(vb.Col(l, "l_orderkey"));
+  vb.Output(vb.Col(l, "l_partkey"));
+  vb.Output(vb.Col(l, "l_quantity"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  // Query over lineitem alone: l_orderkey between 1000 and 1500.
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Where(Cmp(CompareOp::kGe, qb.Col(ql, "l_orderkey"), 1000));
+  qb.Where(Cmp(CompareOp::kLe, qb.Col(ql, "l_orderkey"), 1500));
+  qb.Output(qb.Col(ql, "l_orderkey"));
+  qb.Output(qb.Col(ql, "l_partkey"));
+  qb.Output(qb.Col(ql, "l_quantity"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  // Compensations: l_orderkey >= 1000 and l_orderkey <= 1500.
+  EXPECT_EQ(r.substitute->predicates.size(), 2u);
+  EXPECT_EQ(r.substitute->outputs.size(), 3u);
+}
+
+TEST_F(MatcherTest, Example3WithUnroutableEqualityCompensationRejected) {
+  // Same view, but the query adds l_shipdate = l_commitdate. Those
+  // columns are not view outputs, so the compensating equality cannot be
+  // applied and the view must be rejected.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int o = vb.AddTable("orders");
+  int c = vb.AddTable("customer");
+  vb.Where(Eq(vb.Col(l, "l_orderkey"), vb.Col(o, "o_orderkey")));
+  vb.Where(Eq(vb.Col(o, "o_custkey"), vb.Col(c, "c_custkey")));
+  vb.Output(vb.Col(l, "l_orderkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Where(Eq(qb.Col(ql, "l_shipdate"), qb.Col(ql, "l_commitdate")));
+  qb.Output(qb.Col(ql, "l_orderkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kCompensationNotComputable);
+}
+
+TEST_F(MatcherTest, Example3EqualityCompensationWhenColumnsAvailable) {
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int o = vb.AddTable("orders");
+  vb.Where(Eq(vb.Col(l, "l_orderkey"), vb.Col(o, "o_orderkey")));
+  vb.Output(vb.Col(l, "l_orderkey"));
+  vb.Output(vb.Col(l, "l_shipdate"));
+  vb.Output(vb.Col(l, "l_commitdate"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Where(Eq(qb.Col(ql, "l_shipdate"), qb.Col(ql, "l_commitdate")));
+  qb.Output(qb.Col(ql, "l_orderkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  ASSERT_EQ(r.substitute->predicates.size(), 1u);
+  EXPECT_EQ(r.substitute->predicates[0]->compare_op(), CompareOp::kEq);
+}
+
+TEST_F(MatcherTest, ExtraTableWithoutForeignKeyPathRejected) {
+  // View joins lineitem to part on l_suppkey = p_partkey: not a foreign
+  // key join, so part cannot be eliminated.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int p = vb.AddTable("part");
+  vb.Where(Eq(vb.Col(l, "l_suppkey"), vb.Col(p, "p_partkey")));
+  vb.Output(vb.Col(l, "l_orderkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Output(qb.Col(ql, "l_orderkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kExtraTableElimination);
+}
+
+TEST_F(MatcherTest, ChainedEliminationThroughTwoHops) {
+  // View: lineitem ⋈ orders ⋈ customer ⋈ nation; query: lineitem only.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int o = vb.AddTable("orders");
+  int c = vb.AddTable("customer");
+  int n = vb.AddTable("nation");
+  vb.Where(Eq(vb.Col(l, "l_orderkey"), vb.Col(o, "o_orderkey")));
+  vb.Where(Eq(vb.Col(o, "o_custkey"), vb.Col(c, "c_custkey")));
+  vb.Where(Eq(vb.Col(c, "c_nationkey"), vb.Col(n, "n_nationkey")));
+  vb.Output(vb.Col(l, "l_orderkey"));
+  vb.Output(vb.Col(l, "l_quantity"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Output(qb.Col(ql, "l_orderkey"));
+  qb.Output(qb.Col(ql, "l_quantity"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  EXPECT_TRUE(r.substitute->predicates.empty());
+}
+
+TEST_F(MatcherTest, ExtraTableWithPredicateStillMatchesViaRangeTests) {
+  // The view restricts an extra-table column (o_totalprice > 0 would be a
+  // range on orders). The extra table is eliminable, but the view then
+  // lacks rows the query needs -> range subsumption rejects.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int o = vb.AddTable("orders");
+  vb.Where(Eq(vb.Col(l, "l_orderkey"), vb.Col(o, "o_orderkey")));
+  vb.Where(Cmp(CompareOp::kGt, vb.Col(o, "o_shippriority"), 5));
+  vb.Output(vb.Col(l, "l_orderkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Output(qb.Col(ql, "l_orderkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kRangeSubsumption);
+}
+
+// ---------------------------------------------------------------------
+// Nullable foreign keys (§3.2 relaxation).
+// ---------------------------------------------------------------------
+
+class NullableFkTest : public ::testing::Test {
+ protected:
+  NullableFkTest() {
+    TableDef* s = catalog_.CreateTable("s_dim");
+    ColumnOrdinal skey = s->AddColumn("skey", ValueType::kInt64, true);
+    s->AddColumn("sval", ValueType::kInt64, false);
+    s->SetPrimaryKey({skey});
+    s->set_row_count(100);
+    TableDef* t = catalog_.CreateTable("t_fact");
+    ColumnOrdinal tkey = t->AddColumn("tkey", ValueType::kInt64, true);
+    ColumnOrdinal f = t->AddColumn("f", ValueType::kInt64, false);  // nullable
+    t->SetPrimaryKey({tkey});
+    t->AddForeignKey({{f}, s->id(), {skey}});
+    t->set_row_count(1000);
+  }
+
+  SpjgQuery NullRejectingQuery() {
+    SpjgBuilder qb(&catalog_);
+    int t = qb.AddTable("t_fact");
+    qb.Where(Expr::MakeCompare(CompareOp::kGt, qb.Col(t, "f"),
+                               Expr::MakeLiteral(Value::Int64(50))));
+    qb.Output(qb.Col(t, "tkey"));
+    qb.Output(qb.Col(t, "f"));
+    return qb.Build();
+  }
+
+  ViewDefinition JoinView() {
+    SpjgBuilder vb(&catalog_);
+    int t = vb.AddTable("t_fact");
+    int s = vb.AddTable("s_dim");
+    vb.Where(Expr::MakeCompare(CompareOp::kEq, vb.Col(t, "f"),
+                               vb.Col(s, "skey")));
+    vb.Output(vb.Col(t, "tkey"));
+    vb.Output(vb.Col(t, "f"));
+    return ViewDefinition(0, "vjoin", vb.Build());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(NullableFkTest, RelaxationAcceptsWithNullRejectingPredicate) {
+  MatchOptions opts;
+  opts.allow_nullable_fk_with_null_rejection = true;
+  ViewMatcher matcher(&catalog_, opts);
+  MatchResult r = matcher.Match(NullRejectingQuery(), JoinView());
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+}
+
+TEST_F(NullableFkTest, StrictModeRejectsNullableFk) {
+  MatchOptions opts;
+  opts.allow_nullable_fk_with_null_rejection = false;
+  ViewMatcher matcher(&catalog_, opts);
+  MatchResult r = matcher.Match(NullRejectingQuery(), JoinView());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kExtraTableElimination);
+}
+
+TEST_F(NullableFkTest, NoNullRejectingPredicateRejectsEvenRelaxed) {
+  MatchOptions opts;
+  opts.allow_nullable_fk_with_null_rejection = true;
+  ViewMatcher matcher(&catalog_, opts);
+  SpjgBuilder qb(&catalog_);
+  int t = qb.AddTable("t_fact");
+  qb.Output(qb.Col(t, "tkey"));
+  MatchResult r = matcher.Match(qb.Build(), JoinView());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kExtraTableElimination);
+}
+
+// ---------------------------------------------------------------------
+// Paper Example 4 and aggregation matching (§3.3).
+// ---------------------------------------------------------------------
+
+TEST_F(MatcherTest, PaperExample4PreaggregatedInnerQuery) {
+  // View v4: o_custkey, count_big(*), sum(l_quantity*l_extendedprice)
+  // grouped by o_custkey.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int o = vb.AddTable("orders");
+  vb.Where(Eq(vb.Col(l, "l_orderkey"), vb.Col(o, "o_orderkey")));
+  vb.Output(vb.Col(o, "o_custkey"));
+  vb.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  vb.Output(Expr::MakeAggregate(
+                AggKind::kSum,
+                Expr::MakeArith(ArithOp::kMul, vb.Col(l, "l_quantity"),
+                                vb.Col(l, "l_extendedprice"))),
+            "revenue");
+  vb.GroupBy(vb.Col(o, "o_custkey"));
+  ViewDefinition view = MakeView(vb.Build(), "v4");
+
+  // The pre-aggregated inner query: identical SPJ part and grouping.
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  int qo = qb.AddTable("orders");
+  qb.Where(Eq(qb.Col(ql, "l_orderkey"), qb.Col(qo, "o_orderkey")));
+  qb.Output(qb.Col(qo, "o_custkey"));
+  qb.Output(Expr::MakeAggregate(
+                AggKind::kSum,
+                Expr::MakeArith(ArithOp::kMul, qb.Col(ql, "l_quantity"),
+                                qb.Col(ql, "l_extendedprice"))),
+            "rev");
+  qb.GroupBy(qb.Col(qo, "o_custkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  const Substitute& sub = *r.substitute;
+  EXPECT_FALSE(sub.needs_aggregation);  // identical grouping
+  ASSERT_EQ(sub.outputs.size(), 2u);
+  EXPECT_EQ(sub.outputs[0].expr->column_ref().column, 0);  // o_custkey
+  EXPECT_EQ(sub.outputs[1].expr->column_ref().column, 2);  // revenue
+}
+
+TEST_F(MatcherTest, CoarserGroupingRollsUp) {
+  // View groups by (o_custkey, o_shippriority); query groups by o_custkey
+  // only -> regroup with SUM over the view's sums and counts.
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  int o = vb.AddTable("orders");
+  vb.Where(Eq(vb.Col(l, "l_orderkey"), vb.Col(o, "o_orderkey")));
+  vb.Output(vb.Col(o, "o_custkey"));
+  vb.Output(vb.Col(o, "o_shippriority"));
+  vb.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  vb.Output(Expr::MakeAggregate(AggKind::kSum, vb.Col(l, "l_quantity")),
+            "sumq");
+  vb.GroupBy(vb.Col(o, "o_custkey"));
+  vb.GroupBy(vb.Col(o, "o_shippriority"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  int qo = qb.AddTable("orders");
+  qb.Where(Eq(qb.Col(ql, "l_orderkey"), qb.Col(qo, "o_orderkey")));
+  qb.Output(qb.Col(qo, "o_custkey"));
+  qb.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "n");
+  qb.Output(Expr::MakeAggregate(AggKind::kSum, qb.Col(ql, "l_quantity")),
+            "q");
+  qb.GroupBy(qb.Col(qo, "o_custkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  const Substitute& sub = *r.substitute;
+  EXPECT_TRUE(sub.needs_aggregation);
+  ASSERT_EQ(sub.group_by.size(), 1u);
+  // count(*) becomes SUM(cnt); SUM(l_quantity) becomes SUM(sumq).
+  EXPECT_EQ(sub.outputs[1].expr->kind(), ExprKind::kAggregate);
+  EXPECT_EQ(sub.outputs[1].expr->agg_kind(), AggKind::kSum);
+  EXPECT_EQ(sub.outputs[1].expr->child(0)->column_ref().column, 2);
+  EXPECT_EQ(sub.outputs[2].expr->child(0)->column_ref().column, 3);
+}
+
+TEST_F(MatcherTest, GroupingMismatchRejected) {
+  // Query groups by a column absent from the view grouping.
+  SpjgBuilder vb(&catalog_);
+  int o = vb.AddTable("orders");
+  vb.Output(vb.Col(o, "o_custkey"));
+  vb.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  vb.GroupBy(vb.Col(o, "o_custkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int qo = qb.AddTable("orders");
+  qb.Output(qb.Col(qo, "o_shippriority"));
+  qb.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  qb.GroupBy(qb.Col(qo, "o_shippriority"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kGroupingMismatch);
+}
+
+TEST_F(MatcherTest, AggViewCannotAnswerSpjQuery) {
+  SpjgBuilder vb(&catalog_);
+  int o = vb.AddTable("orders");
+  vb.Output(vb.Col(o, "o_custkey"));
+  vb.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  vb.GroupBy(vb.Col(o, "o_custkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int qo = qb.AddTable("orders");
+  qb.Output(qb.Col(qo, "o_custkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kViewMoreAggregated);
+}
+
+TEST_F(MatcherTest, AggQueryFromSpjViewAddsCompensatingAggregation) {
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  vb.Where(Cmp(CompareOp::kGt, vb.Col(l, "l_partkey"), 100));
+  vb.Output(vb.Col(l, "l_suppkey"));
+  vb.Output(vb.Col(l, "l_quantity"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Where(Cmp(CompareOp::kGt, qb.Col(ql, "l_partkey"), 100));
+  qb.Output(qb.Col(ql, "l_suppkey"));
+  qb.Output(Expr::MakeAggregate(AggKind::kSum, qb.Col(ql, "l_quantity")),
+            "total");
+  qb.GroupBy(qb.Col(ql, "l_suppkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  EXPECT_TRUE(r.substitute->needs_aggregation);
+  ASSERT_EQ(r.substitute->group_by.size(), 1u);
+  EXPECT_EQ(r.substitute->outputs[1].expr->kind(), ExprKind::kAggregate);
+}
+
+TEST_F(MatcherTest, AvgRewrittenAsSumOverCount) {
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  vb.Output(vb.Col(l, "l_suppkey"));
+  vb.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  vb.Output(Expr::MakeAggregate(AggKind::kSum, vb.Col(l, "l_quantity")),
+            "sumq");
+  vb.GroupBy(vb.Col(l, "l_suppkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  // Same grouping: AVG = sumq / cnt directly.
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Output(qb.Col(ql, "l_suppkey"));
+  qb.Output(Expr::MakeAggregate(AggKind::kAvg, qb.Col(ql, "l_quantity")),
+            "avgq");
+  qb.GroupBy(qb.Col(ql, "l_suppkey"));
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  const Expr& avg = *r.substitute->outputs[1].expr;
+  EXPECT_EQ(avg.kind(), ExprKind::kArithmetic);
+  EXPECT_EQ(avg.arith_op(), ArithOp::kDiv);
+
+  // Coarser grouping: AVG = SUM(sumq) / SUM(cnt).
+  SpjgBuilder qb2(&catalog_);
+  int ql2 = qb2.AddTable("lineitem");
+  qb2.Output(Expr::MakeAggregate(AggKind::kAvg, qb2.Col(ql2, "l_quantity")),
+             "avgq");
+  qb2.SetAggregate();
+  MatchResult r2 = matcher_.Match(qb2.Build(), view);
+  ASSERT_TRUE(r2.ok()) << RejectReasonName(r2.reason);
+  const Expr& avg2 = *r2.substitute->outputs[0].expr;
+  ASSERT_EQ(avg2.kind(), ExprKind::kArithmetic);
+  EXPECT_EQ(avg2.child(0)->kind(), ExprKind::kAggregate);
+  EXPECT_EQ(avg2.child(1)->kind(), ExprKind::kAggregate);
+}
+
+TEST_F(MatcherTest, MinMaxRollUp) {
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  vb.Output(vb.Col(l, "l_suppkey"));
+  vb.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  vb.Output(Expr::MakeAggregate(AggKind::kMin, vb.Col(l, "l_quantity")),
+            "minq");
+  vb.GroupBy(vb.Col(l, "l_suppkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Output(Expr::MakeAggregate(AggKind::kMin, qb.Col(ql, "l_quantity")),
+            "m");
+  qb.SetAggregate();
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  const Expr& m = *r.substitute->outputs[0].expr;
+  ASSERT_EQ(m.kind(), ExprKind::kAggregate);
+  EXPECT_EQ(m.agg_kind(), AggKind::kMin);
+}
+
+TEST_F(MatcherTest, MissingSumOutputRejected) {
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  vb.Output(vb.Col(l, "l_suppkey"));
+  vb.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  vb.GroupBy(vb.Col(l, "l_suppkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  SpjgBuilder qb(&catalog_);
+  int ql = qb.AddTable("lineitem");
+  qb.Output(Expr::MakeAggregate(AggKind::kSum, qb.Col(ql, "l_quantity")),
+            "s");
+  qb.SetAggregate();
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason, RejectReason::kAggregateNotComputable);
+}
+
+// ---------------------------------------------------------------------
+// Self-joins: table-reference mappings must be tried.
+// ---------------------------------------------------------------------
+
+TEST_F(MatcherTest, SelfJoinMappingFound) {
+  // View: lineitem L1 ⋈ lineitem L2 on l_orderkey with a range on L1 only.
+  SpjgBuilder vb(&catalog_);
+  int a = vb.AddTable("lineitem", "L1");
+  int b = vb.AddTable("lineitem", "L2");
+  vb.Where(Eq(vb.Col(a, "l_orderkey"), vb.Col(b, "l_orderkey")));
+  vb.Where(Cmp(CompareOp::kGt, vb.Col(a, "l_partkey"), 100));
+  vb.Output(vb.Col(a, "l_partkey"));
+  vb.Output(vb.Col(b, "l_suppkey"));
+  ViewDefinition view = MakeView(vb.Build());
+
+  // Query written with the table references swapped: the second query ref
+  // carries the range predicate.
+  SpjgBuilder qb(&catalog_);
+  int x = qb.AddTable("lineitem", "X");
+  int y = qb.AddTable("lineitem", "Y");
+  qb.Where(Eq(qb.Col(x, "l_orderkey"), qb.Col(y, "l_orderkey")));
+  qb.Where(Cmp(CompareOp::kGt, qb.Col(y, "l_partkey"), 100));
+  qb.Output(qb.Col(y, "l_partkey"));
+  qb.Output(qb.Col(x, "l_suppkey"));
+
+  MatchResult r = matcher_.Match(qb.Build(), view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+}
+
+}  // namespace
+}  // namespace mvopt

@@ -1,0 +1,198 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/view_def.h"
+#include "rewrite/matcher.h"
+#include "tpch/schema.h"
+#include "tpch/workload.h"
+
+namespace mvopt {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : schema_(tpch::BuildSchema(&catalog_)) {}
+
+  SpjgQuery MustParse(const std::string& sql) {
+    std::string error;
+    auto q = ParseSpjg(catalog_, sql, &error);
+    EXPECT_TRUE(q.has_value()) << error << "\nSQL: " << sql;
+    return q.has_value() ? *q : SpjgQuery{};
+  }
+
+  std::string MustFail(const std::string& sql) {
+    std::string error;
+    auto q = ParseSpjg(catalog_, sql, &error);
+    EXPECT_FALSE(q.has_value()) << "unexpectedly parsed: " << sql;
+    return error;
+  }
+
+  Catalog catalog_;
+  tpch::Schema schema_;
+};
+
+TEST_F(ParserTest, MinimalSelect) {
+  SpjgQuery q = MustParse("SELECT l_orderkey FROM lineitem");
+  EXPECT_EQ(q.num_tables(), 1);
+  ASSERT_EQ(q.outputs.size(), 1u);
+  EXPECT_EQ(q.outputs[0].name, "l_orderkey");
+  EXPECT_FALSE(q.is_aggregate);
+}
+
+TEST_F(ParserTest, JoinWithQualifiedColumnsAndAliases) {
+  SpjgQuery q = MustParse(
+      "SELECT l.l_orderkey, o.o_custkey FROM lineitem l, orders o "
+      "WHERE l.l_orderkey = o.o_orderkey");
+  EXPECT_EQ(q.num_tables(), 2);
+  EXPECT_EQ(q.conjuncts.size(), 1u);
+  EXPECT_EQ(q.tables[0].alias, "l");
+}
+
+TEST_F(ParserTest, WhereIsConvertedToCnf) {
+  SpjgQuery q = MustParse(
+      "SELECT l_orderkey FROM lineitem "
+      "WHERE l_partkey > 5 AND l_partkey < 10 AND l_quantity = 3");
+  EXPECT_EQ(q.conjuncts.size(), 3u);
+}
+
+TEST_F(ParserTest, BetweenExpandsToTwoConjuncts) {
+  SpjgQuery q = MustParse(
+      "SELECT l_orderkey FROM lineitem WHERE l_partkey BETWEEN 100 AND 200");
+  EXPECT_EQ(q.conjuncts.size(), 2u);
+  EXPECT_EQ(q.conjuncts[0]->compare_op(), CompareOp::kGe);
+  EXPECT_EQ(q.conjuncts[1]->compare_op(), CompareOp::kLe);
+}
+
+TEST_F(ParserTest, LikeAndIsNotNull) {
+  SpjgQuery q = MustParse(
+      "SELECT p_partkey FROM part "
+      "WHERE p_name LIKE '%steel%' AND p_comment IS NOT NULL");
+  ASSERT_EQ(q.conjuncts.size(), 2u);
+  EXPECT_EQ(q.conjuncts[0]->kind(), ExprKind::kLike);
+  EXPECT_EQ(q.conjuncts[0]->like_pattern(), "%steel%");
+  EXPECT_EQ(q.conjuncts[1]->kind(), ExprKind::kIsNotNull);
+}
+
+TEST_F(ParserTest, ArithmeticPrecedence) {
+  SpjgQuery q = MustParse(
+      "SELECT l_quantity + l_linenumber * 2 AS x FROM lineitem");
+  const Expr& e = *q.outputs[0].expr;
+  ASSERT_EQ(e.kind(), ExprKind::kArithmetic);
+  EXPECT_EQ(e.arith_op(), ArithOp::kAdd);
+  EXPECT_EQ(e.child(1)->arith_op(), ArithOp::kMul);
+}
+
+TEST_F(ParserTest, AggregationWithGroupBy) {
+  SpjgQuery q = MustParse(
+      "SELECT o_custkey, COUNT_BIG(*) AS cnt, "
+      "SUM(l_quantity * l_extendedprice) AS revenue "
+      "FROM lineitem, orders WHERE l_orderkey = o_orderkey "
+      "GROUP BY o_custkey");
+  EXPECT_TRUE(q.is_aggregate);
+  ASSERT_EQ(q.group_by.size(), 1u);
+  EXPECT_EQ(q.outputs.size(), 3u);
+  // The parsed view is indexable as-is.
+  EXPECT_FALSE(ViewDefinition::Validate(q).has_value());
+}
+
+TEST_F(ParserTest, ScalarAggregateWithoutGroupBy) {
+  SpjgQuery q = MustParse("SELECT COUNT(*) AS n FROM lineitem");
+  EXPECT_TRUE(q.is_aggregate);
+  EXPECT_TRUE(q.group_by.empty());
+}
+
+TEST_F(ParserTest, OrAndNotAndParentheses) {
+  SpjgQuery q = MustParse(
+      "SELECT l_orderkey FROM lineitem "
+      "WHERE NOT (l_quantity < 5 OR l_quantity > 45)");
+  // CNF of NOT(a OR b) = (NOT a) AND (NOT b) -> two range conjuncts.
+  EXPECT_EQ(q.conjuncts.size(), 2u);
+  EXPECT_EQ(q.conjuncts[0]->compare_op(), CompareOp::kGe);
+  EXPECT_EQ(q.conjuncts[1]->compare_op(), CompareOp::kLe);
+}
+
+TEST_F(ParserTest, DateLiterals) {
+  SpjgQuery q = MustParse(
+      "SELECT l_orderkey FROM lineitem WHERE l_shipdate >= DATE 9000");
+  ASSERT_EQ(q.conjuncts.size(), 1u);
+  EXPECT_EQ(q.conjuncts[0]->child(1)->literal().type(), ValueType::kDate);
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywords) {
+  SpjgQuery q = MustParse(
+      "select l_orderkey from lineitem where l_partkey > 10 "
+      "group by l_orderkey");
+  // No aggregates: GROUP BY alone still means aggregate semantics.
+  EXPECT_TRUE(q.is_aggregate);
+}
+
+TEST_F(ParserTest, ErrorsAreDescriptive) {
+  EXPECT_NE(MustFail("SELECT x FROM lineitem").find("unknown column"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT l_orderkey FROM nosuch").find("unknown table"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT l_orderkey lineitem").find("FROM"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT l_orderkey FROM lineitem WHERE l_partkey >")
+                .find("expected expression"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT l_partkey FROM lineitem a, lineitem b")
+                .find("ambiguous"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT l_orderkey FROM lineitem WHERE p LIKE 3")
+                .find("unknown column"),
+            std::string::npos);
+}
+
+TEST_F(ParserTest, ParsedQueriesFlowThroughTheMatcher) {
+  // End-to-end: define a view and a query in SQL and match them.
+  SpjgQuery view_q = MustParse(
+      "SELECT l_orderkey, l_partkey, l_quantity FROM lineitem "
+      "WHERE l_partkey > 100");
+  ViewDefinition view(0, "v", view_q);
+  SpjgQuery query = MustParse(
+      "SELECT l_orderkey FROM lineitem "
+      "WHERE l_partkey > 100 AND l_quantity = 7");
+  ViewMatcher matcher(&catalog_);
+  MatchResult r = matcher.Match(query, view);
+  ASSERT_TRUE(r.ok()) << RejectReasonName(r.reason);
+  ASSERT_EQ(r.substitute->predicates.size(), 1u);
+}
+
+TEST_F(ParserTest, PaperExample1ParsesAndValidates) {
+  SpjgQuery v1 = MustParse(
+      "SELECT p_partkey, p_name, p_retailprice, COUNT_BIG(*) AS cnt, "
+      "SUM(l_extendedprice * l_quantity) AS gross_revenue "
+      "FROM lineitem, part "
+      "WHERE p_partkey < 1000 AND p_name LIKE '%steel%' "
+      "AND p_partkey = l_partkey "
+      "GROUP BY p_partkey, p_name, p_retailprice");
+  EXPECT_FALSE(ViewDefinition::Validate(v1).has_value());
+  EXPECT_EQ(v1.outputs.size(), 5u);
+  EXPECT_EQ(v1.group_by.size(), 3u);
+}
+
+// Round trip: every query the §5 workload generator produces must print
+// to SQL that parses back to an identical normalized query.
+class ParserRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserRoundTripTest, GeneratedQueriesSurvivePrintParse) {
+  Catalog catalog;
+  tpch::BuildSchema(&catalog, 0.5);
+  tpch::WorkloadGenerator gen(&catalog, GetParam());
+  for (int i = 0; i < 40; ++i) {
+    SpjgQuery original = i % 2 == 0 ? gen.GenerateQuery() : gen.GenerateView();
+    std::string sql = original.ToSql(catalog);
+    std::string error;
+    auto reparsed = ParseSpjg(catalog, sql, &error);
+    ASSERT_TRUE(reparsed.has_value()) << error << "\nSQL: " << sql;
+    EXPECT_EQ(reparsed->ToSql(catalog), sql);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTripTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace mvopt

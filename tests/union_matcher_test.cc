@@ -1,0 +1,206 @@
+// Union substitutes (§7): collecting the query's rows from several
+// range-partitioned views, with disjoint leg compensation preserving bag
+// semantics.
+
+#include "rewrite/union_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "engine/database.h"
+#include "tpch/datagen.h"
+#include "tpch/schema.h"
+
+namespace mvopt {
+namespace {
+
+std::vector<std::string> Canonicalize(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  for (const Row& r : rows) {
+    std::string s;
+    for (const Value& v : r) {
+      if (v.type() == ValueType::kDouble) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.2f|", v.dbl());
+        s += buf;
+      } else {
+        s += v.ToString() + "|";
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class UnionMatcherTest : public ::testing::Test {
+ protected:
+  UnionMatcherTest()
+      : schema_(tpch::BuildSchema(&catalog_, 0.001)), views_(&catalog_) {}
+
+  // A lineitem view keeping quantity in [lo, hi] (closed bounds; pass
+  // INT64_MIN/MAX sentinels via has_lo/has_hi flags for open ends).
+  ViewId AddQuantitySlice(int64_t lo, bool has_lo, int64_t hi, bool has_hi) {
+    SpjgBuilder vb(&catalog_);
+    int l = vb.AddTable("lineitem");
+    if (has_lo) {
+      vb.Where(Expr::MakeCompare(CompareOp::kGe, vb.Col(l, "l_quantity"),
+                                 Expr::MakeLiteral(Value::Int64(lo))));
+    }
+    if (has_hi) {
+      vb.Where(Expr::MakeCompare(CompareOp::kLe, vb.Col(l, "l_quantity"),
+                                 Expr::MakeLiteral(Value::Int64(hi))));
+    }
+    vb.Output(vb.Col(l, "l_orderkey"));
+    vb.Output(vb.Col(l, "l_quantity"));
+    std::string error;
+    ViewDefinition* v = views_.AddView(
+        "slice" + std::to_string(views_.num_views()), vb.Build(), &error);
+    EXPECT_NE(v, nullptr) << error;
+    return v->id();
+  }
+
+  std::vector<ViewId> AllViews() const {
+    std::vector<ViewId> out;
+    for (ViewId v = 0; v < views_.num_views(); ++v) out.push_back(v);
+    return out;
+  }
+
+  SpjgQuery QuantityRangeQuery(int64_t lo, int64_t hi) {
+    SpjgBuilder qb(&catalog_);
+    int l = qb.AddTable("lineitem");
+    qb.Where(Expr::MakeCompare(CompareOp::kGe, qb.Col(l, "l_quantity"),
+                               Expr::MakeLiteral(Value::Int64(lo))));
+    qb.Where(Expr::MakeCompare(CompareOp::kLe, qb.Col(l, "l_quantity"),
+                               Expr::MakeLiteral(Value::Int64(hi))));
+    qb.Output(qb.Col(l, "l_orderkey"));
+    qb.Output(qb.Col(l, "l_quantity"));
+    return qb.Build();
+  }
+
+  Catalog catalog_;
+  tpch::Schema schema_;
+  ViewCatalog views_;
+};
+
+TEST_F(UnionMatcherTest, TwoSlicesCoverTheQueryRange) {
+  AddQuantitySlice(1, true, 25, true);    // [1, 25]
+  AddQuantitySlice(26, true, 50, true);   // [26, 50]
+  UnionMatcher um(&catalog_, &views_);
+  auto result = um.Match(QuantityRangeQuery(10, 40), AllViews());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->legs.size(), 2u);
+}
+
+TEST_F(UnionMatcherTest, GapInCoverageFails) {
+  AddQuantitySlice(1, true, 20, true);
+  AddQuantitySlice(30, true, 50, true);  // hole: (20, 30)
+  UnionMatcher um(&catalog_, &views_);
+  EXPECT_FALSE(um.Match(QuantityRangeQuery(10, 40), AllViews()).has_value());
+}
+
+TEST_F(UnionMatcherTest, SingleCoveringViewIsNotAUnion) {
+  AddQuantitySlice(1, true, 50, true);
+  AddQuantitySlice(1, true, 25, true);
+  UnionMatcher um(&catalog_, &views_);
+  // The full slice alone answers the query; the union matcher leaves
+  // that to the single-view path.
+  EXPECT_FALSE(um.Match(QuantityRangeQuery(10, 40), AllViews()).has_value());
+}
+
+TEST_F(UnionMatcherTest, OverlappingViewsStayDisjoint) {
+  // Overlap in [20, 30]: leg compensation must clip so no row is doubled.
+  AddQuantitySlice(1, true, 30, true);
+  AddQuantitySlice(20, true, 50, true);
+  UnionMatcher um(&catalog_, &views_);
+  auto result = um.Match(QuantityRangeQuery(5, 45), AllViews());
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->legs.size(), 2u);
+
+  // Execute against data and compare with the reference result.
+  Database db(&catalog_);
+  tpch::DataGenOptions dg;
+  dg.scale_factor = 0.001;
+  tpch::GenerateData(&db, schema_, dg);
+  for (ViewId v = 0; v < views_.num_views(); ++v) {
+    db.MaterializeView(&views_.mutable_view(v));
+  }
+  std::vector<Row> got;
+  for (const Substitute& leg : result->legs) {
+    const ViewDefinition& view = views_.view(leg.view_id);
+    auto rows = db.ExecuteSpjg(leg.ToQueryOverView(view.materialized_table()));
+    got.insert(got.end(), rows.begin(), rows.end());
+  }
+  SpjgQuery query = QuantityRangeQuery(5, 45);
+  EXPECT_EQ(Canonicalize(got), Canonicalize(db.ExecuteSpjg(query)));
+}
+
+TEST_F(UnionMatcherTest, ThreeLegsWithUnboundedQuery) {
+  AddQuantitySlice(0, false, 15, true);   // (-inf, 15]
+  AddQuantitySlice(16, true, 35, true);   // [16, 35]
+  AddQuantitySlice(36, true, 0, false);   // [36, +inf)
+  UnionMatcher um(&catalog_, &views_);
+  // Query with no quantity predicate at all: the whole domain must be
+  // covered.
+  SpjgBuilder qb(&catalog_);
+  int l = qb.AddTable("lineitem");
+  qb.Output(qb.Col(l, "l_orderkey"));
+  qb.Output(qb.Col(l, "l_quantity"));
+  auto result = um.Match(qb.Build(), AllViews());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->legs.size(), 3u);
+
+  Database db(&catalog_);
+  tpch::DataGenOptions dg;
+  dg.scale_factor = 0.001;
+  tpch::GenerateData(&db, schema_, dg);
+  for (ViewId v = 0; v < views_.num_views(); ++v) {
+    db.MaterializeView(&views_.mutable_view(v));
+  }
+  std::vector<Row> got;
+  for (const Substitute& leg : result->legs) {
+    const ViewDefinition& view = views_.view(leg.view_id);
+    auto rows = db.ExecuteSpjg(leg.ToQueryOverView(view.materialized_table()));
+    got.insert(got.end(), rows.begin(), rows.end());
+  }
+  EXPECT_EQ(Canonicalize(got), Canonicalize(db.ExecuteSpjg(qb.Build())));
+}
+
+TEST_F(UnionMatcherTest, AggregateQueriesAreNotUnioned) {
+  AddQuantitySlice(1, true, 25, true);
+  AddQuantitySlice(26, true, 50, true);
+  UnionMatcher um(&catalog_, &views_);
+  SpjgBuilder qb(&catalog_);
+  (void)qb.AddTable("lineitem");
+  qb.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  qb.SetAggregate();
+  EXPECT_FALSE(um.Match(qb.Build(), AllViews()).has_value());
+}
+
+TEST_F(UnionMatcherTest, LegWithOtherMissingPiecesIsSkipped) {
+  // First slice lacks the l_orderkey output: its leg cannot match, but a
+  // second, complete slice over the same interval saves the union.
+  {
+    SpjgBuilder vb(&catalog_);
+    int l = vb.AddTable("lineitem");
+    vb.Where(Expr::MakeCompare(CompareOp::kLe, vb.Col(l, "l_quantity"),
+                               Expr::MakeLiteral(Value::Int64(25))));
+    vb.Output(vb.Col(l, "l_quantity"));  // no l_orderkey
+    std::string error;
+    ASSERT_NE(views_.AddView("incomplete", vb.Build(), &error), nullptr);
+  }
+  AddQuantitySlice(0, false, 25, true);
+  AddQuantitySlice(26, true, 0, false);
+  UnionMatcher um(&catalog_, &views_);
+  auto result = um.Match(QuantityRangeQuery(10, 40), AllViews());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->legs.size(), 2u);
+  for (const auto& leg : result->legs) {
+    EXPECT_NE(views_.view(leg.view_id).name(), "incomplete");
+  }
+}
+
+}  // namespace
+}  // namespace mvopt

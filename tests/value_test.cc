@@ -1,0 +1,85 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+
+namespace mvopt {
+namespace {
+
+TEST(ValueTest, NullOrderingAndIdentity) {
+  Value null = Value::Null();
+  EXPECT_TRUE(null.is_null());
+  EXPECT_EQ(null, Value::Null());
+  EXPECT_LT(null, Value::Int64(-100));
+  EXPECT_LT(null, Value::String(""));
+}
+
+TEST(ValueTest, IntegerComparison) {
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_EQ(Value::Int64(5), Value::Int64(5));
+  EXPECT_GT(Value::Int64(-1), Value::Int64(-2));
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  EXPECT_LT(Value::Int64(1), Value::Double(1.5));
+  EXPECT_EQ(Value::Int64(2), Value::Double(2.0));
+  EXPECT_GT(Value::Double(2.5), Value::Int64(2));
+  EXPECT_EQ(Value::Date(100), Value::Int64(100));
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // Doubles cannot represent 2^53+1 exactly; int64 comparison must.
+  int64_t big = (int64_t{1} << 53) + 1;
+  EXPECT_LT(Value::Int64(big), Value::Int64(big + 1));
+  EXPECT_NE(Value::Int64(big), Value::Int64(big + 1));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("abc"), Value::String("abd"));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(7).Hash(), Value::Int64(7).Hash());
+  EXPECT_EQ(Value::String("a").Hash(), Value::String("a").Hash());
+  EXPECT_NE(Value::Int64(7).Hash(), Value::Int64(8).Hash());
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StrUtilTest, SqlLikeExactAndPercent) {
+  EXPECT_TRUE(SqlLike("steel", "steel"));
+  EXPECT_FALSE(SqlLike("steel", "steal"));
+  EXPECT_TRUE(SqlLike("stainless steel rod", "%steel%"));
+  EXPECT_TRUE(SqlLike("steel", "%steel"));
+  EXPECT_TRUE(SqlLike("steel", "steel%"));
+  EXPECT_FALSE(SqlLike("stee", "%steel%"));
+}
+
+TEST(StrUtilTest, SqlLikeUnderscore) {
+  EXPECT_TRUE(SqlLike("cat", "c_t"));
+  EXPECT_FALSE(SqlLike("ct", "c_t"));
+  EXPECT_TRUE(SqlLike("abc", "___"));
+  EXPECT_FALSE(SqlLike("ab", "___"));
+}
+
+TEST(StrUtilTest, SqlLikeEmptyEdges) {
+  EXPECT_TRUE(SqlLike("", ""));
+  EXPECT_TRUE(SqlLike("", "%"));
+  EXPECT_FALSE(SqlLike("", "_"));
+  EXPECT_TRUE(SqlLike("anything", "%%"));
+}
+
+}  // namespace
+}  // namespace mvopt

@@ -1,0 +1,179 @@
+#include "query/view_def.h"
+
+#include <gtest/gtest.h>
+
+#include "query/substitute.h"
+#include "tpch/schema.h"
+
+namespace mvopt {
+namespace {
+
+class ViewDefTest : public ::testing::Test {
+ protected:
+  ViewDefTest() : schema_(tpch::BuildSchema(&catalog_)) {}
+
+  SpjgBuilder Builder() { return SpjgBuilder(&catalog_); }
+
+  Catalog catalog_;
+  tpch::Schema schema_;
+};
+
+TEST_F(ViewDefTest, PlainSpjViewValidates) {
+  auto b = Builder();
+  int l = b.AddTable("lineitem");
+  b.Output(b.Col(l, "l_orderkey"));
+  EXPECT_FALSE(ViewDefinition::Validate(b.Build()).has_value());
+}
+
+TEST_F(ViewDefTest, ViewWithoutOutputsRejected) {
+  auto b = Builder();
+  b.AddTable("lineitem");
+  auto err = ViewDefinition::Validate(b.Build());
+  ASSERT_TRUE(err.has_value());
+}
+
+TEST_F(ViewDefTest, AggregationViewRequiresCountColumn) {
+  // "A count_big column is required in all aggregation views so deletions
+  // can be handled incrementally" (§2).
+  auto b = Builder();
+  int l = b.AddTable("lineitem");
+  b.Output(b.Col(l, "l_suppkey"));
+  b.Output(Expr::MakeAggregate(AggKind::kSum, b.Col(l, "l_quantity")), "s");
+  b.GroupBy(b.Col(l, "l_suppkey"));
+  auto err = ViewDefinition::Validate(b.Build());
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("count"), std::string::npos);
+}
+
+TEST_F(ViewDefTest, AggregationViewMustOutputGroupingExprs) {
+  auto b = Builder();
+  int l = b.AddTable("lineitem");
+  b.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  b.GroupBy(b.Col(l, "l_suppkey"));  // grouped but not output
+  auto err = ViewDefinition::Validate(b.Build());
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("grouping"), std::string::npos);
+}
+
+TEST_F(ViewDefTest, AvgNotAllowedInViews) {
+  auto b = Builder();
+  int l = b.AddTable("lineitem");
+  b.Output(b.Col(l, "l_suppkey"));
+  b.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  b.Output(Expr::MakeAggregate(AggKind::kAvg, b.Col(l, "l_quantity")), "a");
+  b.GroupBy(b.Col(l, "l_suppkey"));
+  EXPECT_TRUE(ViewDefinition::Validate(b.Build()).has_value());
+}
+
+TEST_F(ViewDefTest, MinMaxGatedByFlag) {
+  auto b = Builder();
+  int l = b.AddTable("lineitem");
+  b.Output(b.Col(l, "l_suppkey"));
+  b.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  b.Output(Expr::MakeAggregate(AggKind::kMin, b.Col(l, "l_quantity")), "m");
+  b.GroupBy(b.Col(l, "l_suppkey"));
+  SpjgQuery q = b.Build();
+  EXPECT_FALSE(ViewDefinition::Validate(q, /*allow_min_max=*/true)
+                   .has_value());
+  EXPECT_TRUE(ViewDefinition::Validate(q, /*allow_min_max=*/false)
+                  .has_value());
+}
+
+TEST_F(ViewDefTest, NonGroupingNonAggregateOutputRejected) {
+  auto b = Builder();
+  int l = b.AddTable("lineitem");
+  b.Output(b.Col(l, "l_suppkey"));
+  b.Output(b.Col(l, "l_partkey"));  // neither grouped nor aggregated
+  b.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  b.GroupBy(b.Col(l, "l_suppkey"));
+  EXPECT_TRUE(ViewDefinition::Validate(b.Build()).has_value());
+}
+
+TEST_F(ViewDefTest, NonAggViewWithAggregateOutputRejected) {
+  auto b = Builder();
+  int l = b.AddTable("lineitem");
+  b.Output(Expr::MakeAggregate(AggKind::kSum, b.Col(l, "l_quantity")), "s");
+  EXPECT_TRUE(ViewDefinition::Validate(b.Build()).has_value());
+}
+
+TEST_F(ViewDefTest, CountColumnOrdinalAndFindOutput) {
+  auto b = Builder();
+  int l = b.AddTable("lineitem");
+  b.Output(b.Col(l, "l_suppkey"));
+  b.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  b.GroupBy(b.Col(l, "l_suppkey"));
+  ViewDefinition view(3, "v", b.Build());
+  EXPECT_EQ(view.CountColumnOrdinal(), 1);
+  EXPECT_EQ(view.FindOutput(*Expr::MakeColumn(0, 2)), 0);  // l_suppkey
+  EXPECT_EQ(view.FindOutput(*Expr::MakeColumn(0, 3)), -1);
+  EXPECT_EQ(view.id(), 3);
+}
+
+TEST_F(ViewDefTest, IndexBookkeeping) {
+  auto b = Builder();
+  int l = b.AddTable("lineitem");
+  b.Output(b.Col(l, "l_orderkey"));
+  ViewDefinition view(0, "v", b.Build());
+  EXPECT_FALSE(view.has_clustered_index());
+  IndexDef ci;
+  ci.name = "ci";
+  ci.key_columns = {0};
+  view.set_clustered_index(ci);
+  EXPECT_TRUE(view.has_clustered_index());
+  IndexDef si;
+  si.name = "si";
+  si.key_columns = {0};
+  view.AddSecondaryIndex(si);
+  EXPECT_EQ(view.secondary_indexes().size(), 1u);
+  EXPECT_EQ(view.materialized_table(), kInvalidTableId);
+}
+
+TEST_F(ViewDefTest, SubstituteToQueryOverView) {
+  Substitute sub;
+  sub.view_id = 7;
+  sub.predicates.push_back(Expr::MakeCompare(
+      CompareOp::kGt, Expr::MakeColumn(0, 1),
+      Expr::MakeLiteral(Value::Int64(5))));
+  sub.outputs.push_back(OutputExpr{"x", Expr::MakeColumn(0, 0)});
+  sub.group_by.push_back(Expr::MakeColumn(0, 0));
+  sub.needs_aggregation = true;
+  SpjgQuery q = sub.ToQueryOverView(42, "v");
+  EXPECT_EQ(q.num_tables(), 1);
+  EXPECT_EQ(q.tables[0].table, 42);
+  EXPECT_EQ(q.conjuncts.size(), 1u);
+  EXPECT_EQ(q.outputs.size(), 1u);
+  EXPECT_TRUE(q.is_aggregate);
+  EXPECT_EQ(q.group_by.size(), 1u);
+}
+
+TEST_F(ViewDefTest, BuilderToSqlRoundTrip) {
+  auto b = Builder();
+  int l = b.AddTable("lineitem");
+  int o = b.AddTable("orders");
+  b.Where(Expr::MakeCompare(CompareOp::kEq, b.Col(l, "l_orderkey"),
+                            b.Col(o, "o_orderkey")));
+  b.Output(b.Col(l, "l_orderkey"));
+  b.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  b.GroupBy(b.Col(l, "l_orderkey"));
+  std::string sql = b.Build().ToSql(catalog_);
+  EXPECT_NE(sql.find("SELECT"), std::string::npos);
+  EXPECT_NE(sql.find("lineitem.l_orderkey"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY"), std::string::npos);
+  EXPECT_NE(sql.find("count(*)"), std::string::npos);
+}
+
+TEST_F(ViewDefTest, BuilderConvertsWhereToCnf) {
+  auto b = Builder();
+  int l = b.AddTable("lineitem");
+  ExprPtr a = Expr::MakeCompare(CompareOp::kGt, b.Col(l, "l_partkey"),
+                                Expr::MakeLiteral(Value::Int64(1)));
+  ExprPtr c = Expr::MakeCompare(CompareOp::kLt, b.Col(l, "l_partkey"),
+                                Expr::MakeLiteral(Value::Int64(9)));
+  b.Where(Expr::MakeAnd({a, c}));
+  b.Output(b.Col(l, "l_partkey"));
+  SpjgQuery q = b.Build();
+  EXPECT_EQ(q.conjuncts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mvopt

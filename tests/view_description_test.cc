@@ -1,0 +1,182 @@
+#include "rewrite/view_description.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/schema.h"
+
+namespace mvopt {
+namespace {
+
+class ViewDescriptionTest : public ::testing::Test {
+ protected:
+  ViewDescriptionTest() : schema_(tpch::BuildSchema(&catalog_)) {}
+
+  static ExprPtr Eq(ExprPtr a, ExprPtr b) {
+    return Expr::MakeCompare(CompareOp::kEq, std::move(a), std::move(b));
+  }
+  static ExprPtr Gt(ExprPtr a, int64_t v) {
+    return Expr::MakeCompare(CompareOp::kGt, std::move(a),
+                             Expr::MakeLiteral(Value::Int64(v)));
+  }
+
+  uint32_t ColId(TableId t, const char* name) {
+    auto ord = catalog_.table(t).FindColumn(name);
+    EXPECT_TRUE(ord.has_value());
+    return CatalogColId(t, *ord);
+  }
+
+  Catalog catalog_;
+  tpch::Schema schema_;
+};
+
+TEST_F(ViewDescriptionTest, SourceTablesSortedUnique) {
+  SpjgBuilder b(&catalog_);
+  int l = b.AddTable("lineitem");
+  int o = b.AddTable("orders");
+  b.Where(Eq(b.Col(l, "l_orderkey"), b.Col(o, "o_orderkey")));
+  b.Output(b.Col(l, "l_orderkey"));
+  ViewDefinition view(0, "v", b.Build());
+  ViewDescription d = DescribeView(catalog_, view);
+  std::vector<TableId> expected = {schema_.orders, schema_.lineitem};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(d.source_tables, expected);
+  EXPECT_FALSE(d.is_aggregate);
+}
+
+TEST_F(ViewDescriptionTest, HubShrinksThroughFkJoins) {
+  // lineitem ⋈ orders ⋈ customer: orders and customer are eliminable, so
+  // the hub is {lineitem}.
+  SpjgBuilder b(&catalog_);
+  int l = b.AddTable("lineitem");
+  int o = b.AddTable("orders");
+  int c = b.AddTable("customer");
+  b.Where(Eq(b.Col(l, "l_orderkey"), b.Col(o, "o_orderkey")));
+  b.Where(Eq(b.Col(o, "o_custkey"), b.Col(c, "c_custkey")));
+  b.Output(b.Col(l, "l_orderkey"));
+  ViewDefinition view(0, "v", b.Build());
+  ViewDescription d = DescribeView(catalog_, view);
+  EXPECT_EQ(d.hub, std::vector<TableId>{schema_.lineitem});
+}
+
+TEST_F(ViewDescriptionTest, HubProtectsPredicateConstrainedTables) {
+  // Same join, but a range predicate on a customer column (trivial
+  // equivalence class) keeps customer — and hence orders — in the hub
+  // (§4.2.2 refinement).
+  SpjgBuilder b(&catalog_);
+  int l = b.AddTable("lineitem");
+  int o = b.AddTable("orders");
+  int c = b.AddTable("customer");
+  b.Where(Eq(b.Col(l, "l_orderkey"), b.Col(o, "o_orderkey")));
+  b.Where(Eq(b.Col(o, "o_custkey"), b.Col(c, "c_custkey")));
+  b.Where(Gt(b.Col(c, "c_nationkey"), 10));
+  b.Output(b.Col(l, "l_orderkey"));
+  ViewDefinition view(0, "v", b.Build());
+  ViewDescription d = DescribeView(catalog_, view);
+  EXPECT_EQ(d.hub.size(), 3u);
+}
+
+TEST_F(ViewDescriptionTest, PredicateOnJoinColumnDoesNotProtect) {
+  // A range on o_orderkey, which is in a nontrivial class ({l_orderkey,
+  // o_orderkey}), does not protect orders: the reference can be rerouted.
+  SpjgBuilder b(&catalog_);
+  int l = b.AddTable("lineitem");
+  int o = b.AddTable("orders");
+  b.Where(Eq(b.Col(l, "l_orderkey"), b.Col(o, "o_orderkey")));
+  b.Where(Gt(b.Col(o, "o_orderkey"), 100));
+  b.Output(b.Col(l, "l_partkey"));
+  ViewDefinition view(0, "v", b.Build());
+  ViewDescription d = DescribeView(catalog_, view);
+  EXPECT_EQ(d.hub, std::vector<TableId>{schema_.lineitem});
+}
+
+TEST_F(ViewDescriptionTest, ExtendedOutputColumnsFollowEquivalences) {
+  // Output l_orderkey; the join equates it with o_orderkey, so the
+  // extended output list contains both catalog columns (§4.2.3).
+  SpjgBuilder b(&catalog_);
+  int l = b.AddTable("lineitem");
+  int o = b.AddTable("orders");
+  b.Where(Eq(b.Col(l, "l_orderkey"), b.Col(o, "o_orderkey")));
+  b.Output(b.Col(l, "l_orderkey"));
+  ViewDefinition view(0, "v", b.Build());
+  ViewDescription d = DescribeView(catalog_, view);
+  uint32_t lk = ColId(schema_.lineitem, "l_orderkey");
+  uint32_t ok = ColId(schema_.orders, "o_orderkey");
+  EXPECT_NE(std::find(d.extended_output_columns.begin(),
+                      d.extended_output_columns.end(), lk),
+            d.extended_output_columns.end());
+  EXPECT_NE(std::find(d.extended_output_columns.begin(),
+                      d.extended_output_columns.end(), ok),
+            d.extended_output_columns.end());
+}
+
+TEST_F(ViewDescriptionTest, RangeConstraintLists) {
+  SpjgBuilder b(&catalog_);
+  int l = b.AddTable("lineitem");
+  int o = b.AddTable("orders");
+  b.Where(Eq(b.Col(l, "l_orderkey"), b.Col(o, "o_orderkey")));
+  b.Where(Gt(b.Col(o, "o_orderkey"), 100));   // nontrivial class
+  b.Where(Gt(b.Col(l, "l_quantity"), 5));     // trivial class
+  b.Output(b.Col(l, "l_orderkey"));
+  ViewDefinition view(0, "v", b.Build());
+  ViewDescription d = DescribeView(catalog_, view);
+  // Reduced list (§4.2.5): only the trivial-class column.
+  EXPECT_EQ(d.reduced_range_columns,
+            std::vector<uint32_t>{ColId(schema_.lineitem, "l_quantity")});
+  // Full list: two constrained classes; the join-key class has 2 columns.
+  ASSERT_EQ(d.range_constrained_classes.size(), 2u);
+  size_t sizes[2] = {d.range_constrained_classes[0].size(),
+                     d.range_constrained_classes[1].size()};
+  std::sort(sizes, sizes + 2);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 2u);
+}
+
+TEST_F(ViewDescriptionTest, AggregationViewGroupingLists) {
+  SpjgBuilder b(&catalog_);
+  int l = b.AddTable("lineitem");
+  b.Output(b.Col(l, "l_suppkey"));
+  b.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  b.Output(Expr::MakeAggregate(AggKind::kSum, b.Col(l, "l_quantity")), "s");
+  b.GroupBy(b.Col(l, "l_suppkey"));
+  ViewDefinition view(0, "v", b.Build());
+  ViewDescription d = DescribeView(catalog_, view);
+  EXPECT_TRUE(d.is_aggregate);
+  EXPECT_EQ(d.extended_grouping_columns,
+            std::vector<uint32_t>{ColId(schema_.lineitem, "l_suppkey")});
+  ASSERT_EQ(d.grouping_expr_texts.size(), 1u);
+  EXPECT_EQ(d.grouping_expr_texts[0], "$");
+  // Aggregate outputs are recorded as output-expression texts.
+  EXPECT_EQ(d.output_expr_texts.size(), 2u);  // count(*), sum($)
+}
+
+TEST_F(ViewDescriptionTest, QueryDescriptionAggTexts) {
+  SpjgBuilder b(&catalog_);
+  int l = b.AddTable("lineitem");
+  b.Output(b.Col(l, "l_suppkey"));
+  b.Output(Expr::MakeAggregate(AggKind::kAvg, b.Col(l, "l_quantity")), "a");
+  b.GroupBy(b.Col(l, "l_suppkey"));
+  QueryDescription d = DescribeQuery(catalog_, b.Build());
+  // AVG requires the corresponding SUM output in an aggregation view.
+  ASSERT_EQ(d.agg_expr_texts.size(), 1u);
+  EXPECT_EQ(d.agg_expr_texts[0], "sum($)");
+  // The SUM argument column must be routable for SPJ views but is not in
+  // the aggregation-view column condition.
+  EXPECT_EQ(d.output_column_classes_spj.size(), 3u);  // out, arg, group-by
+  EXPECT_EQ(d.output_column_classes_agg.size(), 2u);
+  EXPECT_EQ(d.grouping_column_classes.size(), 1u);
+}
+
+TEST_F(ViewDescriptionTest, QueryExtendedRangeColumns) {
+  SpjgBuilder b(&catalog_);
+  int l = b.AddTable("lineitem");
+  int o = b.AddTable("orders");
+  b.Where(Eq(b.Col(l, "l_orderkey"), b.Col(o, "o_orderkey")));
+  b.Where(Gt(b.Col(l, "l_orderkey"), 50));
+  b.Output(b.Col(l, "l_partkey"));
+  QueryDescription d = DescribeQuery(catalog_, b.Build());
+  // The constrained class covers both l_orderkey and o_orderkey.
+  EXPECT_EQ(d.extended_range_columns.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mvopt

@@ -1,0 +1,146 @@
+#include "tpch/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "optimizer/cardinality.h"
+#include "tpch/schema.h"
+
+namespace mvopt {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : schema_(tpch::BuildSchema(&catalog_, 0.5)) {}
+
+  Catalog catalog_;
+  tpch::Schema schema_;
+};
+
+TEST_F(WorkloadTest, GeneratedViewsAlwaysValidate) {
+  tpch::WorkloadGenerator gen(&catalog_, 7);
+  for (int i = 0; i < 200; ++i) {
+    SpjgQuery v = gen.GenerateView();
+    auto err = ViewDefinition::Validate(v);
+    EXPECT_FALSE(err.has_value()) << *err << "\n" << v.ToSql(catalog_);
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicPerSeed) {
+  tpch::WorkloadGenerator a(&catalog_, 123);
+  tpch::WorkloadGenerator b(&catalog_, 123);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.GenerateView().ToSql(catalog_),
+              b.GenerateView().ToSql(catalog_));
+    EXPECT_EQ(a.GenerateQuery().ToSql(catalog_),
+              b.GenerateQuery().ToSql(catalog_));
+  }
+}
+
+TEST_F(WorkloadTest, QueryTableCountDistribution) {
+  // Paper: 40% two tables, 20% three, 17% four, 13% five, 8% six, 2%
+  // seven. Check rough agreement over a large sample.
+  tpch::WorkloadGenerator gen(&catalog_, 99);
+  std::map<int, int> counts;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[gen.GenerateQuery().num_tables()];
+  }
+  // Walks can fall short of the target when the FK graph is exhausted,
+  // so compare with generous tolerances.
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.40, 0.08);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.20, 0.08);
+  EXPECT_GT(counts[4], 0);
+  EXPECT_GT(counts[5], 0);
+  EXPECT_GT(counts[6], 0);
+  EXPECT_LE(counts[8], 0);
+}
+
+TEST_F(WorkloadTest, ViewCardinalityLandsNearBand) {
+  // Views target 25-75% of the largest included table (by the shared
+  // estimator). Verify most land at or below the upper edge and none are
+  // wildly above it.
+  tpch::WorkloadGenerator gen(&catalog_, 5);
+  CardinalityEstimator estimator(&catalog_);
+  int within = 0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    SpjgQuery v = gen.GenerateView();
+    int64_t largest = 1;
+    for (const auto& tr : v.tables) {
+      largest = std::max(largest, catalog_.table(tr.table).row_count());
+    }
+    double est = estimator.EstimateSpj(v);
+    if (est <= 0.80 * largest) ++within;
+  }
+  EXPECT_GT(within, n * 3 / 4);
+}
+
+TEST_F(WorkloadTest, QueriesAreNarrowerThanViews) {
+  tpch::WorkloadGenerator gen(&catalog_, 5);
+  CardinalityEstimator estimator(&catalog_);
+  double view_frac_sum = 0;
+  double query_frac_sum = 0;
+  const int n = 80;
+  for (int i = 0; i < n; ++i) {
+    SpjgQuery v = gen.GenerateView();
+    SpjgQuery q = gen.GenerateQuery();
+    auto frac = [&](const SpjgQuery& s) {
+      int64_t largest = 1;
+      for (const auto& tr : s.tables) {
+        largest = std::max(largest, catalog_.table(tr.table).row_count());
+      }
+      return estimator.EstimateSpj(s) / static_cast<double>(largest);
+    };
+    view_frac_sum += frac(v);
+    query_frac_sum += frac(q);
+  }
+  EXPECT_LT(query_frac_sum, view_frac_sum);
+}
+
+TEST_F(WorkloadTest, AggViewFractionRoughlyRespected) {
+  tpch::WorkloadGenerator gen(&catalog_, 11);
+  int agg = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    if (gen.GenerateView().is_aggregate) ++agg;
+  }
+  EXPECT_NEAR(agg / static_cast<double>(n), 0.75, 0.08);
+}
+
+TEST_F(WorkloadTest, JoinsAreForeignKeyEquijoins) {
+  tpch::WorkloadGenerator gen(&catalog_, 13);
+  for (int i = 0; i < 50; ++i) {
+    SpjgQuery q = gen.GenerateQuery();
+    for (const auto& c : q.conjuncts) {
+      if (c->kind() != ExprKind::kComparison) continue;
+      if (c->child(0)->kind() == ExprKind::kColumnRef &&
+          c->child(1)->kind() == ExprKind::kColumnRef) {
+        // Column-column predicates must span two different tables (no
+        // accidental same-table identities).
+        EXPECT_NE(c->child(0)->column_ref().table_ref,
+                  c->child(1)->column_ref().table_ref);
+        EXPECT_EQ(c->compare_op(), CompareOp::kEq);
+      }
+    }
+  }
+}
+
+TEST_F(WorkloadTest, AttachDefaultIndexesProducesClusteredKey) {
+  tpch::WorkloadGenerator gen(&catalog_, 17);
+  for (int i = 0; i < 40; ++i) {
+    SpjgQuery def = gen.GenerateView();
+    ViewDefinition view(0, "v", std::move(def));
+    gen.AttachDefaultIndexes(&view);
+    ASSERT_TRUE(view.has_clustered_index());
+    EXPECT_FALSE(view.clustered_index().key_columns.empty());
+    for (int k : view.clustered_index().key_columns) {
+      EXPECT_GE(k, 0);
+      EXPECT_LT(k, static_cast<int>(view.query().outputs.size()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvopt

@@ -1,0 +1,81 @@
+// Overhead of the rewrite soundness checker (src/verify) on the matching
+// path: the same seeded view/query workload is pushed through
+// FindSubstitutes with verification off, in log mode and in enforce mode.
+// Every view definition is also replayed as a query so the checker sees a
+// guaranteed self-match per view on top of the random matches — without
+// this most invocations produce nothing and the checker never runs.
+//
+// Knobs: MVOPT_BENCH_VIEWS (default 200), MVOPT_BENCH_QUERIES (default
+// 400).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "verify/rewrite_checker.h"
+
+int main() {
+  using namespace mvopt;
+  using namespace mvopt::bench;
+
+  const int num_views = EnvInt("MVOPT_BENCH_VIEWS", 200);
+  const int num_queries = EnvInt("MVOPT_BENCH_QUERIES", 400);
+  Workload workload(num_views, num_queries);
+
+  std::printf("# Soundness-checker overhead on the matching path\n");
+  std::printf("# views=%d queries=%d (+%d self-match replays per mode)\n",
+              num_views, num_queries, num_views);
+  std::printf("%-8s %12s %10s %10s %10s %12s\n", "mode", "seconds", "subs",
+              "checked", "proven", "vs-off");
+
+  double baseline = -1;
+  for (VerifyMode mode :
+       {VerifyMode::kOff, VerifyMode::kLog, VerifyMode::kEnforce}) {
+    auto service = workload.MakeService(num_views, /*use_filter_tree=*/true);
+    service->set_verify_mode(mode);
+
+    auto run_once = [&] {
+      for (ViewId id = 0; id < service->views().num_views(); ++id) {
+        (void)service->FindSubstitutes(service->views().view(id).query());
+      }
+      for (const SpjgQuery& query : workload.queries()) {
+        (void)service->FindSubstitutes(query);
+      }
+    };
+
+    // Warm up caches, then take the best of three timed passes so mode
+    // ordering and allocator state don't masquerade as checker cost.
+    run_once();
+    service->stats().Reset();
+    service->verify_stats().Reset();
+    double seconds = -1;
+    for (int rep = 0; rep < 3; ++rep) {
+      if (rep > 0) {
+        service->stats().Reset();
+        service->verify_stats().Reset();
+      }
+      auto start = std::chrono::steady_clock::now();
+      run_once();
+      auto stop = std::chrono::steady_clock::now();
+      double s = std::chrono::duration<double>(stop - start).count();
+      if (seconds < 0 || s < seconds) seconds = s;
+    }
+    if (baseline < 0) baseline = seconds;
+
+    const VerifyStats& vs = service->verify_stats();
+    std::printf("%-8s %12.3f %10lld %10lld %10lld %11.2fx\n",
+                VerifyModeName(mode), seconds,
+                static_cast<long long>(service->stats().substitutes),
+                static_cast<long long>(vs.checked),
+                static_cast<long long>(vs.proven),
+                baseline > 0 ? seconds / baseline : 0.0);
+    if (vs.rejected != 0) {
+      std::printf("# WARNING: %lld rejections (expected none)\n",
+                  static_cast<long long>(vs.rejected));
+      for (const auto& t : vs.rejection_traces) {
+        std::printf("#   %s\n", t.c_str());
+      }
+    }
+  }
+  return 0;
+}

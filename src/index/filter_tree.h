@@ -82,6 +82,10 @@ class FilterTree {
   int num_views() const { return num_views_; }
 
  private:
+  /// The invariant auditor (src/verify) walks the private tree structure
+  /// read-only to validate it against the public search results.
+  friend class InvariantAuditor;
+
   struct Node {
     LatticeIndex index;
     /// Children / leaf payloads indexed by lattice node id.

@@ -55,6 +55,14 @@ class LatticeIndex {
 
   const Key& key(int node) const { return nodes_[node].key; }
   bool alive(int node) const { return nodes_[node].alive; }
+  /// Cover edges (minimal supersets / maximal subsets), exposed so the
+  /// invariant auditor can re-derive the Hasse diagram independently.
+  const std::vector<int>& supersets(int node) const {
+    return nodes_[node].supersets;
+  }
+  const std::vector<int>& subsets(int node) const {
+    return nodes_[node].subsets;
+  }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int num_live_nodes() const { return num_live_; }
 

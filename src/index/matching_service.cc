@@ -12,7 +12,8 @@ MatchingService::MatchingService(const Catalog* catalog, Options options)
       options_(options),
       view_catalog_(catalog),
       filter_tree_(&view_catalog_.descriptions()),
-      matcher_(catalog, options.match) {
+      matcher_(catalog, options.match),
+      checker_(catalog, options.verify) {
   filter_tree_.set_assume_backjoins(options_.match.enable_backjoins);
 }
 
@@ -51,7 +52,25 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
     MatchResult result = matcher_.Match(query, view_catalog_.view(id));
     if (result.ok()) {
       ++stats_.substitutes;
-      out.push_back(std::move(*result.substitute));
+      Substitute sub = std::move(*result.substitute);
+      if (options_.verify_mode != VerifyMode::kOff) {
+        ++verify_stats_.checked;
+        Verdict verdict = checker_.Check(query, view_catalog_.view(id), sub);
+        if (verdict.proven) {
+          ++verify_stats_.proven;
+        } else {
+          ++verify_stats_.rejected;
+          ++verify_stats_.by_code[static_cast<size_t>(verdict.code)];
+          if (verify_stats_.rejection_traces.size() <
+              VerifyStats::kMaxRejectionTraces) {
+            verify_stats_.rejection_traces.push_back(
+                view_catalog_.view(id).name() + ": " +
+                CheckCodeName(verdict.code) + ": " + verdict.detail);
+          }
+          if (options_.verify_mode == VerifyMode::kEnforce) continue;
+        }
+      }
+      out.push_back(std::move(sub));
     } else {
       ++stats_.rejects[static_cast<size_t>(result.reason)];
     }

@@ -15,6 +15,7 @@
 #include "rewrite/matcher.h"
 #include "rewrite/union_matcher.h"
 #include "rewrite/view_catalog.h"
+#include "verify/rewrite_checker.h"
 
 namespace mvopt {
 
@@ -29,11 +30,31 @@ struct MatchingStats {
   void Reset() { *this = MatchingStats(); }
 };
 
+/// Outcomes of the soundness checker over produced substitutes.
+struct VerifyStats {
+  static constexpr size_t kMaxRejectionTraces = 32;
+
+  int64_t checked = 0;
+  int64_t proven = 0;
+  int64_t rejected = 0;
+  /// Rejection counts by CheckCode.
+  std::array<int64_t, kNumCheckCodes> by_code{};
+  /// First rejections, "view: code: detail" (capped).
+  std::vector<std::string> rejection_traces;
+
+  void Reset() { *this = VerifyStats(); }
+};
+
 class MatchingService {
  public:
   struct Options {
     bool use_filter_tree = true;
     MatchOptions match;
+    /// Soundness checking of produced substitutes: off, log (count and
+    /// trace rejections, keep everything) or enforce (discard unproven
+    /// substitutes).
+    VerifyMode verify_mode = VerifyMode::kOff;
+    RewriteChecker::Options verify;
   };
 
   explicit MatchingService(const Catalog* catalog);
@@ -62,13 +83,21 @@ class MatchingService {
   MatchingStats& stats() { return stats_; }
   const MatchingStats& stats() const { return stats_; }
 
+  VerifyMode verify_mode() const { return options_.verify_mode; }
+  void set_verify_mode(VerifyMode mode) { options_.verify_mode = mode; }
+  const RewriteChecker& checker() const { return checker_; }
+  VerifyStats& verify_stats() { return verify_stats_; }
+  const VerifyStats& verify_stats() const { return verify_stats_; }
+
  private:
   const Catalog* catalog_;
   Options options_;
   ViewCatalog view_catalog_;
   FilterTree filter_tree_;
   ViewMatcher matcher_;
+  RewriteChecker checker_;
   MatchingStats stats_;
+  VerifyStats verify_stats_;
 };
 
 }  // namespace mvopt

@@ -772,6 +772,42 @@ OptimizationResult Optimizer::Optimize(const SpjgQuery& query) {
   result.cost = plan != nullptr ? plan->cost : 0;
   result.uses_view = plan != nullptr && plan->UsesView();
   result.metrics = ctx.metrics;
+  if (options_.audit_memo) {
+    std::vector<MemoGroupRecord> records;
+    records.reserve(ctx.groups.size());
+    for (const Group& g : ctx.groups) {
+      MemoGroupRecord rec;
+      rec.mask = g.mask;
+      rec.agg_spec = g.agg_spec;
+      for (const LogicalExpr& e : g.exprs) {
+        MemoExprRecord er;
+        switch (e.kind) {
+          case ExprKindL::kGet:
+            er.kind = MemoExprRecord::Kind::kGet;
+            break;
+          case ExprKindL::kJoin:
+            er.kind = MemoExprRecord::Kind::kJoin;
+            break;
+          case ExprKindL::kAggregate:
+            er.kind = MemoExprRecord::Kind::kAggregate;
+            break;
+          case ExprKindL::kViewGet:
+            er.kind = MemoExprRecord::Kind::kViewGet;
+            break;
+        }
+        er.table_ref = e.table_ref;
+        er.child0 = e.children[0];
+        er.child1 = e.children[1];
+        er.view_id =
+            e.kind == ExprKindL::kViewGet ? e.substitute.view_id : -1;
+        rec.exprs.push_back(er);
+      }
+      records.push_back(std::move(rec));
+    }
+    result.memo_audit = InvariantAuditor().AuditMemo(
+        records, ctx.full_mask, static_cast<int>(ctx.agg_specs.size()),
+        kJoinedAggKeyBase);
+  }
   return result;
 }
 

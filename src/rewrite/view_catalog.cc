@@ -5,6 +5,12 @@ namespace mvopt {
 ViewDefinition* ViewCatalog::AddView(const std::string& name,
                                      SpjgQuery definition,
                                      std::string* error) {
+  if (by_name_.count(name) != 0) {
+    if (error != nullptr) {
+      *error = "view '" + name + "' is already registered";
+    }
+    return nullptr;
+  }
   auto invalid = ViewDefinition::Validate(definition);
   if (invalid.has_value()) {
     if (error != nullptr) *error = *invalid;
@@ -14,7 +20,13 @@ ViewDefinition* ViewCatalog::AddView(const std::string& name,
   views_.push_back(
       std::make_unique<ViewDefinition>(id, name, std::move(definition)));
   descriptions_.push_back(DescribeView(*catalog_, *views_.back()));
+  by_name_.emplace(name, id);
   return views_.back().get();
+}
+
+const ViewDefinition* ViewCatalog::FindView(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : views_[it->second].get();
 }
 
 }  // namespace mvopt

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "query/view_def.h"
@@ -22,9 +23,13 @@ class ViewCatalog {
   ViewCatalog& operator=(const ViewCatalog&) = delete;
 
   /// Validates and registers a view. Returns the definition, or nullptr
-  /// with `*error` set when the view is not indexable.
+  /// with `*error` set when the view is not indexable or the name is
+  /// already registered (re-registering a name is a hard error).
   ViewDefinition* AddView(const std::string& name, SpjgQuery definition,
                           std::string* error = nullptr);
+
+  /// The registered view with `name`, or nullptr.
+  const ViewDefinition* FindView(const std::string& name) const;
 
   int num_views() const { return static_cast<int>(views_.size()); }
   const ViewDefinition& view(ViewId id) const { return *views_[id]; }
@@ -42,6 +47,7 @@ class ViewCatalog {
   const Catalog* catalog_;
   std::vector<std::unique_ptr<ViewDefinition>> views_;
   std::vector<ViewDescription> descriptions_;
+  std::unordered_map<std::string, ViewId> by_name_;
 };
 
 }  // namespace mvopt

@@ -1,0 +1,87 @@
+// Structural invariant audits for the matching index and the optimizer
+// memo. Where the RewriteChecker proves individual rewrites sound, the
+// InvariantAuditor proves the *machinery* sound: it re-derives, by brute
+// force, the properties the fast structures rely on —
+//
+//   - LatticeIndex: the stored cover edges form exactly the Hasse diagram
+//     of the key sets (minimal supersets / maximal subsets), keys are
+//     sorted duplicate-free, and the pruned subset/superset searches
+//     return exactly what a linear scan returns.
+//   - FilterTree: every level node's lattice passes the audit, interior
+//     live nodes have materialized children, live leaf nodes carry views
+//     (and dead ones carry none), each view id appears on exactly one
+//     path of the tree matching its description's aggregation class, and
+//     the leaf population adds up to num_views().
+//   - Optimizer memo (via an exported snapshot): group keys are unique,
+//     masks are non-empty subsets of the query's table set, GET
+//     expressions are single-table, JOIN children partition the group's
+//     mask, AGGREGATE expressions wrap the matching SPJ mask, and
+//     aggregation-spec ids stay within the declared ranges.
+//
+// Audits never mutate anything and report every violation found, not
+// just the first.
+
+#ifndef MVOPT_VERIFY_INVARIANT_AUDITOR_H_
+#define MVOPT_VERIFY_INVARIANT_AUDITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/filter_tree.h"
+#include "index/lattice.h"
+
+namespace mvopt {
+
+struct AuditReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// "ok" or the violations joined with "; ".
+  std::string Summary() const;
+};
+
+/// Snapshot of one memo expression, decoupled from optimizer internals so
+/// the auditor can also be fed hand-built (adversarial) memos in tests.
+struct MemoExprRecord {
+  enum class Kind { kGet, kJoin, kAggregate, kViewGet };
+  Kind kind = Kind::kGet;
+  int32_t table_ref = -1;  ///< kGet: table reference slot
+  int child0 = -1;         ///< kJoin / kAggregate: input group id
+  int child1 = -1;         ///< kJoin: second input group id
+  int32_t view_id = -1;    ///< kViewGet: substituted view
+};
+
+/// Snapshot of one memo group.
+struct MemoGroupRecord {
+  uint32_t mask = 0;  ///< table-reference set
+  int agg_spec = -1;  ///< -1 = SPJ group
+  std::vector<MemoExprRecord> exprs;
+};
+
+class InvariantAuditor {
+ public:
+  AuditReport AuditLattice(const LatticeIndex& index) const;
+
+  AuditReport AuditFilterTree(const FilterTree& tree) const;
+
+  /// `full_mask` is the query's complete table-reference set,
+  /// `num_agg_specs` the number of aggregation specs the optimizer
+  /// created, and `joined_agg_key_base` the offset it uses to key
+  /// aggregation groups ranging over joined (multi-table) inputs.
+  AuditReport AuditMemo(const std::vector<MemoGroupRecord>& groups,
+                        uint32_t full_mask, int num_agg_specs,
+                        int joined_agg_key_base) const;
+
+ private:
+  void CheckLattice(const LatticeIndex& index, const std::string& where,
+                    AuditReport* report) const;
+  void CheckTreeNode(const FilterTree& tree, const FilterTree::Node& node,
+                     size_t depth, size_t num_levels, bool agg_tree,
+                     const std::string& where, std::vector<ViewId>* seen,
+                     AuditReport* report) const;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_VERIFY_INVARIANT_AUDITOR_H_

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds and runs the full test suite under AddressSanitizer and
+# UndefinedBehaviorSanitizer (see MVOPT_SANITIZE in the top-level
+# CMakeLists.txt). Each sanitizer gets its own build tree so the
+# instrumented objects never mix with the regular build.
+#
+# Usage: tools/ci/run_sanitizers.sh [build-root]
+#   build-root defaults to ./build-sanitize
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+build_root="${1:-${repo_root}/build-sanitize}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_one() {
+  local sanitizer="$1"
+  local build_dir="${build_root}/${sanitizer}"
+  echo "=== ${sanitizer}: configure ==="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMVOPT_SANITIZE="${sanitizer}" >/dev/null
+  echo "=== ${sanitizer}: build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ${sanitizer}: test ==="
+  # halt_on_error makes UBSan failures fatal even where
+  # -fno-sanitize-recover is not honoured by the toolchain.
+  ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+run_one address
+run_one undefined
+echo "=== sanitizers clean ==="

@@ -46,13 +46,13 @@ int main() {
     // Warm up caches, then take the best of three timed passes so mode
     // ordering and allocator state don't masquerade as checker cost.
     run_once();
-    service->stats().Reset();
-    service->verify_stats().Reset();
+    service->ResetStats();
+    service->ResetVerifyStats();
     double seconds = -1;
     for (int rep = 0; rep < 3; ++rep) {
       if (rep > 0) {
-        service->stats().Reset();
-        service->verify_stats().Reset();
+        service->ResetStats();
+        service->ResetVerifyStats();
       }
       auto start = std::chrono::steady_clock::now();
       run_once();
@@ -62,7 +62,7 @@ int main() {
     }
     if (baseline < 0) baseline = seconds;
 
-    const VerifyStats& vs = service->verify_stats();
+    const VerifyStats vs = service->verify_stats();
     std::printf("%-8s %12.3f %10lld %10lld %10lld %11.2fx\n",
                 VerifyModeName(mode), seconds,
                 static_cast<long long>(service->stats().substitutes),

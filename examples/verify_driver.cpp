@@ -94,8 +94,8 @@ int main() {
          "log mode: every matcher substitute proves");
 
   int64_t produced_in_log_mode = service.stats().substitutes;
-  service.verify_stats().Reset();
-  service.stats().Reset();
+  service.ResetVerifyStats();
+  service.ResetStats();
   service.set_verify_mode(VerifyMode::kEnforce);
   std::printf("\nmode=%s\n", VerifyModeName(service.verify_mode()));
   RunWorkload(&service, 202, 120);

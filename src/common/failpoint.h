@@ -1,0 +1,122 @@
+// Deterministic fault-injection framework. A failpoint is a named site
+// compiled into the library (see kFailpointSites); tests arm sites at
+// runtime with a deterministic trigger (skip N hits, then fire M times)
+// or a seeded-probabilistic one (fire with probability p, driven by a
+// private xorshift stream so runs replay exactly).
+//
+// Sites are compiled in only when MVOPT_FAILPOINTS is defined (the
+// default CMake configuration defines it; release/production builds
+// configure with -DMVOPT_FAILPOINTS=OFF and every site folds to
+// nothing). The registry itself is always compiled so tests link in
+// either configuration.
+//
+// Two site macros:
+//   MVOPT_FAILPOINT(name)      throws FailpointTriggered when armed —
+//                              for sites whose natural failure is an
+//                              exception (allocation, internal error).
+//   MVOPT_FAILPOINT_HIT(name)  evaluates to true when armed — for sites
+//                              whose natural failure is an error return.
+//
+// The registry is thread-safe; the disarmed fast path is a single
+// relaxed atomic load.
+
+#ifndef MVOPT_COMMON_FAILPOINT_H_
+#define MVOPT_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mvopt {
+
+class FailpointTriggered : public std::runtime_error {
+ public:
+  explicit FailpointTriggered(const std::string& name)
+      : std::runtime_error("failpoint '" + name + "' triggered"),
+        name_(name) {}
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+struct FailpointConfig {
+  /// Hits to let pass before the site arms.
+  int64_t skip = 0;
+  /// Firings after arming; -1 = fire on every armed hit.
+  int64_t count = 1;
+  /// Chance an armed hit actually fires (1.0 = deterministic).
+  double probability = 1.0;
+  /// Seed of the per-site random stream (probabilistic triggers replay
+  /// exactly for a given seed).
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  void Enable(const std::string& name, FailpointConfig config = {});
+  void Disable(const std::string& name);
+  void DisableAll();
+
+  /// Site-side check: records a hit on an enabled site and decides
+  /// whether it fires. Disabled/unknown names never fire.
+  bool ShouldFail(const char* name);
+
+  /// Hits / firings observed since Enable (0 for disabled names).
+  int64_t HitCount(const std::string& name) const;
+  int64_t FireCount(const std::string& name) const;
+  std::vector<std::string> EnabledNames() const;
+
+ private:
+  FailpointRegistry() = default;
+
+  struct Point {
+    FailpointConfig config;
+    int64_t hits = 0;
+    int64_t fired = 0;
+    uint64_t rng = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Point> points_;
+  std::atomic<int> num_enabled_{0};
+};
+
+/// Every failpoint site compiled into the library, for suites that
+/// exercise each one. Keep in sync with the MVOPT_FAILPOINT* call sites.
+inline constexpr const char* kFailpointSites[] = {
+    "view_catalog.add_view",              // error-return, pre-mutation
+    "view_catalog.describe",              // throws before the commit point
+    "filter_tree.add_view",               // throws before any tree mutation
+    "filter_tree.insert_leaf",            // throws mid-insert (undo path)
+    "matching_service.find_substitutes",  // throws at probe entry
+    "matcher.match",                      // throws per candidate
+    "rewrite_checker.check",              // forces a checker rejection
+    "plan_exec.execute",                  // throws at execution entry
+};
+
+}  // namespace mvopt
+
+#ifdef MVOPT_FAILPOINTS
+#define MVOPT_FAILPOINT_HIT(name) \
+  (::mvopt::FailpointRegistry::Instance().ShouldFail(name))
+#define MVOPT_FAILPOINT(name)                   \
+  do {                                          \
+    if (MVOPT_FAILPOINT_HIT(name)) {            \
+      throw ::mvopt::FailpointTriggered(name);  \
+    }                                           \
+  } while (0)
+#else
+#define MVOPT_FAILPOINT_HIT(name) (false)
+#define MVOPT_FAILPOINT(name) \
+  do {                        \
+  } while (0)
+#endif
+
+#endif  // MVOPT_COMMON_FAILPOINT_H_

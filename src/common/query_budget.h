@@ -1,0 +1,134 @@
+// Per-query resource governance: a wall-clock deadline plus caps on the
+// work the matching pipeline and the optimizer's memo expansion may
+// perform. The budget is checked cooperatively — the filter tree, the
+// matching service and the optimizer call the Tick/Consume methods at
+// loop boundaries — and exhaustion is *sticky*: once any limit trips,
+// every later check reports exhausted and records the first reason, so
+// all layers wind down together and the optimizer can return the best
+// plan found so far instead of throwing or hanging.
+//
+// A budget is per-query state and is NOT thread-safe; give each
+// concurrent optimization its own instance. Passing no budget (nullptr
+// throughout the APIs) keeps every code path byte-identical to the
+// ungoverned behavior.
+
+#ifndef MVOPT_COMMON_QUERY_BUDGET_H_
+#define MVOPT_COMMON_QUERY_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace mvopt {
+
+/// Why an optimization was degraded (first limit that tripped).
+enum class DegradationReason {
+  kNone = 0,
+  kDeadlineExceeded,     ///< wall-clock deadline passed
+  kCandidateCapReached,  ///< filter-tree candidate cap hit
+  kMemoGroupCapReached,  ///< memo group cap hit
+  kMemoExprCapReached,   ///< memo expression cap hit
+};
+
+inline constexpr int kNumDegradationReasons = 5;
+
+inline const char* DegradationReasonName(DegradationReason reason) {
+  switch (reason) {
+    case DegradationReason::kNone:
+      return "none";
+    case DegradationReason::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case DegradationReason::kCandidateCapReached:
+      return "candidate-cap";
+    case DegradationReason::kMemoGroupCapReached:
+      return "memo-group-cap";
+    case DegradationReason::kMemoExprCapReached:
+      return "memo-expr-cap";
+  }
+  return "?";
+}
+
+class QueryBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+  static constexpr int64_t kUnlimited = std::numeric_limits<int64_t>::max();
+  /// Clock reads are amortized: one per this many TickDeadline calls
+  /// (the first call always reads, so an already-expired deadline trips
+  /// immediately).
+  static constexpr int64_t kDeadlineCheckStride = 16;
+
+  QueryBudget() = default;  // unlimited in every dimension
+
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void set_deadline_after(Clock::duration d) { set_deadline(Clock::now() + d); }
+  void set_candidate_cap(int64_t cap) { candidate_cap_ = cap; }
+  void set_memo_group_cap(int64_t cap) { memo_group_cap_ = cap; }
+  void set_memo_expr_cap(int64_t cap) { memo_expr_cap_ = cap; }
+
+  bool has_deadline() const { return has_deadline_; }
+  bool exhausted() const { return reason_ != DegradationReason::kNone; }
+  DegradationReason reason() const { return reason_; }
+
+  /// Cooperative deadline check; call at loop boundaries. Returns
+  /// exhausted() so call sites can bail with one branch.
+  bool TickDeadline() {
+    if (exhausted()) return true;
+    if (!has_deadline_) return false;
+    if (ticks_++ % kDeadlineCheckStride == 0 && Clock::now() >= deadline_) {
+      reason_ = DegradationReason::kDeadlineExceeded;
+    }
+    return exhausted();
+  }
+
+  /// Charges one filter-tree candidate. Returns exhausted(); when true
+  /// the candidate must NOT be emitted.
+  bool ConsumeCandidate() {
+    if (exhausted()) return true;
+    if (++candidates_used_ > candidate_cap_) {
+      reason_ = DegradationReason::kCandidateCapReached;
+    }
+    return exhausted();
+  }
+
+  /// Charges one memo group / expression. The optimizer still creates
+  /// the structure it needs for a complete plan after exhaustion; these
+  /// only stop *optional* alternatives.
+  bool ConsumeMemoGroup() {
+    if (exhausted()) return true;
+    if (++memo_groups_used_ > memo_group_cap_) {
+      reason_ = DegradationReason::kMemoGroupCapReached;
+    }
+    return exhausted();
+  }
+  bool ConsumeMemoExpr() {
+    if (exhausted()) return true;
+    if (++memo_exprs_used_ > memo_expr_cap_) {
+      reason_ = DegradationReason::kMemoExprCapReached;
+    }
+    return exhausted();
+  }
+
+  int64_t candidates_used() const { return candidates_used_; }
+  int64_t memo_groups_used() const { return memo_groups_used_; }
+  int64_t memo_exprs_used() const { return memo_exprs_used_; }
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  int64_t candidate_cap_ = kUnlimited;
+  int64_t memo_group_cap_ = kUnlimited;
+  int64_t memo_expr_cap_ = kUnlimited;
+
+  int64_t ticks_ = 0;
+  int64_t candidates_used_ = 0;
+  int64_t memo_groups_used_ = 0;
+  int64_t memo_exprs_used_ = 0;
+  DegradationReason reason_ = DegradationReason::kNone;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_COMMON_QUERY_BUDGET_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/failpoint.h"
+
 namespace mvopt {
 
 namespace {
@@ -122,28 +124,54 @@ LatticeIndex::Key FilterTree::ViewKey(const ViewDescription& d,
 }
 
 void FilterTree::AddView(ViewId id) {
+  MVOPT_FAILPOINT("filter_tree.add_view");
   const ViewDescription& d = (*descriptions_)[id];
   const std::vector<FilterLevel>& levels =
       d.is_aggregate ? agg_levels_ : spj_levels_;
   Node* node = d.is_aggregate ? &agg_root_ : &spj_root_;
-  for (size_t depth = 0; depth < levels.size(); ++depth) {
-    LatticeIndex::Key key = ViewKey(d, levels[depth]);
-    int lattice_node = node->index.Insert(key);
-    const bool last = depth + 1 == levels.size();
-    if (last) {
-      if (node->leaves.size() <= static_cast<size_t>(lattice_node)) {
-        node->leaves.resize(lattice_node + 1);
+  // Undo log: lattice keys this insert brought to life, so a failure
+  // mid-path (allocation, failpoint) can re-erase exactly them. Keys
+  // that were already live belong to other views and must survive.
+  struct Step {
+    Node* node;
+    LatticeIndex::Key key;
+    bool created;
+  };
+  std::vector<Step> steps;
+  steps.reserve(levels.size());
+  try {
+    for (size_t depth = 0; depth < levels.size(); ++depth) {
+      LatticeIndex::Key key = ViewKey(d, levels[depth]);
+      const int existing = node->index.Find(key);
+      const bool created = existing < 0 || !node->index.alive(existing);
+      int lattice_node = node->index.Insert(key);
+      steps.push_back(Step{node, std::move(key), created});
+      const bool last = depth + 1 == levels.size();
+      if (last) {
+        MVOPT_FAILPOINT("filter_tree.insert_leaf");
+        if (node->leaves.size() <= static_cast<size_t>(lattice_node)) {
+          node->leaves.resize(lattice_node + 1);
+        }
+        node->leaves[lattice_node].push_back(id);
+      } else {
+        if (node->children.size() <= static_cast<size_t>(lattice_node)) {
+          node->children.resize(lattice_node + 1);
+        }
+        if (node->children[lattice_node] == nullptr) {
+          node->children[lattice_node] = std::make_unique<Node>();
+        }
+        node = node->children[lattice_node].get();
       }
-      node->leaves[lattice_node].push_back(id);
-    } else {
-      if (node->children.size() <= static_cast<size_t>(lattice_node)) {
-        node->children.resize(lattice_node + 1);
-      }
-      if (node->children[lattice_node] == nullptr) {
-        node->children[lattice_node] = std::make_unique<Node>();
-      }
-      node = node->children[lattice_node].get();
     }
+  } catch (...) {
+    // The leaf push is the final mutation, so on any failure the view id
+    // is not in a leaf yet; erasing the keys this insert created (lazy
+    // deletion keeps them as dead routing waypoints) restores the
+    // searchable state exactly.
+    for (auto rit = steps.rbegin(); rit != steps.rend(); ++rit) {
+      if (rit->created) rit->node->index.Erase(rit->key);
+    }
+    throw;
   }
   ++num_views_;
 }
@@ -266,8 +294,9 @@ bool FilterTree::PassesFullRangeCondition(ViewId id,
 void FilterTree::Search(const Node& node,
                         const std::vector<FilterLevel>& levels, size_t depth,
                         const SearchContext& ctx, bool agg_tree,
-                        std::vector<ViewId>* out,
-                        FilterSearchStats* stats) const {
+                        std::vector<ViewId>* out, FilterSearchStats* stats,
+                        QueryBudget* budget) const {
+  if (budget != nullptr && budget->TickDeadline()) return;
   std::vector<int> qualifying;
   SearchLevel(node, levels[depth], ctx, agg_tree, &qualifying);
   if (stats != nullptr) {
@@ -280,6 +309,7 @@ void FilterTree::Search(const Node& node,
       for (ViewId id : node.leaves[n]) {
         if (stats != nullptr) ++stats->views_range_checked;
         if (PassesFullRangeCondition(id, ctx)) {
+          if (budget != nullptr && budget->ConsumeCandidate()) return;
           out->push_back(id);
         } else if (stats != nullptr) {
           ++stats->views_range_rejected;
@@ -290,13 +320,16 @@ void FilterTree::Search(const Node& node,
           node.children[n] == nullptr) {
         continue;
       }
-      Search(*node.children[n], levels, depth + 1, ctx, agg_tree, out, stats);
+      Search(*node.children[n], levels, depth + 1, ctx, agg_tree, out, stats,
+             budget);
+      if (budget != nullptr && budget->exhausted()) return;
     }
   }
 }
 
-std::vector<ViewId> FilterTree::FindCandidates(
-    const QueryDescription& query, FilterSearchStats* stats) const {
+std::vector<ViewId> FilterTree::FindCandidates(const QueryDescription& query,
+                                               FilterSearchStats* stats,
+                                               QueryBudget* budget) const {
   SearchContext ctx;
   ctx.is_aggregate = query.is_aggregate;
   ctx.source_tables = ToKey(query.source_tables);
@@ -348,11 +381,13 @@ std::vector<ViewId> FilterTree::FindCandidates(
 
   std::vector<ViewId> out;
   if (spj_root_.index.num_live_nodes() > 0 || !spj_root_.leaves.empty()) {
-    Search(spj_root_, spj_levels_, 0, ctx, /*agg_tree=*/false, &out, stats);
+    Search(spj_root_, spj_levels_, 0, ctx, /*agg_tree=*/false, &out, stats,
+           budget);
   }
   if (query.is_aggregate &&
       (agg_root_.index.num_live_nodes() > 0 || !agg_root_.leaves.empty())) {
-    Search(agg_root_, agg_levels_, 0, ctx, /*agg_tree=*/true, &out, stats);
+    Search(agg_root_, agg_levels_, 0, ctx, /*agg_tree=*/true, &out, stats,
+           budget);
   }
   return out;
 }

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/query_budget.h"
 #include "index/lattice.h"
 #include "query/view_def.h"
 #include "rewrite/view_description.h"
@@ -69,6 +70,9 @@ class FilterTree {
   void set_assume_backjoins(bool v) { assume_backjoins_ = v; }
 
   /// Indexes the view with the given description index (== ViewId).
+  /// Strongly exception-safe: a failure mid-insert (allocation or
+  /// failpoint) rolls the tree back to its previous state before
+  /// rethrowing.
   void AddView(ViewId id);
 
   /// Removes a previously added view.
@@ -76,8 +80,11 @@ class FilterTree {
 
   /// Returns ids of views satisfying every partitioning condition for
   /// `query`, including the full range-constraint check (§4.2.5).
+  /// When `budget` is given, the search stops early on deadline or
+  /// candidate-cap exhaustion and returns the candidates found so far.
   std::vector<ViewId> FindCandidates(const QueryDescription& query,
-                                     FilterSearchStats* stats = nullptr) const;
+                                     FilterSearchStats* stats = nullptr,
+                                     QueryBudget* budget = nullptr) const;
 
   int num_views() const { return num_views_; }
 
@@ -113,7 +120,8 @@ class FilterTree {
   LatticeIndex::Key ViewKey(const ViewDescription& d, FilterLevel level);
   void Search(const Node& node, const std::vector<FilterLevel>& levels,
               size_t depth, const SearchContext& ctx, bool agg_tree,
-              std::vector<ViewId>* out, FilterSearchStats* stats) const;
+              std::vector<ViewId>* out, FilterSearchStats* stats,
+              QueryBudget* budget) const;
   void SearchLevel(const Node& node, FilterLevel level,
                    const SearchContext& ctx, bool agg_tree,
                    std::vector<int>* out) const;

@@ -5,6 +5,28 @@
 
 namespace mvopt {
 
+namespace {
+
+// Visited-marking scratch for the graph searches. Thread-local so
+// concurrent const searches over the same index share no mutable state;
+// the monotone counter makes clearing O(1), and because every search
+// draws a fresh counter value, stale marks left by other indexes (or
+// earlier searches) can never collide.
+struct VisitScratch {
+  std::vector<uint64_t> mark;
+  uint64_t counter = 0;
+
+  // Returns the stamp for this search; `mark[n] == stamp` <=> visited.
+  uint64_t Begin(size_t num_nodes) {
+    if (mark.size() < num_nodes) mark.resize(num_nodes, 0);
+    return ++counter;
+  }
+};
+
+thread_local VisitScratch t_visit_scratch;
+
+}  // namespace
+
 bool LatticeIndex::IsSubset(const Key& a, const Key& b) {
   if (a.size() > b.size()) return false;
   size_t i = 0;
@@ -30,14 +52,14 @@ int LatticeIndex::Find(const Key& key) const {
 void LatticeIndex::CollectSupersetsOf(const Key& key,
                                       std::vector<int>* out) const {
   // Structural descent from tops; includes erased nodes (they still route).
-  ++stamp_;
-  visit_stamp_.resize(nodes_.size(), 0);
+  VisitScratch& scratch = t_visit_scratch;
+  const uint64_t stamp = scratch.Begin(nodes_.size());
   std::vector<int> stack = tops_;
   while (!stack.empty()) {
     int n = stack.back();
     stack.pop_back();
-    if (visit_stamp_[n] == stamp_) continue;
-    visit_stamp_[n] = stamp_;
+    if (scratch.mark[n] == stamp) continue;
+    scratch.mark[n] = stamp;
     if (!IsSubset(key, nodes_[n].key)) continue;  // subsets fail too
     out->push_back(n);
     for (int c : nodes_[n].subsets) stack.push_back(c);
@@ -46,14 +68,14 @@ void LatticeIndex::CollectSupersetsOf(const Key& key,
 
 void LatticeIndex::CollectSubsetsOf(const Key& key,
                                     std::vector<int>* out) const {
-  ++stamp_;
-  visit_stamp_.resize(nodes_.size(), 0);
+  VisitScratch& scratch = t_visit_scratch;
+  const uint64_t stamp = scratch.Begin(nodes_.size());
   std::vector<int> stack = roots_;
   while (!stack.empty()) {
     int n = stack.back();
     stack.pop_back();
-    if (visit_stamp_[n] == stamp_) continue;
-    visit_stamp_[n] = stamp_;
+    if (scratch.mark[n] == stamp) continue;
+    scratch.mark[n] = stamp;
     if (!IsSubset(nodes_[n].key, key)) continue;  // supersets fail too
     out->push_back(n);
     for (int p : nodes_[n].supersets) stack.push_back(p);
@@ -145,14 +167,14 @@ bool LatticeIndex::Erase(const Key& key) {
 
 void LatticeIndex::SearchDown(const NodePredicate& pred,
                               std::vector<int>* out) const {
-  ++stamp_;
-  visit_stamp_.resize(nodes_.size(), 0);
+  VisitScratch& scratch = t_visit_scratch;
+  const uint64_t stamp = scratch.Begin(nodes_.size());
   std::vector<int> stack = tops_;
   while (!stack.empty()) {
     int n = stack.back();
     stack.pop_back();
-    if (visit_stamp_[n] == stamp_) continue;
-    visit_stamp_[n] = stamp_;
+    if (scratch.mark[n] == stamp) continue;
+    scratch.mark[n] = stamp;
     if (!pred(nodes_[n].key)) continue;  // all subsets fail
     if (nodes_[n].alive) out->push_back(n);
     for (int c : nodes_[n].subsets) stack.push_back(c);
@@ -161,14 +183,14 @@ void LatticeIndex::SearchDown(const NodePredicate& pred,
 
 void LatticeIndex::SearchUp(const NodePredicate& pred,
                             std::vector<int>* out) const {
-  ++stamp_;
-  visit_stamp_.resize(nodes_.size(), 0);
+  VisitScratch& scratch = t_visit_scratch;
+  const uint64_t stamp = scratch.Begin(nodes_.size());
   std::vector<int> stack = roots_;
   while (!stack.empty()) {
     int n = stack.back();
     stack.pop_back();
-    if (visit_stamp_[n] == stamp_) continue;
-    visit_stamp_[n] = stamp_;
+    if (scratch.mark[n] == stamp) continue;
+    scratch.mark[n] = stamp;
     if (!pred(nodes_[n].key)) continue;  // all supersets fail
     if (nodes_[n].alive) out->push_back(n);
     for (int p : nodes_[n].supersets) stack.push_back(p);

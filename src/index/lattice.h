@@ -90,8 +90,6 @@ class LatticeIndex {
   std::vector<int> roots_;
   std::map<Key, int> by_key_;
   int num_live_ = 0;
-  mutable std::vector<uint32_t> visit_stamp_;
-  mutable uint32_t stamp_ = 0;
 };
 
 }  // namespace mvopt

@@ -1,8 +1,15 @@
 #include "index/matching_service.h"
 
 #include <algorithm>
+#include <exception>
+
+#include "common/failpoint.h"
 
 namespace mvopt {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
 
 MatchingService::MatchingService(const Catalog* catalog)
     : MatchingService(catalog, Options()) {}
@@ -20,21 +27,42 @@ MatchingService::MatchingService(const Catalog* catalog, Options options)
 ViewDefinition* MatchingService::AddView(const std::string& name,
                                          SpjgQuery definition,
                                          std::string* error) {
-  ViewDefinition* view = view_catalog_.AddView(name, std::move(definition),
-                                               error);
-  if (view == nullptr) return nullptr;
-  filter_tree_.AddView(view->id());
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ViewDefinition* view = nullptr;
+  try {
+    view = view_catalog_.AddView(name, std::move(definition), error);
+    if (view == nullptr) return nullptr;
+    filter_tree_.AddView(view->id());
+  } catch (const std::exception& e) {
+    // Transactional: indexing failed (or registration threw), so undo
+    // the catalog registration. FilterTree::AddView already rolled its
+    // own partial inserts back, leaving every structure as it was.
+    if (view != nullptr) view_catalog_.RemoveLastView(view->id());
+    if (error != nullptr) {
+      *error = std::string("view registration aborted and rolled back: ") +
+               e.what();
+    }
+    return nullptr;
+  }
+  // Keep the health list aligned with the catalog (self-healing so a
+  // historical allocation failure here can never skew later ids).
+  while (view_health_.size() <
+         static_cast<size_t>(view_catalog_.num_views())) {
+    view_health_.emplace_back();
+  }
   return view;
 }
 
 std::vector<Substitute> MatchingService::FindSubstitutes(
-    const SpjgQuery& query) {
-  ++stats_.invocations;
+    const SpjgQuery& query, QueryBudget* budget) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  MVOPT_FAILPOINT("matching_service.find_substitutes");
+  stats_.invocations.fetch_add(1, kRelaxed);
   if (view_catalog_.num_views() == 0) return {};
   std::vector<ViewId> candidates;
   if (options_.use_filter_tree) {
     QueryDescription qd = DescribeQuery(*catalog_, query);
-    candidates = filter_tree_.FindCandidates(qd);
+    candidates = filter_tree_.FindCandidates(qd, nullptr, budget);
   } else {
     // Without the index every view description must be considered; the
     // only cheap pre-test retained is the aggregation/table-set screen
@@ -44,42 +72,158 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
       candidates.push_back(id);
     }
   }
-  stats_.candidates += static_cast<int64_t>(candidates.size());
+  stats_.candidates.fetch_add(static_cast<int64_t>(candidates.size()),
+                              kRelaxed);
 
+  const bool quarantine_active =
+      options_.quarantine_threshold > 0 &&
+      options_.verify_mode == VerifyMode::kEnforce;
   std::vector<Substitute> out;
   for (ViewId id : candidates) {
-    ++stats_.full_tests;
-    MatchResult result = matcher_.Match(query, view_catalog_.view(id));
+    if (budget != nullptr && budget->TickDeadline()) {
+      stats_.budget_truncations.fetch_add(1, kRelaxed);
+      break;
+    }
+    if (quarantine_active && IsQuarantined(id)) {
+      stats_.quarantine_skips.fetch_add(1, kRelaxed);
+      continue;
+    }
+    stats_.full_tests.fetch_add(1, kRelaxed);
+    MatchResult result;
+    try {
+      MVOPT_FAILPOINT("matcher.match");
+      result = matcher_.Match(query, view_catalog_.view(id));
+    } catch (const std::exception&) {
+      // Fault isolation: one failing candidate never poisons the probe.
+      stats_.match_failures.fetch_add(1, kRelaxed);
+      continue;
+    }
     if (result.ok()) {
-      ++stats_.substitutes;
       Substitute sub = std::move(*result.substitute);
       if (options_.verify_mode != VerifyMode::kOff) {
-        ++verify_stats_.checked;
-        Verdict verdict = checker_.Check(query, view_catalog_.view(id), sub);
-        if (verdict.proven) {
-          ++verify_stats_.proven;
+        verify_stats_.checked.fetch_add(1, kRelaxed);
+        Verdict verdict;
+        if (MVOPT_FAILPOINT_HIT("rewrite_checker.check")) {
+          verdict = Verdict::Fail(CheckCode::kMalformedSubstitute,
+                                  "failpoint 'rewrite_checker.check'");
         } else {
-          ++verify_stats_.rejected;
-          ++verify_stats_.by_code[static_cast<size_t>(verdict.code)];
-          if (verify_stats_.rejection_traces.size() <
-              VerifyStats::kMaxRejectionTraces) {
-            verify_stats_.rejection_traces.push_back(
-                view_catalog_.view(id).name() + ": " +
-                CheckCodeName(verdict.code) + ": " + verdict.detail);
+          verdict = checker_.Check(query, view_catalog_.view(id), sub);
+        }
+        if (verdict.proven) {
+          verify_stats_.proven.fetch_add(1, kRelaxed);
+          if (quarantine_active &&
+              static_cast<size_t>(id) < view_health_.size()) {
+            view_health_[id].consecutive_rejections.store(0, kRelaxed);
           }
+        } else {
+          RecordVerifyRejection(id, verdict);
           if (options_.verify_mode == VerifyMode::kEnforce) continue;
         }
       }
+      stats_.substitutes.fetch_add(1, kRelaxed);
       out.push_back(std::move(sub));
     } else {
-      ++stats_.rejects[static_cast<size_t>(result.reason)];
+      stats_.rejects[static_cast<size_t>(result.reason)].fetch_add(1,
+                                                                   kRelaxed);
     }
   }
   return out;
 }
 
+void MatchingService::RecordVerifyRejection(ViewId id,
+                                            const Verdict& verdict) {
+  verify_stats_.rejected.fetch_add(1, kRelaxed);
+  verify_stats_.by_code[static_cast<size_t>(verdict.code)].fetch_add(
+      1, kRelaxed);
+  {
+    std::lock_guard<std::mutex> trace_lock(trace_mu_);
+    if (rejection_traces_.size() < VerifyStats::kMaxRejectionTraces) {
+      rejection_traces_.push_back(view_catalog_.view(id).name() + ": " +
+                                  CheckCodeName(verdict.code) + ": " +
+                                  verdict.detail);
+    }
+  }
+  if (options_.quarantine_threshold > 0 &&
+      options_.verify_mode == VerifyMode::kEnforce &&
+      static_cast<size_t>(id) < view_health_.size()) {
+    ViewHealth& health = view_health_[id];
+    const int32_t streak =
+        health.consecutive_rejections.fetch_add(1, kRelaxed) + 1;
+    if (streak >= options_.quarantine_threshold &&
+        !health.quarantined.exchange(true, kRelaxed)) {
+      num_quarantined_.fetch_add(1, kRelaxed);
+    }
+  }
+}
+
+bool MatchingService::IsQuarantined(ViewId id) const {
+  return static_cast<size_t>(id) < view_health_.size() &&
+         view_health_[id].quarantined.load(kRelaxed);
+}
+
+std::vector<std::string> MatchingService::QuarantinedViews() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
+    if (IsQuarantined(id)) out.push_back(view_catalog_.view(id).name());
+  }
+  return out;
+}
+
+MatchingStats MatchingService::stats() const {
+  MatchingStats snapshot;
+  snapshot.invocations = stats_.invocations.load(kRelaxed);
+  snapshot.candidates = stats_.candidates.load(kRelaxed);
+  snapshot.full_tests = stats_.full_tests.load(kRelaxed);
+  snapshot.substitutes = stats_.substitutes.load(kRelaxed);
+  snapshot.match_failures = stats_.match_failures.load(kRelaxed);
+  snapshot.budget_truncations = stats_.budget_truncations.load(kRelaxed);
+  snapshot.quarantine_skips = stats_.quarantine_skips.load(kRelaxed);
+  for (size_t i = 0; i < snapshot.rejects.size(); ++i) {
+    snapshot.rejects[i] = stats_.rejects[i].load(kRelaxed);
+  }
+  return snapshot;
+}
+
+VerifyStats MatchingService::verify_stats() const {
+  VerifyStats snapshot;
+  snapshot.checked = verify_stats_.checked.load(kRelaxed);
+  snapshot.proven = verify_stats_.proven.load(kRelaxed);
+  snapshot.rejected = verify_stats_.rejected.load(kRelaxed);
+  snapshot.quarantined_views = num_quarantined_.load(kRelaxed);
+  for (size_t i = 0; i < snapshot.by_code.size(); ++i) {
+    snapshot.by_code[i] = verify_stats_.by_code[i].load(kRelaxed);
+  }
+  {
+    std::lock_guard<std::mutex> trace_lock(trace_mu_);
+    snapshot.rejection_traces = rejection_traces_;
+  }
+  return snapshot;
+}
+
+void MatchingService::ResetStats() {
+  stats_.invocations.store(0, kRelaxed);
+  stats_.candidates.store(0, kRelaxed);
+  stats_.full_tests.store(0, kRelaxed);
+  stats_.substitutes.store(0, kRelaxed);
+  stats_.match_failures.store(0, kRelaxed);
+  stats_.budget_truncations.store(0, kRelaxed);
+  stats_.quarantine_skips.store(0, kRelaxed);
+  for (auto& r : stats_.rejects) r.store(0, kRelaxed);
+}
+
+void MatchingService::ResetVerifyStats() {
+  verify_stats_.checked.store(0, kRelaxed);
+  verify_stats_.proven.store(0, kRelaxed);
+  verify_stats_.rejected.store(0, kRelaxed);
+  for (auto& c : verify_stats_.by_code) c.store(0, kRelaxed);
+  std::lock_guard<std::mutex> trace_lock(trace_mu_);
+  rejection_traces_.clear();
+}
+
 std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
     const SpjgQuery& query) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (query.is_aggregate || view_catalog_.num_views() < 2) {
     return std::nullopt;
   }

@@ -2,14 +2,29 @@
 // Combines the view catalog, the filter tree (§4) and the view-matching
 // algorithm (§3), and accumulates the effectiveness statistics reported
 // in §5 (candidate-set fraction, pass rate, substitutes per invocation).
+//
+// Concurrency model: FindSubstitutes / FindUnionSubstitute may be called
+// from any number of threads while AddView proceeds on another — readers
+// take a shared lock, AddView an exclusive one, and all counters are
+// atomic, so probe results are always computed against a consistent
+// catalog/filter-tree snapshot (the one before or after the AddView).
+// AddView itself is transactional: if indexing fails after catalog
+// registration, the registration is rolled back, so the catalog, filter
+// tree and lattices never disagree. The stats()/verify_stats() accessors
+// return value snapshots.
 
 #ifndef MVOPT_INDEX_MATCHING_SERVICE_H_
 #define MVOPT_INDEX_MATCHING_SERVICE_H_
 
 #include <array>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/query_budget.h"
 #include "index/filter_tree.h"
 #include "query/substitute.h"
 #include "rewrite/matcher.h"
@@ -19,15 +34,17 @@
 
 namespace mvopt {
 
+/// Value snapshot of the matching counters (see MatchingService::stats).
 struct MatchingStats {
-  int64_t invocations = 0;    ///< FindSubstitutes calls
-  int64_t candidates = 0;     ///< views surviving the filter (summed)
-  int64_t full_tests = 0;     ///< matcher executions
-  int64_t substitutes = 0;    ///< substitutes produced
+  int64_t invocations = 0;         ///< FindSubstitutes calls
+  int64_t candidates = 0;          ///< views surviving the filter (summed)
+  int64_t full_tests = 0;          ///< matcher executions
+  int64_t substitutes = 0;         ///< substitutes produced
+  int64_t match_failures = 0;      ///< matcher runs aborted by an exception
+  int64_t budget_truncations = 0;  ///< probes cut short by a budget
+  int64_t quarantine_skips = 0;    ///< candidates skipped while quarantined
   /// Rejection counts by reason (indexed by RejectReason).
-  std::array<int64_t, 16> rejects{};
-
-  void Reset() { *this = MatchingStats(); }
+  std::array<int64_t, kNumRejectReasons> rejects{};
 };
 
 /// Outcomes of the soundness checker over produced substitutes.
@@ -37,12 +54,11 @@ struct VerifyStats {
   int64_t checked = 0;
   int64_t proven = 0;
   int64_t rejected = 0;
+  int64_t quarantined_views = 0;  ///< views currently quarantined
   /// Rejection counts by CheckCode.
   std::array<int64_t, kNumCheckCodes> by_code{};
   /// First rejections, "view: code: detail" (capped).
   std::vector<std::string> rejection_traces;
-
-  void Reset() { *this = VerifyStats(); }
 };
 
 class MatchingService {
@@ -55,18 +71,27 @@ class MatchingService {
     /// substitutes).
     VerifyMode verify_mode = VerifyMode::kOff;
     RewriteChecker::Options verify;
+    /// Enforce-mode quarantine: a view whose substitutes are rejected by
+    /// the checker this many times in a row is skipped by subsequent
+    /// probes (a proven substitute resets the streak). 0 disables.
+    int quarantine_threshold = 0;
   };
 
   explicit MatchingService(const Catalog* catalog);
   MatchingService(const Catalog* catalog, Options options);
 
   /// Validates + registers + indexes a view. nullptr with *error on
-  /// rejection.
+  /// rejection. Transactional: on an indexing failure the catalog
+  /// registration is rolled back and the error is reported — no
+  /// exception escapes and no partial state is left behind.
   ViewDefinition* AddView(const std::string& name, SpjgQuery definition,
                           std::string* error = nullptr);
 
-  /// The view-matching rule body: all substitutes for `query`.
-  std::vector<Substitute> FindSubstitutes(const SpjgQuery& query);
+  /// The view-matching rule body: all substitutes for `query`. With a
+  /// `budget`, candidate enumeration and matching stop cooperatively on
+  /// exhaustion and the substitutes found so far are returned.
+  std::vector<Substitute> FindSubstitutes(const SpjgQuery& query,
+                                          QueryBudget* budget = nullptr);
 
   /// §7 extension: a union substitute assembled from several
   /// range-partitioned views (SPJ queries only). Tries the views that
@@ -74,30 +99,73 @@ class MatchingService {
   /// §5 experiments stay paper-faithful.
   std::optional<UnionSubstitute> FindUnionSubstitute(const SpjgQuery& query);
 
+  /// Structure accessors. Safe to use freely in single-threaded code;
+  /// while concurrent AddView calls are possible they must not be
+  /// retained across them.
   const ViewCatalog& views() const { return view_catalog_; }
   ViewCatalog& mutable_views() { return view_catalog_; }
   const Catalog& catalog() const { return *catalog_; }
   const FilterTree& filter_tree() const { return filter_tree_; }
   const ViewMatcher& matcher() const { return matcher_; }
 
-  MatchingStats& stats() { return stats_; }
-  const MatchingStats& stats() const { return stats_; }
+  /// Value snapshots of the (atomic) counters.
+  MatchingStats stats() const;
+  VerifyStats verify_stats() const;
+  void ResetStats();
+  void ResetVerifyStats();
 
   VerifyMode verify_mode() const { return options_.verify_mode; }
   void set_verify_mode(VerifyMode mode) { options_.verify_mode = mode; }
   const RewriteChecker& checker() const { return checker_; }
-  VerifyStats& verify_stats() { return verify_stats_; }
-  const VerifyStats& verify_stats() const { return verify_stats_; }
+
+  /// Names of quarantined views, in id order.
+  std::vector<std::string> QuarantinedViews() const;
+  bool IsQuarantined(ViewId id) const;
 
  private:
+  struct AtomicMatchingCounters {
+    std::atomic<int64_t> invocations{0};
+    std::atomic<int64_t> candidates{0};
+    std::atomic<int64_t> full_tests{0};
+    std::atomic<int64_t> substitutes{0};
+    std::atomic<int64_t> match_failures{0};
+    std::atomic<int64_t> budget_truncations{0};
+    std::atomic<int64_t> quarantine_skips{0};
+    std::array<std::atomic<int64_t>, kNumRejectReasons> rejects{};
+  };
+  struct AtomicVerifyCounters {
+    std::atomic<int64_t> checked{0};
+    std::atomic<int64_t> proven{0};
+    std::atomic<int64_t> rejected{0};
+    std::array<std::atomic<int64_t>, kNumCheckCodes> by_code{};
+  };
+  /// Per-view enforce-mode health (deque: grows without invalidating
+  /// entries, and atomics need not move).
+  struct ViewHealth {
+    std::atomic<int32_t> consecutive_rejections{0};
+    std::atomic<bool> quarantined{false};
+  };
+
+  void RecordVerifyRejection(ViewId id, const Verdict& verdict);
+
   const Catalog* catalog_;
   Options options_;
   ViewCatalog view_catalog_;
   FilterTree filter_tree_;
   ViewMatcher matcher_;
   RewriteChecker checker_;
-  MatchingStats stats_;
-  VerifyStats verify_stats_;
+
+  /// Guards catalog + filter tree structure: shared for probes,
+  /// exclusive for AddView.
+  mutable std::shared_mutex mu_;
+  /// Guards the (rare) rejection-trace appends.
+  mutable std::mutex trace_mu_;
+
+  AtomicMatchingCounters stats_;
+  AtomicVerifyCounters verify_stats_;
+  std::vector<std::string> rejection_traces_;
+  std::deque<ViewHealth> view_health_;
+  std::atomic<int64_t> num_quarantined_{0};
 };
 
 }  // namespace mvopt

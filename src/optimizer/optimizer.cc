@@ -32,6 +32,7 @@ constexpr int kJoinedAggKeyBase = 100000;
 
 struct Optimizer::Context {
   const SpjgQuery* query = nullptr;
+  QueryBudget* budget = nullptr;  // may be null (ungoverned)
   uint32_t full_mask = 0;
   std::vector<uint32_t> conjunct_mask;  // per query conjunct
   std::map<std::pair<uint32_t, int>, int> group_index;
@@ -119,10 +120,20 @@ void Optimizer::ApplyViewMatching(Context* ctx, int group_id) {
   if (group.matched) return;
   group.matched = true;
   if (!options_.enable_view_matching || matching_ == nullptr) return;
+  // Substitutes are optional alternatives: an exhausted budget skips the
+  // rule entirely (the group keeps its base-table expressions).
+  if (ctx->budget != nullptr && ctx->budget->TickDeadline()) return;
 
   SpjgQuery sig = GroupSignature(*ctx, group);
   auto start = std::chrono::steady_clock::now();
-  std::vector<Substitute> subs = matching_->FindSubstitutes(sig);
+  std::vector<Substitute> subs;
+  try {
+    subs = matching_->FindSubstitutes(sig, ctx->budget);
+  } catch (const std::exception&) {
+    // Fault isolation: a failing matching service degrades the plan (no
+    // substitutes for this group), never the optimization.
+    ++ctx->metrics.view_matching_failures;
+  }
   auto end = std::chrono::steady_clock::now();
   ctx->metrics.view_matching_seconds +=
       std::chrono::duration<double>(end - start).count();
@@ -148,6 +159,10 @@ int Optimizer::MakeSpjGroup(Context* ctx, uint32_t mask) {
   ctx->group_index[key] = gid;
   ctx->groups.push_back(Group{});
   ++ctx->metrics.groups_created;
+  // Charge the budget for the group; creation itself always proceeds
+  // (the memo needs the group for a complete plan), but once the cap
+  // trips every group is built minimally below.
+  if (ctx->budget != nullptr) ctx->budget->ConsumeMemoGroup();
   {
     Group& g = ctx->groups[gid];
     g.mask = mask;
@@ -204,6 +219,15 @@ int Optimizer::MakeSpjGroup(Context* ctx, uint32_t mask) {
     }
     const std::vector<uint32_t>& splits = connected.empty() ? all : connected;
     for (uint32_t s : splits) {
+      // Graceful degradation: the first split always materializes (its
+      // recursion gives every group at least one complete alternative,
+      // so a plan always exists); further splits stop once the budget is
+      // exhausted.
+      if (ctx->budget != nullptr && !ctx->groups[gid].exprs.empty()) {
+        ctx->budget->TickDeadline();
+        ctx->budget->ConsumeMemoExpr();
+        if (ctx->budget->exhausted()) break;
+      }
       int left = MakeSpjGroup(ctx, s);
       int right = MakeSpjGroup(ctx, mask & ~s);
       LogicalExpr e;
@@ -250,6 +274,11 @@ void Optimizer::ApplyPreAggregation(Context* ctx, int root_group) {
   ClassifiedPredicates all_preds = ClassifyConjuncts(q.conjuncts);
 
   for (int r = 0; r < q.num_tables(); ++r) {
+    // Pre-aggregation alternatives are pure gravy — stop on exhaustion.
+    if (ctx->budget != nullptr &&
+        (ctx->budget->TickDeadline() || ctx->budget->exhausted())) {
+      break;
+    }
     const uint32_t rbit = 1u << r;
     if (!(mask & rbit)) continue;
     const uint32_t inner_mask = mask & ~rbit;
@@ -730,10 +759,12 @@ PhysPlanPtr Optimizer::OptimizeGroup(Context* ctx, int group_id) {
   return best;
 }
 
-OptimizationResult Optimizer::Optimize(const SpjgQuery& query) {
+OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
+                                       QueryBudget* budget) {
   assert(query.num_tables() <= 30);
   Context ctx;
   ctx.query = &query;
+  ctx.budget = budget;
   ctx.full_mask = query.num_tables() >= 32
                       ? 0xffffffffu
                       : ((1u << query.num_tables()) - 1);
@@ -771,6 +802,8 @@ OptimizationResult Optimizer::Optimize(const SpjgQuery& query) {
   result.plan = plan;
   result.cost = plan != nullptr ? plan->cost : 0;
   result.uses_view = plan != nullptr && plan->UsesView();
+  result.degradation =
+      budget != nullptr ? budget->reason() : DegradationReason::kNone;
   result.metrics = ctx.metrics;
   if (options_.audit_memo) {
     std::vector<MemoGroupRecord> records;

@@ -39,14 +39,24 @@ std::string PhysPlan::ToString(const Catalog& catalog, int indent) const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), " (rows=%.0f cost=%.0f)", rows, cost);
   std::string line = pad + PhysKindName(kind);
+  // A view picked by the optimizer need not be materialized as a catalog
+  // table (optimizer-only pipelines leave `table` invalid), and a plan
+  // should always be printable — fall back to the view/table id.
+  auto scan_target = [&catalog, this]() -> std::string {
+    if (table >= 0 && table < catalog.num_tables()) {
+      return catalog.table(table).name();
+    }
+    if (view != kInvalidViewId) return "view#" + std::to_string(view);
+    return "table#" + std::to_string(table);
+  };
   switch (kind) {
     case PhysKind::kTableScan:
     case PhysKind::kViewScan:
-      line += "(" + catalog.table(table).name() + ")";
+      line += "(" + scan_target() + ")";
       break;
     case PhysKind::kIndexRangeScan:
     case PhysKind::kViewIndexScan:
-      line += "(" + catalog.table(table).name() + "." + index_name + " " +
+      line += "(" + scan_target() + "." + index_name + " " +
               index_range.ToString() + ")";
       break;
     case PhysKind::kHashJoin: {

@@ -3,10 +3,13 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "common/failpoint.h"
+
 namespace mvopt {
 
 std::vector<Row> PlanExecutor::Execute(const PhysPlanPtr& root) {
   assert(root != nullptr);
+  MVOPT_FAILPOINT("plan_exec.execute");
   return Run(*root).rows;
 }
 

@@ -62,6 +62,13 @@ enum class RejectReason {
   kAggregateNotComputable,  ///< query aggregate has no matching view output
 };
 
+/// Number of RejectReason values, for reason-indexed count arrays
+/// (mirrors kNumCheckCodes in src/verify).
+inline constexpr int kNumRejectReasons = 11;
+static_assert(static_cast<int>(RejectReason::kAggregateNotComputable) + 1 ==
+                  kNumRejectReasons,
+              "kNumRejectReasons must cover every RejectReason");
+
 const char* RejectReasonName(RejectReason reason);
 
 struct MatchResult {

@@ -1,5 +1,10 @@
 #include "rewrite/view_catalog.h"
 
+#include <algorithm>
+#include <cassert>
+
+#include "common/failpoint.h"
+
 namespace mvopt {
 
 ViewDefinition* ViewCatalog::AddView(const std::string& name,
@@ -11,17 +16,43 @@ ViewDefinition* ViewCatalog::AddView(const std::string& name,
     }
     return nullptr;
   }
+  if (MVOPT_FAILPOINT_HIT("view_catalog.add_view")) {
+    if (error != nullptr) *error = "failpoint 'view_catalog.add_view'";
+    return nullptr;
+  }
   auto invalid = ViewDefinition::Validate(definition);
   if (invalid.has_value()) {
     if (error != nullptr) *error = *invalid;
     return nullptr;
   }
   ViewId id = static_cast<ViewId>(views_.size());
-  views_.push_back(
-      std::make_unique<ViewDefinition>(id, name, std::move(definition)));
-  descriptions_.push_back(DescribeView(*catalog_, *views_.back()));
-  by_name_.emplace(name, id);
+  // Build everything fallible before the commit point: a throw from the
+  // definition, the description (or the failpoint standing in for one)
+  // leaves all three containers untouched, so views_/descriptions_/
+  // by_name_ can never disagree.
+  auto view = std::make_unique<ViewDefinition>(id, name, std::move(definition));
+  ViewDescription description = DescribeView(*catalog_, *view);
+  MVOPT_FAILPOINT("view_catalog.describe");
+  if (views_.size() == views_.capacity()) {
+    views_.reserve(std::max<size_t>(8, views_.size() * 2));
+  }
+  if (descriptions_.size() == descriptions_.capacity()) {
+    descriptions_.reserve(std::max<size_t>(8, descriptions_.size() * 2));
+  }
+  by_name_.emplace(name, id);  // may throw; nothing else mutated yet
+  // Capacity reserved and both element moves are noexcept: no-throw.
+  views_.push_back(std::move(view));
+  descriptions_.push_back(std::move(description));
   return views_.back().get();
+}
+
+void ViewCatalog::RemoveLastView(ViewId id) {
+  assert(!views_.empty() && views_.back()->id() == id &&
+         "only the most recent registration can be rolled back");
+  (void)id;
+  by_name_.erase(views_.back()->name());
+  views_.pop_back();
+  descriptions_.pop_back();
 }
 
 const ViewDefinition* ViewCatalog::FindView(const std::string& name) const {

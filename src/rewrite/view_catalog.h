@@ -25,8 +25,16 @@ class ViewCatalog {
   /// Validates and registers a view. Returns the definition, or nullptr
   /// with `*error` set when the view is not indexable or the name is
   /// already registered (re-registering a name is a hard error).
+  /// Strongly exception-safe: everything fallible (validation,
+  /// description, allocation, failpoints) happens before the first
+  /// container mutation, so a throw leaves the catalog untouched.
   ViewDefinition* AddView(const std::string& name, SpjgQuery definition,
                           std::string* error = nullptr);
+
+  /// Rolls back the most recent successful AddView (`id` must be the id
+  /// it returned). Used by MatchingService's transactional AddView when
+  /// a later step — indexing the view — fails.
+  void RemoveLastView(ViewId id);
 
   /// The registered view with `name`, or nullptr.
   const ViewDefinition* FindView(const std::string& name) const;

@@ -1,0 +1,207 @@
+// Multi-threaded stress for the MatchingService concurrency model:
+// FindSubstitutes from several threads while AddView proceeds, with the
+// final concurrent answers cross-checked against a single-threaded
+// reference service. Run under MVOPT_SANITIZE=thread in CI.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "index/matching_service.h"
+#include "tpch/schema.h"
+#include "tpch/workload.h"
+#include "verify/invariant_auditor.h"
+
+namespace mvopt {
+namespace {
+
+constexpr int kNumViews = 80;
+constexpr int kInitialViews = 30;
+constexpr int kNumQueries = 30;
+constexpr int kNumReaders = 4;
+
+class ConcurrencyStressTest : public ::testing::Test {
+ protected:
+  ConcurrencyStressTest() : schema_(tpch::BuildSchema(&catalog_, 0.5)) {
+    tpch::WorkloadGenerator view_gen(&catalog_, 9);
+    for (int i = 0; i < kNumViews; ++i) {
+      view_defs_.push_back(view_gen.GenerateView());
+    }
+    tpch::WorkloadGenerator query_gen(&catalog_, 9 + 77777);
+    for (int i = 0; i < kNumQueries; ++i) {
+      queries_.push_back(query_gen.GenerateQuery());
+    }
+  }
+
+  void AddViewRange(MatchingService* service, int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      std::string error;
+      ASSERT_NE(service->AddView("v" + std::to_string(i), view_defs_[i],
+                                 &error),
+                nullptr)
+          << error;
+    }
+  }
+
+  /// Sorted substituted view ids per query — the cross-check signature.
+  std::vector<ViewId> Signature(MatchingService* service,
+                                const SpjgQuery& query) {
+    std::vector<ViewId> ids;
+    for (const Substitute& s : service->FindSubstitutes(query)) {
+      ids.push_back(s.view_id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  std::vector<std::vector<ViewId>> ReferenceSignatures() {
+    MatchingService reference(&catalog_);
+    AddViewRange(&reference, 0, kNumViews);
+    std::vector<std::vector<ViewId>> out;
+    for (const SpjgQuery& q : queries_) {
+      out.push_back(Signature(&reference, q));
+    }
+    return out;
+  }
+
+  void ExpectAuditGreen(const MatchingService& service) {
+    InvariantAuditor auditor;
+    AuditReport report = auditor.AuditFilterTree(service.filter_tree());
+    EXPECT_TRUE(report.ok()) << report.Summary();
+  }
+
+  Catalog catalog_;
+  tpch::Schema schema_;
+  std::vector<SpjgQuery> view_defs_;
+  std::vector<SpjgQuery> queries_;
+};
+
+TEST_F(ConcurrencyStressTest, ProbesDuringAddViewMatchFinalReference) {
+  MatchingService service(&catalog_);
+  AddViewRange(&service, 0, kInitialViews);
+
+  // Phase 1: one writer registers the remaining views while reader
+  // threads hammer every query. Each probe must complete against a
+  // consistent snapshot — no crash, no torn candidate set. Readers run
+  // a bounded number of rounds and yield between them: shared_mutex
+  // implementations may prefer readers, and an unbounded probe loop
+  // could starve the writer indefinitely.
+  std::atomic<int64_t> probes{0};
+  std::thread writer([&] {
+    AddViewRange(&service, kInitialViews, kNumViews);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kNumReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int round = 0; round < 12; ++round) {
+        for (size_t q = t; q < queries_.size(); q += kNumReaders) {
+          std::vector<Substitute> subs = service.FindSubstitutes(queries_[q]);
+          for (const Substitute& s : subs) {
+            EXPECT_NE(s.view_id, kInvalidViewId);
+          }
+          probes.fetch_add(1);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& r : readers) r.join();
+  EXPECT_GT(probes.load(), 0);
+  EXPECT_EQ(service.views().num_views(), kNumViews);
+  ExpectAuditGreen(service);
+
+  // Phase 2: with the catalog quiescent, concurrent probe answers must
+  // equal the single-threaded reference exactly.
+  std::vector<std::vector<ViewId>> expected = ReferenceSignatures();
+  std::vector<std::vector<ViewId>> actual(queries_.size());
+  std::vector<std::thread> checkers;
+  for (int t = 0; t < kNumReaders; ++t) {
+    checkers.emplace_back([&, t] {
+      for (size_t q = t; q < queries_.size(); q += kNumReaders) {
+        actual[q] = Signature(&service, queries_[q]);
+      }
+    });
+  }
+  for (std::thread& c : checkers) c.join();
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    EXPECT_EQ(actual[q], expected[q]) << "query " << q;
+  }
+}
+
+TEST_F(ConcurrencyStressTest, InterleavedWritersKeepTheCatalogConsistent) {
+  MatchingService service(&catalog_);
+  // Two writers register disjoint name ranges; ids interleave freely but
+  // every registration must land exactly once and audit green.
+  std::thread w1([&] {
+    for (int i = 0; i < kNumViews / 2; ++i) {
+      std::string error;
+      ASSERT_NE(service.AddView("a" + std::to_string(i), view_defs_[i],
+                                &error),
+                nullptr)
+          << error;
+    }
+  });
+  std::thread w2([&] {
+    for (int i = kNumViews / 2; i < kNumViews; ++i) {
+      std::string error;
+      ASSERT_NE(service.AddView("b" + std::to_string(i), view_defs_[i],
+                                &error),
+                nullptr)
+          << error;
+    }
+  });
+  w1.join();
+  w2.join();
+  EXPECT_EQ(service.views().num_views(), kNumViews);
+  for (int i = 0; i < kNumViews / 2; ++i) {
+    EXPECT_NE(service.views().FindView("a" + std::to_string(i)), nullptr);
+  }
+  for (int i = kNumViews / 2; i < kNumViews; ++i) {
+    EXPECT_NE(service.views().FindView("b" + std::to_string(i)), nullptr);
+  }
+  ExpectAuditGreen(service);
+}
+
+#ifdef MVOPT_FAILPOINTS
+
+TEST_F(ConcurrencyStressTest, InjectedMatcherFaultsStayIsolatedUnderLoad) {
+  MatchingService service(&catalog_);
+  AddViewRange(&service, 0, kNumViews);
+  // A fifth of all matcher runs throw, from every thread at once; the
+  // probes must survive and the fault counter must account for them.
+  FailpointConfig cfg;
+  cfg.count = -1;
+  cfg.probability = 0.2;
+  cfg.seed = 2024;
+  FailpointRegistry::Instance().Enable("matcher.match", cfg);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kNumReaders; ++t) {
+    readers.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        for (const SpjgQuery& q : queries_) {
+          EXPECT_NO_THROW((void)service.FindSubstitutes(q));
+        }
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  FailpointRegistry::Instance().DisableAll();
+  EXPECT_GT(service.stats().match_failures, 0);
+  // Clean probes afterwards still match the single-threaded reference.
+  std::vector<std::vector<ViewId>> expected = ReferenceSignatures();
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    EXPECT_EQ(Signature(&service, queries_[q]), expected[q]) << "query " << q;
+  }
+}
+
+#endif  // MVOPT_FAILPOINTS
+
+}  // namespace
+}  // namespace mvopt

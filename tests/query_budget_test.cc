@@ -1,0 +1,208 @@
+#include "common/query_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "index/matching_service.h"
+#include "optimizer/optimizer.h"
+#include "tpch/schema.h"
+#include "tpch/workload.h"
+
+namespace mvopt {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------------
+// Budget object semantics.
+// ---------------------------------------------------------------------
+
+TEST(QueryBudgetTest, DefaultBudgetNeverExhausts) {
+  QueryBudget budget;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(budget.TickDeadline());
+    EXPECT_FALSE(budget.ConsumeCandidate());
+    EXPECT_FALSE(budget.ConsumeMemoGroup());
+    EXPECT_FALSE(budget.ConsumeMemoExpr());
+  }
+  EXPECT_EQ(budget.reason(), DegradationReason::kNone);
+}
+
+TEST(QueryBudgetTest, ExpiredDeadlineTripsOnFirstTick) {
+  QueryBudget budget;
+  budget.set_deadline(QueryBudget::Clock::now() - milliseconds(1));
+  EXPECT_TRUE(budget.TickDeadline());
+  EXPECT_EQ(budget.reason(), DegradationReason::kDeadlineExceeded);
+}
+
+TEST(QueryBudgetTest, ExhaustionIsStickyAndKeepsFirstReason) {
+  QueryBudget budget;
+  budget.set_candidate_cap(1);
+  EXPECT_FALSE(budget.ConsumeCandidate());
+  EXPECT_TRUE(budget.ConsumeCandidate());
+  EXPECT_EQ(budget.reason(), DegradationReason::kCandidateCapReached);
+  // Later trips of *other* limits must not overwrite the first reason.
+  budget.set_memo_expr_cap(0);
+  EXPECT_TRUE(budget.ConsumeMemoExpr());
+  EXPECT_TRUE(budget.TickDeadline());
+  EXPECT_EQ(budget.reason(), DegradationReason::kCandidateCapReached);
+  EXPECT_EQ(budget.candidates_used(), 2);
+}
+
+TEST(QueryBudgetTest, ReasonNamesCoverTheEnum) {
+  for (int i = 0; i < kNumDegradationReasons; ++i) {
+    EXPECT_STRNE(DegradationReasonName(static_cast<DegradationReason>(i)),
+                 "?");
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end degradation through the optimizer.
+// ---------------------------------------------------------------------
+
+class BudgetOptimizerTest : public ::testing::Test {
+ protected:
+  BudgetOptimizerTest() : schema_(tpch::BuildSchema(&catalog_, 0.5)) {}
+
+  void AddWorkloadViews(MatchingService* service, int n, uint64_t seed) {
+    tpch::WorkloadGenerator gen(&catalog_, seed);
+    for (int i = 0; i < n; ++i) {
+      std::string error;
+      ASSERT_NE(service->AddView("v" + std::to_string(i), gen.GenerateView(),
+                                 &error),
+                nullptr)
+          << error;
+    }
+  }
+
+  std::vector<SpjgQuery> MakeQueries(int n, uint64_t seed) {
+    tpch::WorkloadGenerator gen(&catalog_, seed);
+    std::vector<SpjgQuery> out;
+    for (int i = 0; i < n; ++i) out.push_back(gen.GenerateQuery());
+    return out;
+  }
+
+  SpjgQuery ThreeTableQuery() {
+    SpjgBuilder b(&catalog_);
+    int l = b.AddTable("lineitem");
+    int o = b.AddTable("orders");
+    int c = b.AddTable("customer");
+    b.Where(Expr::MakeCompare(CompareOp::kEq, b.Col(l, "l_orderkey"),
+                              b.Col(o, "o_orderkey")));
+    b.Where(Expr::MakeCompare(CompareOp::kEq, b.Col(o, "o_custkey"),
+                              b.Col(c, "c_custkey")));
+    b.Output(b.Col(c, "c_name"));
+    b.Output(b.Col(l, "l_partkey"));
+    return b.Build();
+  }
+
+  Catalog catalog_;
+  tpch::Schema schema_;
+};
+
+TEST_F(BudgetOptimizerTest, UnlimitedBudgetPlansAreByteIdentical) {
+  MatchingService service(&catalog_);
+  AddWorkloadViews(&service, 60, 11);
+  Optimizer optimizer(&catalog_, &service);
+  for (const SpjgQuery& q : MakeQueries(25, 999)) {
+    OptimizationResult plain = optimizer.Optimize(q);
+    QueryBudget budget;  // present but unlimited
+    OptimizationResult governed = optimizer.Optimize(q, &budget);
+    ASSERT_NE(plain.plan, nullptr);
+    ASSERT_NE(governed.plan, nullptr);
+    EXPECT_EQ(governed.plan->ToString(catalog_),
+              plain.plan->ToString(catalog_));
+    EXPECT_EQ(governed.degradation, DegradationReason::kNone);
+    EXPECT_EQ(plain.degradation, DegradationReason::kNone);
+  }
+}
+
+TEST_F(BudgetOptimizerTest, MillisecondDeadlineOnLargeCatalogNeverHangs) {
+  // The acceptance scenario: 1000 views, 1 ms of wall clock. Every
+  // optimization must come back with a valid plan, and the deadline must
+  // actually trip on a decent fraction of the workload.
+  MatchingService service(&catalog_);
+  AddWorkloadViews(&service, 1000, 21);
+  Optimizer optimizer(&catalog_, &service);
+  int degraded = 0;
+  for (const SpjgQuery& q : MakeQueries(20, 555)) {
+    QueryBudget budget;
+    budget.set_deadline_after(milliseconds(1));
+    OptimizationResult r = optimizer.Optimize(q, &budget);
+    ASSERT_NE(r.plan, nullptr);
+    EXPECT_FALSE(r.plan->ToString(catalog_).empty());
+    if (r.degradation != DegradationReason::kNone) {
+      EXPECT_EQ(r.degradation, DegradationReason::kDeadlineExceeded);
+      ++degraded;
+    }
+  }
+  EXPECT_GT(degraded, 0);
+}
+
+TEST_F(BudgetOptimizerTest, AlreadyExpiredDeadlineStillYieldsBasePlan) {
+  MatchingService service(&catalog_);
+  AddWorkloadViews(&service, 100, 31);
+  Optimizer optimizer(&catalog_, &service);
+  QueryBudget budget;
+  budget.set_deadline(QueryBudget::Clock::now() - milliseconds(5));
+  OptimizationResult r = optimizer.Optimize(ThreeTableQuery(), &budget);
+  ASSERT_NE(r.plan, nullptr);
+  EXPECT_EQ(r.degradation, DegradationReason::kDeadlineExceeded);
+  // The degraded plan is still a complete, printable plan tree.
+  std::string s = r.plan->ToString(catalog_);
+  EXPECT_NE(s.find("lineitem"), std::string::npos);
+}
+
+TEST_F(BudgetOptimizerTest, CandidateCapTruncatesTheFilterProbe) {
+  MatchingService service(&catalog_);
+  std::string error;
+  SpjgBuilder vb(&catalog_);
+  int l = vb.AddTable("lineitem");
+  vb.Output(vb.Col(l, "l_orderkey"));
+  vb.Output(vb.Col(l, "l_partkey"));
+  SpjgQuery def = vb.Build();
+  ASSERT_NE(service.AddView("v", def, &error), nullptr) << error;
+  QueryBudget budget;
+  budget.set_candidate_cap(0);
+  EXPECT_TRUE(service.FindSubstitutes(def, &budget).empty());
+  EXPECT_EQ(budget.reason(), DegradationReason::kCandidateCapReached);
+  // Without the cap the same probe matches.
+  EXPECT_EQ(service.FindSubstitutes(def).size(), 1u);
+}
+
+TEST_F(BudgetOptimizerTest, MemoGroupCapDegradesButCompletesThePlan) {
+  Optimizer optimizer(&catalog_, nullptr);
+  QueryBudget budget;
+  budget.set_memo_group_cap(1);
+  OptimizationResult r = optimizer.Optimize(ThreeTableQuery(), &budget);
+  ASSERT_NE(r.plan, nullptr);
+  EXPECT_EQ(r.degradation, DegradationReason::kMemoGroupCapReached);
+  EXPECT_GT(budget.memo_groups_used(), 0);
+}
+
+TEST_F(BudgetOptimizerTest, MemoExprCapDegradesButCompletesThePlan) {
+  Optimizer optimizer(&catalog_, nullptr);
+  QueryBudget budget;
+  budget.set_memo_expr_cap(0);
+  OptimizationResult r = optimizer.Optimize(ThreeTableQuery(), &budget);
+  ASSERT_NE(r.plan, nullptr);
+  EXPECT_EQ(r.degradation, DegradationReason::kMemoExprCapReached);
+}
+
+TEST_F(BudgetOptimizerTest, BudgetTruncationSurfacesInMatchingStats) {
+  MatchingService service(&catalog_);
+  AddWorkloadViews(&service, 200, 41);
+  QueryBudget budget;
+  budget.set_deadline(QueryBudget::Clock::now() - milliseconds(1));
+  for (const SpjgQuery& q : MakeQueries(5, 777)) {
+    (void)service.FindSubstitutes(q, &budget);
+  }
+  // An expired deadline stops candidate enumeration and full matching.
+  EXPECT_EQ(service.stats().full_tests, 0);
+}
+
+}  // namespace
+}  // namespace mvopt

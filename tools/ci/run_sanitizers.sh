@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds and runs the full test suite under AddressSanitizer and
-# UndefinedBehaviorSanitizer (see MVOPT_SANITIZE in the top-level
-# CMakeLists.txt). Each sanitizer gets its own build tree so the
-# instrumented objects never mix with the regular build.
+# UndefinedBehaviorSanitizer, plus the concurrency stress suite under
+# ThreadSanitizer (see MVOPT_SANITIZE in the top-level CMakeLists.txt).
+# Each sanitizer gets its own build tree so the instrumented objects
+# never mix with the regular build.
 #
 # Usage: tools/ci/run_sanitizers.sh [build-root]
 #   build-root defaults to ./build-sanitize
@@ -29,6 +30,23 @@ run_one() {
     ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 }
 
+run_thread() {
+  local build_dir="${build_root}/thread"
+  echo "=== thread: configure ==="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMVOPT_SANITIZE=thread >/dev/null
+  echo "=== thread: build ==="
+  cmake --build "${build_dir}" --target concurrency_stress_test -j "${jobs}"
+  echo "=== thread: test ==="
+  # TSan only pays off on the multi-threaded suite; the rest of the
+  # tests are single-threaded and already covered by ASan/UBSan above.
+  TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+    ctest --test-dir "${build_dir}" --output-on-failure \
+    -R 'ConcurrencyStress' -j "${jobs}"
+}
+
 run_one address
 run_one undefined
+run_thread
 echo "=== sanitizers clean ==="

@@ -1,0 +1,77 @@
+// Base-table update epochs: a global monotonic counter advanced on every
+// base-table mutation, plus the per-table epoch of its latest change.
+// A materialized view records the global epoch as of its last refresh;
+// the view is *stale* when any of its source tables has changed since
+// (table epoch > view epoch), and its staleness lag is the number of
+// global updates it is behind.
+//
+// Thread-safety: Advance is serialized by the engine's write path; reads
+// (OfTable / LatestOf / now) may run concurrently from probe threads and
+// use acquire loads. Table storage grows on first Advance of a new id;
+// growth never invalidates concurrently-read entries (deque).
+
+#ifndef MVOPT_COMMON_EPOCH_H_
+#define MVOPT_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace mvopt {
+
+class TableEpochClock {
+ public:
+  TableEpochClock() = default;
+  TableEpochClock(const TableEpochClock&) = delete;
+  TableEpochClock& operator=(const TableEpochClock&) = delete;
+
+  /// Records a mutation of `table`; returns the new global epoch.
+  uint64_t Advance(int32_t table) {
+    std::atomic<uint64_t>* slot = SlotFor(table);
+    uint64_t epoch = global_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    slot->store(epoch, std::memory_order_release);
+    return epoch;
+  }
+
+  /// Epoch of `table`'s latest mutation (0 = never mutated).
+  uint64_t OfTable(int32_t table) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (table < 0 || static_cast<size_t>(table) >= epochs_.size()) return 0;
+    return epochs_[table].load(std::memory_order_acquire);
+  }
+
+  /// Latest mutation epoch across `tables` (0 = none mutated).
+  uint64_t LatestOf(const std::vector<int32_t>& tables) const {
+    uint64_t latest = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int32_t t : tables) {
+      if (t < 0 || static_cast<size_t>(t) >= epochs_.size()) continue;
+      uint64_t e = epochs_[t].load(std::memory_order_acquire);
+      if (e > latest) latest = e;
+    }
+    return latest;
+  }
+
+  /// The current global epoch (total mutations recorded).
+  uint64_t now() const { return global_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t>* SlotFor(int32_t table) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (epochs_.size() <= static_cast<size_t>(table)) {
+      epochs_.emplace_back(0);
+    }
+    return &epochs_[table];
+  }
+
+  std::atomic<uint64_t> global_{0};
+  mutable std::mutex mu_;
+  /// Deque: growth never moves existing atomics.
+  std::deque<std::atomic<uint64_t>> epochs_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_COMMON_EPOCH_H_

@@ -99,6 +99,16 @@ inline constexpr const char* kFailpointSites[] = {
     "matcher.match",                      // throws per candidate
     "rewrite_checker.check",              // forces a checker rejection
     "plan_exec.execute",                  // throws at execution entry
+    // Durable catalog sites (see rewrite/catalog_store.h): one between
+    // every step of the WAL-append and snapshot protocols, so crash
+    // tests can kill the process at each point and recover.
+    "catalog_store.wal_append",           // before anything is written
+    "catalog_store.wal_write",            // torn write: half frame, throw
+    "catalog_store.wal_fsync",            // frame written, fsync skipped
+    "catalog_store.commit",               // after fsync (durable error)
+    "catalog_store.snapshot_write",       // partial snapshot tmp file
+    "catalog_store.snapshot_rename",      // tmp durable, rename skipped
+    "catalog_store.wal_truncate",         // snapshot installed, WAL kept
 };
 
 }  // namespace mvopt

@@ -22,15 +22,19 @@
 namespace mvopt {
 
 /// Why an optimization was degraded (first limit that tripped).
+/// kStaleViewsOnly is *advisory*: it never exhausts the budget, it only
+/// reports that every matching view was skipped for staleness, so the
+/// query ran on base tables although substitutes existed.
 enum class DegradationReason {
   kNone = 0,
   kDeadlineExceeded,     ///< wall-clock deadline passed
   kCandidateCapReached,  ///< filter-tree candidate cap hit
   kMemoGroupCapReached,  ///< memo group cap hit
   kMemoExprCapReached,   ///< memo expression cap hit
+  kStaleViewsOnly,       ///< only stale view candidates existed
 };
 
-inline constexpr int kNumDegradationReasons = 5;
+inline constexpr int kNumDegradationReasons = 6;
 
 inline const char* DegradationReasonName(DegradationReason reason) {
   switch (reason) {
@@ -44,6 +48,8 @@ inline const char* DegradationReasonName(DegradationReason reason) {
       return "memo-group-cap";
     case DegradationReason::kMemoExprCapReached:
       return "memo-expr-cap";
+    case DegradationReason::kStaleViewsOnly:
+      return "stale-views-only";
   }
   return "?";
 }
@@ -68,9 +74,36 @@ class QueryBudget {
   void set_memo_group_cap(int64_t cap) { memo_group_cap_ = cap; }
   void set_memo_expr_cap(int64_t cap) { memo_expr_cap_ = cap; }
 
+  /// Staleness tolerance: a view whose contents lag its base tables by
+  /// at most this many update epochs may still be substituted (its
+  /// substitutes are down-ranked behind fresh ones). 0 = fresh only.
+  void set_max_staleness(uint64_t epochs) { max_staleness_ = epochs; }
+  uint64_t max_staleness() const { return max_staleness_; }
+
   bool has_deadline() const { return has_deadline_; }
   bool exhausted() const { return reason_ != DegradationReason::kNone; }
-  DegradationReason reason() const { return reason_; }
+  DegradationReason reason() const {
+    return reason_ != DegradationReason::kNone ? reason_ : advisory_;
+  }
+
+  /// Records an advisory degradation (reported by reason() when no hard
+  /// limit tripped) without exhausting the budget.
+  void NoteDegradation(DegradationReason reason) {
+    if (advisory_ == DegradationReason::kNone) advisory_ = reason;
+  }
+
+  /// Clears the sticky degradation state and the per-query usage
+  /// counters so one budget can govern a sequence of Optimize() calls
+  /// (caps are per query; the wall-clock deadline, being absolute, is
+  /// kept). Called by the optimizer at optimization entry.
+  void ResetForQuery() {
+    reason_ = DegradationReason::kNone;
+    advisory_ = DegradationReason::kNone;
+    ticks_ = 0;
+    candidates_used_ = 0;
+    memo_groups_used_ = 0;
+    memo_exprs_used_ = 0;
+  }
 
   /// Cooperative deadline check; call at loop boundaries. Returns
   /// exhausted() so call sites can bail with one branch.
@@ -121,12 +154,14 @@ class QueryBudget {
   int64_t candidate_cap_ = kUnlimited;
   int64_t memo_group_cap_ = kUnlimited;
   int64_t memo_expr_cap_ = kUnlimited;
+  uint64_t max_staleness_ = 0;
 
   int64_t ticks_ = 0;
   int64_t candidates_used_ = 0;
   int64_t memo_groups_used_ = 0;
   int64_t memo_exprs_used_ = 0;
   DegradationReason reason_ = DegradationReason::kNone;
+  DegradationReason advisory_ = DegradationReason::kNone;
 };
 
 }  // namespace mvopt

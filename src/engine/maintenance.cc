@@ -81,7 +81,9 @@ void ViewMaintainer::Insert(TableId table, std::vector<Row> rows) {
   assert(data != nullptr);
   for (auto& r : rows) data->AppendRow(std::move(r));
   data->RebuildIndexes();
+  if (epochs_ != nullptr) epochs_->Advance(table);
   for (ViewDefinition* view : recompute) Recompute(view);
+  PublishRefreshAll();
 }
 
 void ViewMaintainer::Delete(TableId table, const std::vector<Row>& rows) {
@@ -99,7 +101,42 @@ void ViewMaintainer::Delete(TableId table, const std::vector<Row>& rows) {
     (void)removed;
   }
   data->RebuildIndexes();
+  if (epochs_ != nullptr) epochs_->Advance(table);
   for (ViewDefinition* view : recompute) Recompute(view);
+  PublishRefreshAll();
+}
+
+void ViewMaintainer::PublishRefreshAll() {
+  if (lifecycle_ == nullptr) return;
+  const uint64_t now = epochs_ != nullptr ? epochs_->now() : 0;
+  for (ViewDefinition* view : views_) {
+    const ViewId id = view->id();
+    lifecycle_->EnsureSize(static_cast<size_t>(id) + 1);
+    const TableData* data = db_->table(view->materialized_table());
+    if (data != nullptr) {
+      lifecycle_->SetChecksum(id, data->ContentChecksum());
+    }
+    lifecycle_->MarkFresh(id, now);
+  }
+}
+
+bool ViewMaintainer::Validate(const ViewDefinition& view) const {
+  const TableData* data = db_->table(view.materialized_table());
+  if (data == nullptr) return false;
+  std::vector<Row> expected = db_->ExecuteSpjg(view.query());
+  uint64_t sum = 0;
+  for (const Row& r : expected) sum += static_cast<uint64_t>(RowHash()(r));
+  return sum == data->ContentChecksum();
+}
+
+void ViewMaintainer::Repair(ViewDefinition* view) {
+  Recompute(view);
+  if (lifecycle_ == nullptr) return;
+  const ViewId id = view->id();
+  lifecycle_->EnsureSize(static_cast<size_t>(id) + 1);
+  const TableData* data = db_->table(view->materialized_table());
+  if (data != nullptr) lifecycle_->SetChecksum(id, data->ContentChecksum());
+  lifecycle_->MarkFresh(id, epochs_ != nullptr ? epochs_->now() : 0);
 }
 
 bool ViewMaintainer::Maintain(ViewDefinition* view, TableId table,

@@ -19,7 +19,9 @@
 
 #include <vector>
 
+#include "common/epoch.h"
 #include "engine/database.h"
+#include "rewrite/view_lifecycle.h"
 
 namespace mvopt {
 
@@ -29,6 +31,25 @@ class ViewMaintainer {
 
   /// Registers a materialized view for maintenance.
   void RegisterView(ViewDefinition* view);
+
+  /// Wires the base-table epoch clock: Insert/Delete advance the mutated
+  /// table's epoch, and maintained views are stamped with the resulting
+  /// global epoch (the staleness source the matching side reads).
+  void set_epoch_clock(TableEpochClock* clock) { epochs_ = clock; }
+  /// Wires the view-lifecycle registry: after every maintenance pass the
+  /// registered views are marked FRESH at the current epoch and their
+  /// content checksums republished.
+  void set_lifecycle(ViewLifecycleRegistry* lifecycle) {
+    lifecycle_ = lifecycle;
+  }
+
+  /// Recomputes `view`'s definition and compares its checksum against the
+  /// stored contents — the revalidation probe for the circuit breaker.
+  bool Validate(const ViewDefinition& view) const;
+
+  /// Self-healing: recomputes `view` from its definition and republishes
+  /// its lifecycle entry (FRESH at the current epoch, new checksum).
+  void Repair(ViewDefinition* view);
 
   /// Inserts `rows` into `table` and maintains every registered view.
   void Insert(TableId table, std::vector<Row> rows);
@@ -53,9 +74,14 @@ class ViewMaintainer {
   void MaintainAggregate(ViewDefinition* view,
                          const std::vector<Row>& delta_out, DeltaKind kind);
   void Recompute(ViewDefinition* view);
+  /// Marks every registered view FRESH at the current epoch with its
+  /// current content checksum (no-op without a lifecycle registry).
+  void PublishRefreshAll();
 
   Database* db_;
   std::vector<ViewDefinition*> views_;
+  TableEpochClock* epochs_ = nullptr;
+  ViewLifecycleRegistry* lifecycle_ = nullptr;
   int64_t incremental_updates_ = 0;
   int64_t full_recomputations_ = 0;
 };

@@ -48,6 +48,18 @@ class TableData {
 
   void Clear() { rows_.clear(); }
 
+  /// Order-independent 64-bit checksum of the stored rows (commutative
+  /// sum of per-row hashes), so logically-equal contents reached through
+  /// different maintenance orders agree. Backs the view-lifecycle
+  /// circuit breaker.
+  uint64_t ContentChecksum() const {
+    uint64_t sum = 0;
+    for (const Row& row : rows_) {
+      sum += static_cast<uint64_t>(RowHash()(row));
+    }
+    return sum;
+  }
+
   /// Rebuilds every index from the current rows.
   void RebuildIndexes();
 

@@ -1,9 +1,11 @@
 #include "index/matching_service.h"
 
 #include <algorithm>
+#include <cassert>
 #include <exception>
 
 #include "common/failpoint.h"
+#include "query/parser.h"
 
 namespace mvopt {
 
@@ -24,33 +26,104 @@ MatchingService::MatchingService(const Catalog* catalog, Options options)
   filter_tree_.set_assume_backjoins(options_.match.enable_backjoins);
 }
 
+void MatchingService::GrowBookkeepingLocked() {
+  const size_t n = static_cast<size_t>(view_catalog_.num_views());
+  lifecycle_.EnsureSize(n);
+  // Self-healing growth so a historical allocation failure here can
+  // never skew later ids; new views enter the filter tree in AddView.
+  while (in_tree_.size() < n) in_tree_.push_back(1);
+}
+
+PersistedView MatchingService::PersistedImageLocked(ViewId id) const {
+  PersistedView image;
+  const ViewDefinition& view = view_catalog_.view(id);
+  image.name = view.name();
+  image.sql = view.query().ToSql(*catalog_);
+  ViewLifecycleRegistry::Snapshot snap = lifecycle_.snapshot(id);
+  image.state = snap.state;
+  image.epoch = snap.epoch;
+  image.content_checksum = snap.content_checksum;
+  return image;
+}
+
+void MatchingService::LogViewEventLocked(ViewId id) {
+  if (store_ == nullptr || !store_->is_open()) return;
+  ViewLifecycleRegistry::Snapshot snap = lifecycle_.snapshot(id);
+  try {
+    store_->AppendViewEvent(view_catalog_.view(id).name(), snap.state,
+                            snap.epoch, snap.content_checksum);
+  } catch (const StoreIoError&) {
+    // Lifecycle events are best-effort: the in-memory registry stays
+    // authoritative, and a lost event only means the view comes back
+    // after a crash in its previous durable state — the revalidation
+    // pass converges it again.
+  }
+}
+
 ViewDefinition* MatchingService::AddView(const std::string& name,
                                          SpjgQuery definition,
                                          std::string* error) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   ViewDefinition* view = nullptr;
+  bool indexed = false;
   try {
     view = view_catalog_.AddView(name, std::move(definition), error);
     if (view == nullptr) return nullptr;
     filter_tree_.AddView(view->id());
+    indexed = true;
+    if (store_ != nullptr && store_->is_open()) {
+      PersistedView image;
+      image.name = view->name();
+      image.sql = view->query().ToSql(*catalog_);
+      image.state = ViewState::kFresh;
+      image.epoch = epochs_ != nullptr ? epochs_->now() : 0;
+      store_->AppendAddView(image);
+    }
+  } catch (const StoreIoError& e) {
+    if (!e.durable()) {
+      // The WAL append failed before the commit point: nothing is on
+      // stable storage, so undo the in-memory registration too.
+      filter_tree_.RemoveView(view->id());
+      view_catalog_.RemoveLastView(view->id());
+      if (error != nullptr) {
+        *error = std::string("view registration aborted and rolled back: ") +
+                 e.what();
+      }
+      return nullptr;
+    }
+    // Ambiguous commit: the record reached stable storage before the
+    // failure, so the registration stands (recovery would replay it).
   } catch (const std::exception& e) {
     // Transactional: indexing failed (or registration threw), so undo
     // the catalog registration. FilterTree::AddView already rolled its
     // own partial inserts back, leaving every structure as it was.
-    if (view != nullptr) view_catalog_.RemoveLastView(view->id());
+    if (view != nullptr) {
+      if (indexed) filter_tree_.RemoveView(view->id());
+      view_catalog_.RemoveLastView(view->id());
+    }
     if (error != nullptr) {
       *error = std::string("view registration aborted and rolled back: ") +
                e.what();
     }
     return nullptr;
   }
-  // Keep the health list aligned with the catalog (self-healing so a
-  // historical allocation failure here can never skew later ids).
-  while (view_health_.size() <
-         static_cast<size_t>(view_catalog_.num_views())) {
-    view_health_.emplace_back();
-  }
+  GrowBookkeepingLocked();
+  lifecycle_.MarkFresh(view->id(),
+                       epochs_ != nullptr ? epochs_->now() : 0);
   return view;
+}
+
+uint64_t MatchingService::StalenessLagLocked(ViewId id) const {
+  if (epochs_ == nullptr) return 0;
+  const ViewDescription& d = view_catalog_.description(id);
+  const uint64_t latest = epochs_->LatestOf(d.source_tables);
+  const uint64_t mine = lifecycle_.epoch(id);
+  return latest > mine ? latest - mine : 0;
+}
+
+uint64_t MatchingService::StalenessLag(ViewId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return StalenessLagLocked(id);
 }
 
 std::vector<Substitute> MatchingService::FindSubstitutes(
@@ -78,15 +151,34 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
   const bool quarantine_active =
       options_.quarantine_threshold > 0 &&
       options_.verify_mode == VerifyMode::kEnforce;
+  const uint64_t tolerance = budget != nullptr ? budget->max_staleness() : 0;
   std::vector<Substitute> out;
+  std::vector<Substitute> stale_out;  // tolerated-stale: ranked after fresh
+  int64_t stale_rejects = 0;
   for (ViewId id : candidates) {
     if (budget != nullptr && budget->TickDeadline()) {
       stats_.budget_truncations.fetch_add(1, kRelaxed);
       break;
     }
-    if (quarantine_active && IsQuarantined(id)) {
+    // Sidelined views never participate, regardless of how they got
+    // there (verify quarantine, checksum breaker, recovered state).
+    if (lifecycle_.IsSidelined(id)) {
       stats_.quarantine_skips.fetch_add(1, kRelaxed);
       continue;
+    }
+    // Staleness screen: a view whose base tables advanced past its last
+    // refresh may only substitute within the query's declared tolerance.
+    const uint64_t lag = StalenessLagLocked(id);
+    bool tolerated_stale = false;
+    if (lag > 0) {
+      lifecycle_.MarkStale(id);  // opportunistic: probe observed the lag
+      if (lag > tolerance) {
+        stats_.rejects[static_cast<size_t>(RejectReason::kStale)].fetch_add(
+            1, kRelaxed);
+        ++stale_rejects;
+        continue;
+      }
+      tolerated_stale = true;
     }
     stats_.full_tests.fetch_add(1, kRelaxed);
     MatchResult result;
@@ -111,22 +203,32 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
         }
         if (verdict.proven) {
           verify_stats_.proven.fetch_add(1, kRelaxed);
-          if (quarantine_active &&
-              static_cast<size_t>(id) < view_health_.size()) {
-            view_health_[id].consecutive_rejections.store(0, kRelaxed);
-          }
+          if (quarantine_active) lifecycle_.ReportVerifySuccess(id);
         } else {
           RecordVerifyRejection(id, verdict);
           if (options_.verify_mode == VerifyMode::kEnforce) continue;
         }
       }
       stats_.substitutes.fetch_add(1, kRelaxed);
-      out.push_back(std::move(sub));
+      if (tolerated_stale) {
+        stats_.stale_tolerated.fetch_add(1, kRelaxed);
+        stale_out.push_back(std::move(sub));
+      } else {
+        out.push_back(std::move(sub));
+      }
     } else {
       stats_.rejects[static_cast<size_t>(result.reason)].fetch_add(1,
                                                                    kRelaxed);
     }
   }
+  // Degradation advisory: the probe had stale candidates but no fresh
+  // substitute — the plan either fell back to base tables or leans on a
+  // down-ranked stale view.
+  if (budget != nullptr && out.empty() &&
+      (stale_rejects > 0 || !stale_out.empty())) {
+    budget->NoteDegradation(DegradationReason::kStaleViewsOnly);
+  }
+  for (Substitute& sub : stale_out) out.push_back(std::move(sub));
   return out;
 }
 
@@ -144,28 +246,159 @@ void MatchingService::RecordVerifyRejection(ViewId id,
     }
   }
   if (options_.quarantine_threshold > 0 &&
-      options_.verify_mode == VerifyMode::kEnforce &&
-      static_cast<size_t>(id) < view_health_.size()) {
-    ViewHealth& health = view_health_[id];
-    const int32_t streak =
-        health.consecutive_rejections.fetch_add(1, kRelaxed) + 1;
-    if (streak >= options_.quarantine_threshold &&
-        !health.quarantined.exchange(true, kRelaxed)) {
-      num_quarantined_.fetch_add(1, kRelaxed);
-    }
+      options_.verify_mode == VerifyMode::kEnforce) {
+    lifecycle_.ReportVerifyFailure(id, options_.quarantine_threshold,
+                                   options_.disable_threshold);
   }
 }
 
+// --- durability -----------------------------------------------------------
+
+void MatchingService::AttachStore(CatalogStore* store) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  store->OpenForAppend();
+  store_ = store;
+}
+
+RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  assert(view_catalog_.num_views() == 0 &&
+         "recovery must target an empty service");
+  CatalogStore::RecoveredState recovered = store->Recover();
+  RecoveryReport report = std::move(recovered.report);
+  report.views_recovered = 0;  // re-counted below: only views that rebuild
+  for (PersistedView& image : recovered.views) {
+    // Self-healing: a durable entry that no longer replays (schema
+    // drift, corruption that survived the CRC, a bad state byte) is
+    // quarantined in the report instead of aborting recovery.
+    if (static_cast<uint8_t>(image.state) >=
+        static_cast<uint8_t>(kNumViewStates)) {
+      report.quarantined.push_back(
+          {image.name, "invalid lifecycle state in durable record"});
+      continue;
+    }
+    std::string err;
+    std::optional<SpjgQuery> parsed = ParseSpjg(*catalog_, image.sql, &err);
+    if (!parsed.has_value()) {
+      report.quarantined.push_back({image.name, "unparsable SQL: " + err});
+      continue;
+    }
+    ViewDefinition* view = nullptr;
+    try {
+      view = view_catalog_.AddView(image.name, std::move(*parsed), &err);
+      if (view != nullptr) filter_tree_.AddView(view->id());
+    } catch (const std::exception& e) {
+      if (view != nullptr) view_catalog_.RemoveLastView(view->id());
+      view = nullptr;
+      err = e.what();
+    }
+    if (view == nullptr) {
+      report.quarantined.push_back({image.name, err});
+      continue;
+    }
+    GrowBookkeepingLocked();
+    ViewLifecycleRegistry::Snapshot snap;
+    snap.state = image.state;
+    snap.epoch = image.epoch;
+    snap.content_checksum = image.content_checksum;
+    lifecycle_.Restore(view->id(), snap);
+    ++report.views_recovered;
+  }
+  store->OpenForAppend();
+  store_ = store;
+  return report;
+}
+
+void MatchingService::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  assert(store_ != nullptr && "Checkpoint requires an attached store");
+  std::vector<PersistedView> images;
+  images.reserve(static_cast<size_t>(view_catalog_.num_views()));
+  for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
+    images.push_back(PersistedImageLocked(id));
+  }
+  store_->WriteSnapshot(images);
+}
+
+// --- lifecycle ------------------------------------------------------------
+
+bool MatchingService::ReportChecksumMismatch(ViewId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!lifecycle_.ReportChecksumMismatch(id)) return false;
+  if (static_cast<size_t>(id) < in_tree_.size() && in_tree_[id]) {
+    filter_tree_.RemoveView(id);
+    in_tree_[id] = 0;
+  }
+  LogViewEventLocked(id);
+  return true;
+}
+
+int MatchingService::RevalidationTick(
+    const std::function<bool(const ViewDefinition&)>& validate) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const int64_t tick = ++revalidation_tick_;
+  GrowBookkeepingLocked();
+  int readmitted = 0;
+  for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
+    if (!lifecycle_.IsSidelined(id)) continue;
+    // Compaction: sidelined views leave the filter tree so probes stop
+    // paying for them (probe-side quarantine entry cannot touch the
+    // tree, it only holds the shared lock).
+    if (in_tree_[id]) {
+      filter_tree_.RemoveView(id);
+      in_tree_[id] = 0;
+    }
+    if (!lifecycle_.DueForRetry(id, tick)) continue;
+    bool ok = false;
+    try {
+      ok = validate != nullptr && validate(view_catalog_.view(id));
+      if (ok) {
+        filter_tree_.AddView(id);  // re-insertion; strongly exception-safe
+        in_tree_[id] = 1;
+      }
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    if (ok) {
+      lifecycle_.Readmit(id, epochs_ != nullptr ? epochs_->now() : 0);
+      LogViewEventLocked(id);
+      ++readmitted;
+    } else {
+      lifecycle_.RecordRetryFailure(id, tick);
+    }
+  }
+  return readmitted;
+}
+
+bool MatchingService::ReadmitView(ViewId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  GrowBookkeepingLocked();
+  if (!lifecycle_.Readmit(id, epochs_ != nullptr ? epochs_->now() : 0)) {
+    return false;
+  }
+  if (static_cast<size_t>(id) < in_tree_.size() && !in_tree_[id]) {
+    try {
+      filter_tree_.AddView(id);
+      in_tree_[id] = 1;
+    } catch (const std::exception&) {
+      // Leave it out of the tree; the next revalidation tick retries.
+    }
+  }
+  LogViewEventLocked(id);
+  return true;
+}
+
 bool MatchingService::IsQuarantined(ViewId id) const {
-  return static_cast<size_t>(id) < view_health_.size() &&
-         view_health_[id].quarantined.load(kRelaxed);
+  return lifecycle_.IsSidelined(id);
 }
 
 std::vector<std::string> MatchingService::QuarantinedViews() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
-    if (IsQuarantined(id)) out.push_back(view_catalog_.view(id).name());
+    if (lifecycle_.IsSidelined(id)) {
+      out.push_back(view_catalog_.view(id).name());
+    }
   }
   return out;
 }
@@ -179,6 +412,7 @@ MatchingStats MatchingService::stats() const {
   snapshot.match_failures = stats_.match_failures.load(kRelaxed);
   snapshot.budget_truncations = stats_.budget_truncations.load(kRelaxed);
   snapshot.quarantine_skips = stats_.quarantine_skips.load(kRelaxed);
+  snapshot.stale_tolerated = stats_.stale_tolerated.load(kRelaxed);
   for (size_t i = 0; i < snapshot.rejects.size(); ++i) {
     snapshot.rejects[i] = stats_.rejects[i].load(kRelaxed);
   }
@@ -190,7 +424,8 @@ VerifyStats MatchingService::verify_stats() const {
   snapshot.checked = verify_stats_.checked.load(kRelaxed);
   snapshot.proven = verify_stats_.proven.load(kRelaxed);
   snapshot.rejected = verify_stats_.rejected.load(kRelaxed);
-  snapshot.quarantined_views = num_quarantined_.load(kRelaxed);
+  snapshot.quarantined_views =
+      static_cast<int64_t>(lifecycle_.num_sidelined());
   for (size_t i = 0; i < snapshot.by_code.size(); ++i) {
     snapshot.by_code[i] = verify_stats_.by_code[i].load(kRelaxed);
   }
@@ -209,6 +444,7 @@ void MatchingService::ResetStats() {
   stats_.match_failures.store(0, kRelaxed);
   stats_.budget_truncations.store(0, kRelaxed);
   stats_.quarantine_skips.store(0, kRelaxed);
+  stats_.stale_tolerated.store(0, kRelaxed);
   for (auto& r : stats_.rejects) r.store(0, kRelaxed);
 }
 
@@ -229,10 +465,20 @@ std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
   }
   // Candidate legs need not contain the query's ranges (that is the
   // point), so probe with only the structural conditions intact: every
-  // view whose table set qualifies.
+  // view whose table set qualifies. Sidelined and stale views are
+  // excluded here too — a union leg is as much a rewrite as a direct
+  // substitute.
   std::vector<ViewId> candidates;
   QueryDescription qd = DescribeQuery(*catalog_, query);
   for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
+    if (lifecycle_.IsSidelined(id)) {
+      stats_.quarantine_skips.fetch_add(1, kRelaxed);
+      continue;
+    }
+    if (StalenessLagLocked(id) > 0) {
+      lifecycle_.MarkStale(id);
+      continue;
+    }
     const ViewDescription& d = view_catalog_.description(id);
     if (d.is_aggregate) continue;
     bool tables_ok = std::includes(d.source_tables.begin(),

@@ -12,24 +12,46 @@
 // registration, the registration is rolled back, so the catalog, filter
 // tree and lattices never disagree. The stats()/verify_stats() accessors
 // return value snapshots.
+//
+// View lifecycle (rewrite/view_lifecycle.h): every view carries a
+// durable lifecycle entry — FRESH / STALE / QUARANTINED / DISABLED —
+// plus the base-table epoch of its last refresh and a content checksum.
+// Probes skip sidelined views, reject stale ones (RejectReason::kStale)
+// unless the query's budget grants a staleness tolerance (tolerated
+// stale substitutes are down-ranked behind fresh ones), and record
+// kStaleViewsOnly degradation when staleness was the only reason a probe
+// came back empty. The revalidation pass re-admits sidelined views with
+// exponential backoff.
+//
+// Durability (rewrite/catalog_store.h): with a store attached, AddView
+// appends a CRC-framed WAL record before returning — its fsync is the
+// commit point, and an append failure rolls the in-memory registration
+// back (unless the record was already durable, in which case the
+// registration stands). RecoverFrom replays snapshot + WAL at startup,
+// rebuilds the filter tree and lattices through the normal registration
+// path, quarantines unreplayable entries in the RecoveryReport instead
+// of aborting, and Checkpoint writes a new snapshot and resets the WAL.
 
 #ifndef MVOPT_INDEX_MATCHING_SERVICE_H_
 #define MVOPT_INDEX_MATCHING_SERVICE_H_
 
 #include <array>
 #include <atomic>
-#include <deque>
+#include <functional>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/query_budget.h"
 #include "index/filter_tree.h"
 #include "query/substitute.h"
+#include "rewrite/catalog_store.h"
 #include "rewrite/matcher.h"
 #include "rewrite/union_matcher.h"
 #include "rewrite/view_catalog.h"
+#include "rewrite/view_lifecycle.h"
 #include "verify/rewrite_checker.h"
 
 namespace mvopt {
@@ -42,7 +64,8 @@ struct MatchingStats {
   int64_t substitutes = 0;         ///< substitutes produced
   int64_t match_failures = 0;      ///< matcher runs aborted by an exception
   int64_t budget_truncations = 0;  ///< probes cut short by a budget
-  int64_t quarantine_skips = 0;    ///< candidates skipped while quarantined
+  int64_t quarantine_skips = 0;    ///< candidates skipped while sidelined
+  int64_t stale_tolerated = 0;     ///< stale substitutes kept (down-ranked)
   /// Rejection counts by reason (indexed by RejectReason).
   std::array<int64_t, kNumRejectReasons> rejects{};
 };
@@ -54,7 +77,7 @@ struct VerifyStats {
   int64_t checked = 0;
   int64_t proven = 0;
   int64_t rejected = 0;
-  int64_t quarantined_views = 0;  ///< views currently quarantined
+  int64_t quarantined_views = 0;  ///< views currently sidelined
   /// Rejection counts by CheckCode.
   std::array<int64_t, kNumCheckCodes> by_code{};
   /// First rejections, "view: code: detail" (capped).
@@ -75,21 +98,30 @@ class MatchingService {
     /// the checker this many times in a row is skipped by subsequent
     /// probes (a proven substitute resets the streak). 0 disables.
     int quarantine_threshold = 0;
+    /// Circuit breaker: a rejection streak of this many moves a
+    /// quarantined view to DISABLED (only revalidation re-enables it).
+    /// 0 disables the escalation.
+    int disable_threshold = 0;
   };
 
   explicit MatchingService(const Catalog* catalog);
   MatchingService(const Catalog* catalog, Options options);
 
-  /// Validates + registers + indexes a view. nullptr with *error on
-  /// rejection. Transactional: on an indexing failure the catalog
-  /// registration is rolled back and the error is reported — no
-  /// exception escapes and no partial state is left behind.
+  /// Validates + registers + indexes a view (and, with a store attached,
+  /// commits it to the WAL). nullptr with *error on rejection.
+  /// Transactional: on an indexing or logging failure the registration
+  /// is rolled back and the error is reported — no exception escapes and
+  /// no partial state is left behind. The one exception is an ambiguous
+  /// commit (StoreIoError::durable()): the WAL record is already on
+  /// stable storage, so the registration stands.
   ViewDefinition* AddView(const std::string& name, SpjgQuery definition,
                           std::string* error = nullptr);
 
   /// The view-matching rule body: all substitutes for `query`. With a
   /// `budget`, candidate enumeration and matching stop cooperatively on
-  /// exhaustion and the substitutes found so far are returned.
+  /// exhaustion and the substitutes found so far are returned; the
+  /// budget's max_staleness() also bounds how far behind a substituted
+  /// view may lag (default: fresh views only).
   std::vector<Substitute> FindSubstitutes(const SpjgQuery& query,
                                           QueryBudget* budget = nullptr);
 
@@ -98,6 +130,56 @@ class MatchingService {
   /// survive a relaxed filter probe. Not part of FindSubstitutes so the
   /// §5 experiments stay paper-faithful.
   std::optional<UnionSubstitute> FindUnionSubstitute(const SpjgQuery& query);
+
+  // --- durability ---------------------------------------------------------
+
+  /// Attaches `store` (opened on demand) so subsequent AddView calls and
+  /// lifecycle events are logged. The store must outlive the service.
+  void AttachStore(CatalogStore* store);
+
+  /// Startup recovery: replays `store`'s snapshot + WAL into this (empty)
+  /// service, rebuilding the filter tree and lattices through the normal
+  /// registration path. Entries whose SQL no longer parses or validates
+  /// are quarantined in the report, never fatal. Attaches the store.
+  RecoveryReport RecoverFrom(CatalogStore* store);
+
+  /// Writes a full snapshot of the catalog + lifecycle states and resets
+  /// the WAL. Requires an attached store.
+  void Checkpoint();
+
+  // --- lifecycle ----------------------------------------------------------
+
+  /// Wires base-table update epochs (owned by the engine side); without
+  /// a clock every view is considered fresh. The clock must outlive the
+  /// service.
+  void set_epoch_clock(const TableEpochClock* clock) { epochs_ = clock; }
+  const TableEpochClock* epoch_clock() const { return epochs_; }
+
+  /// The lifecycle registry (engine-side maintenance reports refreshes
+  /// and checksums through this).
+  ViewLifecycleRegistry& lifecycle() { return lifecycle_; }
+  const ViewLifecycleRegistry& lifecycle() const { return lifecycle_; }
+
+  ViewState view_state(ViewId id) const { return lifecycle_.state(id); }
+
+  /// How many update epochs `id` lags its base tables (0 = fresh).
+  uint64_t StalenessLag(ViewId id) const;
+
+  /// Trips the circuit breaker for `id` (content checksum mismatch):
+  /// DISABLED, removed from the filter tree, event logged. Returns true
+  /// if the state changed.
+  bool ReportChecksumMismatch(ViewId id);
+
+  /// One background-revalidation tick: sidelined views are compacted out
+  /// of the filter tree; those due for a retry (exponential backoff) are
+  /// handed to `validate`, and on success re-inserted into the filter
+  /// tree and returned to FRESH. Returns the number readmitted.
+  int RevalidationTick(
+      const std::function<bool(const ViewDefinition&)>& validate);
+
+  /// Forces `id` back into rotation (FRESH + re-indexed). Returns false
+  /// if the view was not sidelined.
+  bool ReadmitView(ViewId id);
 
   /// Structure accessors. Safe to use freely in single-threaded code;
   /// while concurrent AddView calls are possible they must not be
@@ -118,7 +200,7 @@ class MatchingService {
   void set_verify_mode(VerifyMode mode) { options_.verify_mode = mode; }
   const RewriteChecker& checker() const { return checker_; }
 
-  /// Names of quarantined views, in id order.
+  /// Names of sidelined (quarantined or disabled) views, in id order.
   std::vector<std::string> QuarantinedViews() const;
   bool IsQuarantined(ViewId id) const;
 
@@ -131,6 +213,7 @@ class MatchingService {
     std::atomic<int64_t> match_failures{0};
     std::atomic<int64_t> budget_truncations{0};
     std::atomic<int64_t> quarantine_skips{0};
+    std::atomic<int64_t> stale_tolerated{0};
     std::array<std::atomic<int64_t>, kNumRejectReasons> rejects{};
   };
   struct AtomicVerifyCounters {
@@ -139,14 +222,17 @@ class MatchingService {
     std::atomic<int64_t> rejected{0};
     std::array<std::atomic<int64_t>, kNumCheckCodes> by_code{};
   };
-  /// Per-view enforce-mode health (deque: grows without invalidating
-  /// entries, and atomics need not move).
-  struct ViewHealth {
-    std::atomic<int32_t> consecutive_rejections{0};
-    std::atomic<bool> quarantined{false};
-  };
 
   void RecordVerifyRejection(ViewId id, const Verdict& verdict);
+  /// Staleness lag of `id` (requires mu_ held, shared or exclusive).
+  uint64_t StalenessLagLocked(ViewId id) const;
+  /// Persisted image of view `id` (requires mu_ held).
+  PersistedView PersistedImageLocked(ViewId id) const;
+  /// Best-effort lifecycle event append (requires mu_ held exclusively).
+  void LogViewEventLocked(ViewId id);
+  /// Grows lifecycle + tree-membership bookkeeping to the catalog size
+  /// (requires mu_ held exclusively).
+  void GrowBookkeepingLocked();
 
   const Catalog* catalog_;
   Options options_;
@@ -156,7 +242,7 @@ class MatchingService {
   RewriteChecker checker_;
 
   /// Guards catalog + filter tree structure: shared for probes,
-  /// exclusive for AddView.
+  /// exclusive for AddView / recovery / revalidation.
   mutable std::shared_mutex mu_;
   /// Guards the (rare) rejection-trace appends.
   mutable std::mutex trace_mu_;
@@ -164,8 +250,15 @@ class MatchingService {
   AtomicMatchingCounters stats_;
   AtomicVerifyCounters verify_stats_;
   std::vector<std::string> rejection_traces_;
-  std::deque<ViewHealth> view_health_;
-  std::atomic<int64_t> num_quarantined_{0};
+
+  ViewLifecycleRegistry lifecycle_;
+  const TableEpochClock* epochs_ = nullptr;
+  CatalogStore* store_ = nullptr;
+  /// Whether each view currently lives in the filter tree (sidelined
+  /// views are compacted out by RevalidationTick). Mutated only under
+  /// the exclusive lock.
+  std::vector<char> in_tree_;
+  int64_t revalidation_tick_ = 0;
 };
 
 }  // namespace mvopt

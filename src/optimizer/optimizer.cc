@@ -762,6 +762,11 @@ PhysPlanPtr Optimizer::OptimizeGroup(Context* ctx, int group_id) {
 OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
                                        QueryBudget* budget) {
   assert(query.num_tables() <= 30);
+  // A budget object may be reused across queries; per-query outcome
+  // state (degradation reason, tick/candidate counters) must not leak
+  // from one optimization into the next. Limits and the wall-clock
+  // deadline are preserved.
+  if (budget != nullptr) budget->ResetForQuery();
   Context ctx;
   ctx.query = &query;
   ctx.budget = budget;

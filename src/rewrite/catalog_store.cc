@@ -1,0 +1,513 @@
+#include "rewrite/catalog_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/crc32.h"
+#include "common/failpoint.h"
+
+namespace mvopt {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'M', 'V', 'W', 'A', 'L', '0', '0', '1'};
+constexpr char kSnapMagic[8] = {'M', 'V', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr size_t kMagicSize = 8;
+constexpr size_t kFrameHeader = 4 + 4 + 1;  // len + crc + type
+
+constexpr uint8_t kRecordAddView = 1;
+constexpr uint8_t kRecordViewEvent = 2;
+
+// --- little-endian buffer codec -------------------------------------------
+
+void PutU32(std::string* buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* buf, uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutStr(std::string* buf, const std::string& s) {
+  PutU32(buf, static_cast<uint32_t>(s.size()));
+  buf->append(s);
+}
+
+struct Cursor {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool GetU32(uint32_t* v) {
+    if (size - pos < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>(data[pos + i]))
+            << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (size - pos < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(data[pos + i]))
+            << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+  bool GetU8(uint8_t* v) {
+    if (size - pos < 1) return false;
+    *v = static_cast<uint8_t>(data[pos++]);
+    return true;
+  }
+  bool GetStr(std::string* s) {
+    uint32_t n;
+    if (!GetU32(&n)) return false;
+    if (size - pos < n) return false;
+    s->assign(data + pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+std::string EncodeAddView(const PersistedView& v) {
+  std::string payload;
+  PutStr(&payload, v.name);
+  PutStr(&payload, v.sql);
+  payload.push_back(static_cast<char>(v.state));
+  PutU64(&payload, v.epoch);
+  PutU64(&payload, v.content_checksum);
+  return payload;
+}
+
+bool DecodeAddView(const std::string& payload, PersistedView* v) {
+  Cursor c{payload.data(), payload.size()};
+  uint8_t state;
+  return c.GetStr(&v->name) && c.GetStr(&v->sql) && c.GetU8(&state) &&
+         (v->state = static_cast<ViewState>(state), c.GetU64(&v->epoch)) &&
+         c.GetU64(&v->content_checksum) && c.pos == payload.size();
+}
+
+std::string EncodeViewEvent(const std::string& name, ViewState state,
+                            uint64_t epoch, uint64_t checksum) {
+  std::string payload;
+  PutStr(&payload, name);
+  payload.push_back(static_cast<char>(state));
+  PutU64(&payload, epoch);
+  PutU64(&payload, checksum);
+  return payload;
+}
+
+bool DecodeViewEvent(const std::string& payload, std::string* name,
+                     ViewState* state, uint64_t* epoch, uint64_t* checksum) {
+  Cursor c{payload.data(), payload.size()};
+  uint8_t s;
+  return c.GetStr(name) && c.GetU8(&s) &&
+         (*state = static_cast<ViewState>(s), c.GetU64(epoch)) &&
+         c.GetU64(checksum) && c.pos == payload.size();
+}
+
+std::string FrameRecord(uint8_t type, const std::string& payload) {
+  std::string body;
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  std::string frame;
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(body.data(), body.size()));
+  frame.append(body);
+  return frame;
+}
+
+/// Decodes one frame at `pos`; returns false on a bad/torn frame.
+bool ReadFrame(const std::string& file, size_t* pos, uint8_t* type,
+               std::string* payload) {
+  Cursor c{file.data(), file.size(), *pos};
+  uint32_t len, crc;
+  if (!c.GetU32(&len) || !c.GetU32(&crc)) return false;
+  if (file.size() - c.pos < static_cast<size_t>(len) + 1) return false;
+  const char* body = file.data() + c.pos;
+  if (Crc32(body, len + 1) != crc) return false;
+  *type = static_cast<uint8_t>(body[0]);
+  payload->assign(body + 1, len);
+  *pos = c.pos + len + 1;
+  return true;
+}
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out->clear();
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return n >= 0;
+}
+
+void WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StoreIoError(std::string("write failed: ") + std::strerror(errno),
+                         /*durable=*/false);
+    }
+    written += static_cast<size_t>(n);
+  }
+}
+
+void FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);  // best effort: rename durability
+    ::close(fd);
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToJson() const {
+  std::string j = "{";
+  j += "\"snapshot_loaded\":" + std::string(snapshot_loaded ? "true" : "false");
+  j += ",\"snapshot_error\":\"" + JsonEscape(snapshot_error) + "\"";
+  j += ",\"snapshot_views\":" + std::to_string(snapshot_views);
+  j += ",\"wal_records_replayed\":" + std::to_string(wal_records_replayed);
+  j += ",\"wal_tail_torn\":" + std::string(wal_tail_torn ? "true" : "false");
+  j += ",\"wal_bytes_truncated\":" + std::to_string(wal_bytes_truncated);
+  j += ",\"views_recovered\":" + std::to_string(views_recovered);
+  j += ",\"quarantined\":[";
+  for (size_t i = 0; i < quarantined.size(); ++i) {
+    if (i > 0) j += ",";
+    j += "{\"name\":\"" + JsonEscape(quarantined[i].name) + "\",\"reason\":\"" +
+         JsonEscape(quarantined[i].reason) + "\"}";
+  }
+  j += "],\"anomalies\":[";
+  for (size_t i = 0; i < anomalies.size(); ++i) {
+    if (i > 0) j += ",";
+    j += "\"" + JsonEscape(anomalies[i]) + "\"";
+  }
+  j += "],\"clean\":" + std::string(clean() ? "true" : "false");
+  j += "}";
+  return j;
+}
+
+CatalogStore::~CatalogStore() { Close(); }
+
+void CatalogStore::Close() {
+  if (wal_fd_ >= 0) {
+    ::close(wal_fd_);
+    wal_fd_ = -1;
+  }
+}
+
+CatalogStore::RecoveredState CatalogStore::Recover() const {
+  RecoveredState out;
+  RecoveryReport& report = out.report;
+  // Registration order is the recovery order; `index` dedups by name so
+  // a snapshot/WAL overlap (crash between snapshot rename and WAL reset)
+  // replays idempotently.
+  std::vector<PersistedView> views;
+  std::unordered_map<std::string, size_t> index;
+  auto upsert = [&](PersistedView&& v) {
+    auto it = index.find(v.name);
+    if (it == index.end()) {
+      index.emplace(v.name, views.size());
+      views.push_back(std::move(v));
+    } else {
+      views[it->second] = std::move(v);
+    }
+  };
+
+  std::string file;
+  if (ReadWholeFile(snapshot_path(), &file)) {
+    if (file.size() < kMagicSize ||
+        std::memcmp(file.data(), kSnapMagic, kMagicSize) != 0) {
+      report.snapshot_error = "snapshot: bad magic";
+    } else {
+      report.snapshot_loaded = true;
+      size_t pos = kMagicSize;
+      uint8_t type;
+      std::string payload;
+      while (pos < file.size()) {
+        if (!ReadFrame(file, &pos, &type, &payload)) {
+          report.snapshot_error =
+              "snapshot: corrupt record at offset " + std::to_string(pos);
+          break;
+        }
+        PersistedView v;
+        if (type != kRecordAddView || !DecodeAddView(payload, &v)) {
+          report.snapshot_error =
+              "snapshot: undecodable record at offset " + std::to_string(pos);
+          break;
+        }
+        upsert(std::move(v));
+        ++report.snapshot_views;
+      }
+    }
+  }
+
+  if (ReadWholeFile(wal_path(), &file)) {
+    size_t pos = 0;
+    if (file.size() < kMagicSize ||
+        std::memcmp(file.data(), kWalMagic, kMagicSize) != 0) {
+      if (!file.empty()) {
+        report.wal_tail_torn = true;
+        report.wal_bytes_truncated = static_cast<int64_t>(file.size());
+      }
+    } else {
+      pos = kMagicSize;
+      uint8_t type;
+      std::string payload;
+      while (pos < file.size()) {
+        if (!ReadFrame(file, &pos, &type, &payload)) {
+          // Torn or corrupt tail: everything before it is intact.
+          report.wal_tail_torn = true;
+          report.wal_bytes_truncated = static_cast<int64_t>(file.size() - pos);
+          break;
+        }
+        ++report.wal_records_replayed;
+        if (type == kRecordAddView) {
+          PersistedView v;
+          if (DecodeAddView(payload, &v)) {
+            upsert(std::move(v));
+          } else {
+            report.anomalies.push_back("wal: undecodable add-view record");
+          }
+        } else if (type == kRecordViewEvent) {
+          std::string name;
+          ViewState state;
+          uint64_t epoch, checksum;
+          if (DecodeViewEvent(payload, &name, &state, &epoch, &checksum)) {
+            auto it = index.find(name);
+            if (it != index.end()) {
+              views[it->second].state = state;
+              views[it->second].epoch = epoch;
+              views[it->second].content_checksum = checksum;
+            } else {
+              report.anomalies.push_back("wal: event for unknown view '" +
+                                         name + "'");
+            }
+          } else {
+            report.anomalies.push_back("wal: undecodable view event");
+          }
+        } else {
+          report.anomalies.push_back("wal: unknown record type " +
+                                     std::to_string(type));
+        }
+      }
+    }
+  }
+
+  report.views_recovered = static_cast<int64_t>(views.size());
+  out.views = std::move(views);
+  return out;
+}
+
+void CatalogStore::OpenForAppend() {
+  if (is_open()) return;
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw StoreIoError("mkdir " + dir_ + ": " + std::strerror(errno), false);
+  }
+  // Find the committed prefix so a torn tail from a previous crash is
+  // physically cut before new appends land behind it.
+  int64_t good = 0;
+  std::string file;
+  if (ReadWholeFile(wal_path(), &file) && file.size() >= kMagicSize &&
+      std::memcmp(file.data(), kWalMagic, kMagicSize) == 0) {
+    size_t pos = kMagicSize;
+    uint8_t type;
+    std::string payload;
+    while (pos < file.size() && ReadFrame(file, &pos, &type, &payload)) {
+    }
+    good = static_cast<int64_t>(pos);
+  }
+
+  int fd = ::open(wal_path().c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    throw StoreIoError("open " + wal_path() + ": " + std::strerror(errno),
+                       false);
+  }
+  if (good == 0) {
+    // Fresh (or unreadably corrupt) log: start over with a clean header.
+    if (::ftruncate(fd, 0) != 0) {
+      ::close(fd);
+      throw StoreIoError("ftruncate: " + std::string(std::strerror(errno)),
+                         false);
+    }
+    try {
+      WriteAll(fd, kWalMagic, kMagicSize);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    ::fsync(fd);
+    good = static_cast<int64_t>(kMagicSize);
+  } else if (good < static_cast<int64_t>(file.size())) {
+    if (::ftruncate(fd, good) != 0) {
+      ::close(fd);
+      throw StoreIoError("ftruncate: " + std::string(std::strerror(errno)),
+                         false);
+    }
+  }
+  if (::lseek(fd, good, SEEK_SET) < 0) {
+    ::close(fd);
+    throw StoreIoError("lseek: " + std::string(std::strerror(errno)), false);
+  }
+  wal_fd_ = fd;
+  wal_offset_ = good;
+  needs_repair_ = false;
+}
+
+void CatalogStore::RepairTornTail() {
+  if (!needs_repair_) return;
+  if (::ftruncate(wal_fd_, wal_offset_) != 0 ||
+      ::lseek(wal_fd_, wal_offset_, SEEK_SET) < 0) {
+    throw StoreIoError("torn-tail repair failed: " +
+                           std::string(std::strerror(errno)),
+                       false);
+  }
+  needs_repair_ = false;
+}
+
+void CatalogStore::TryRepairNow() noexcept {
+  // Eager best-effort cut of a failed append's bytes. The caller rolls
+  // the registration back on a non-durable failure, and a fully-written
+  // but unfsynced frame is perfectly readable — left in place it would
+  // resurrect the rolled-back view at the next recovery. If the truncate
+  // itself fails the repair stays pending for the next append, and
+  // recovery's CRC scan still cuts any *partial* frame.
+  if (!needs_repair_) return;
+  if (::ftruncate(wal_fd_, wal_offset_) == 0 &&
+      ::lseek(wal_fd_, wal_offset_, SEEK_SET) >= 0) {
+    (void)::fsync(wal_fd_);
+    needs_repair_ = false;
+  }
+}
+
+void CatalogStore::AppendRecord(uint8_t type, const std::string& payload) {
+  if (!is_open()) {
+    throw StoreIoError("catalog store is not open for appends", false);
+  }
+  RepairTornTail();
+  const std::string frame = FrameRecord(type, payload);
+  try {
+    MVOPT_FAILPOINT("catalog_store.wal_append");
+    if (MVOPT_FAILPOINT_HIT("catalog_store.wal_write")) {
+      // Deterministic torn write: half the frame reaches the file.
+      WriteAll(wal_fd_, frame.data(), frame.size() / 2);
+      throw StoreIoError("failpoint 'catalog_store.wal_write' (torn frame)",
+                         false);
+    }
+    WriteAll(wal_fd_, frame.data(), frame.size());
+    MVOPT_FAILPOINT("catalog_store.wal_fsync");
+    if (::fsync(wal_fd_) != 0) {
+      throw StoreIoError("fsync: " + std::string(std::strerror(errno)), false);
+    }
+  } catch (const StoreIoError&) {
+    needs_repair_ = true;
+    TryRepairNow();
+    throw;
+  } catch (const std::exception& e) {
+    needs_repair_ = true;
+    TryRepairNow();
+    throw StoreIoError(e.what(), /*durable=*/false);
+  }
+  // Commit point passed: the record is durable no matter what follows.
+  wal_offset_ += static_cast<int64_t>(frame.size());
+  if (MVOPT_FAILPOINT_HIT("catalog_store.commit")) {
+    throw StoreIoError("failpoint 'catalog_store.commit' (after fsync)",
+                       /*durable=*/true);
+  }
+}
+
+void CatalogStore::AppendAddView(const PersistedView& view) {
+  AppendRecord(kRecordAddView, EncodeAddView(view));
+}
+
+void CatalogStore::AppendViewEvent(const std::string& name, ViewState state,
+                                   uint64_t epoch, uint64_t checksum) {
+  AppendRecord(kRecordViewEvent, EncodeViewEvent(name, state, epoch, checksum));
+}
+
+void CatalogStore::WriteSnapshot(const std::vector<PersistedView>& views) {
+  if (!is_open()) {
+    throw StoreIoError("catalog store is not open for appends", false);
+  }
+  const std::string tmp = dir_ + "/catalog.snapshot.tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw StoreIoError("open " + tmp + ": " + std::strerror(errno), false);
+  }
+  try {
+    WriteAll(fd, kSnapMagic, kMagicSize);
+    MVOPT_FAILPOINT("catalog_store.snapshot_write");
+    for (const PersistedView& v : views) {
+      const std::string frame = FrameRecord(kRecordAddView, EncodeAddView(v));
+      WriteAll(fd, frame.data(), frame.size());
+    }
+    if (::fsync(fd) != 0) {
+      throw StoreIoError("fsync: " + std::string(std::strerror(errno)), false);
+    }
+    MVOPT_FAILPOINT("catalog_store.snapshot_rename");
+  } catch (const StoreIoError&) {
+    ::close(fd);
+    throw;
+  } catch (const std::exception& e) {
+    ::close(fd);
+    throw StoreIoError(e.what(), false);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), snapshot_path().c_str()) != 0) {
+    throw StoreIoError("rename: " + std::string(std::strerror(errno)), false);
+  }
+  FsyncDir(dir_);
+  // Snapshot installed; from here the operation is durably committed
+  // even if the WAL reset below never happens (replay dedups).
+  try {
+    MVOPT_FAILPOINT("catalog_store.wal_truncate");
+  } catch (const std::exception& e) {
+    throw StoreIoError(e.what(), /*durable=*/true);
+  }
+  if (::ftruncate(wal_fd_, 0) != 0 ||
+      ::lseek(wal_fd_, 0, SEEK_SET) < 0) {
+    throw StoreIoError("wal reset: " + std::string(std::strerror(errno)),
+                       /*durable=*/true);
+  }
+  WriteAll(wal_fd_, kWalMagic, kMagicSize);
+  ::fsync(wal_fd_);
+  wal_offset_ = static_cast<int64_t>(kMagicSize);
+  needs_repair_ = false;
+}
+
+}  // namespace mvopt

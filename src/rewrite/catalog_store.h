@@ -1,0 +1,156 @@
+// Crash-consistent persistence for the view catalog: a CRC-framed
+// write-ahead log plus periodic full snapshots, with self-healing
+// recovery.
+//
+// Layout under the store directory:
+//   catalog.wal           append-only log of AddView / lifecycle events
+//   catalog.snapshot      full catalog image, replaced by atomic rename
+//   catalog.snapshot.tmp  in-flight snapshot (ignored at recovery)
+//
+// Every record is framed as
+//   u32 payload_len | u32 crc32(type + payload) | u8 type | payload
+// so torn writes and corruption are detected at recovery: replay stops
+// at the first bad frame, truncates the torn tail (reported in the
+// RecoveryReport) and keeps everything before it. A record is
+// *committed* once its fsync returns; committed records are never lost,
+// and a crash mid-append loses at most the uncommitted tail.
+//
+// The snapshot protocol is write-tmp / fsync / rename / fsync-dir, then
+// the WAL is reset. A crash between rename and reset leaves records in
+// the WAL that are also in the snapshot; replay is idempotent (later
+// records for a name supersede earlier ones), so the overlap is
+// harmless.
+//
+// Entries that are durable but unreplayable — SQL that no longer parses
+// against the schema, definitions that fail validation — are
+// *quarantined* in the RecoveryReport rather than aborting recovery;
+// the rest of the catalog comes back.
+//
+// Failpoint sites (kill-at-every-site crash tests drive these):
+//   catalog_store.wal_append      before anything is written
+//   catalog_store.wal_write       torn write: half the frame, then throw
+//   catalog_store.wal_fsync       frame written, fsync skipped
+//   catalog_store.commit          after fsync (durable; see StoreIoError)
+//   catalog_store.snapshot_write  partial snapshot tmp
+//   catalog_store.snapshot_rename tmp complete, rename skipped
+//   catalog_store.wal_truncate    snapshot installed, WAL reset skipped
+
+#ifndef MVOPT_REWRITE_CATALOG_STORE_H_
+#define MVOPT_REWRITE_CATALOG_STORE_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rewrite/view_lifecycle.h"
+
+namespace mvopt {
+
+/// Append-path failure. `durable()` distinguishes an *ambiguous commit*:
+/// the record reached stable storage before the failure, so the caller
+/// must treat the operation as committed (recovery will replay it) and
+/// keep its in-memory effect.
+class StoreIoError : public std::runtime_error {
+ public:
+  StoreIoError(const std::string& what, bool durable)
+      : std::runtime_error(what), durable_(durable) {}
+  bool durable() const { return durable_; }
+
+ private:
+  bool durable_;
+};
+
+/// One persisted catalog entry (the durable image of a registered view).
+struct PersistedView {
+  std::string name;
+  std::string sql;  ///< definition, re-parsed at recovery
+  ViewState state = ViewState::kFresh;
+  uint64_t epoch = 0;
+  uint64_t content_checksum = 0;
+};
+
+/// Machine-readable outcome of a recovery pass.
+struct RecoveryReport {
+  /// One durable-but-unreplayable entry, kept out of the catalog.
+  struct QuarantinedEntry {
+    std::string name;
+    std::string reason;
+  };
+
+  bool snapshot_loaded = false;
+  std::string snapshot_error;  ///< empty = clean (or no snapshot)
+  int64_t snapshot_views = 0;
+  int64_t wal_records_replayed = 0;
+  bool wal_tail_torn = false;
+  int64_t wal_bytes_truncated = 0;
+  int64_t views_recovered = 0;  ///< entries handed to the rebuild
+  /// Filled by the catalog rebuild (MatchingService::RecoverFrom).
+  std::vector<QuarantinedEntry> quarantined;
+  /// Non-fatal anomalies (e.g. a lifecycle event for an unknown view).
+  std::vector<std::string> anomalies;
+
+  /// Recovery is clean: nothing quarantined, truncated or anomalous.
+  bool clean() const {
+    return snapshot_error.empty() && !wal_tail_torn && quarantined.empty() &&
+           anomalies.empty();
+  }
+  std::string ToJson() const;
+};
+
+class CatalogStore {
+ public:
+  explicit CatalogStore(std::string dir) : dir_(std::move(dir)) {}
+  CatalogStore(const CatalogStore&) = delete;
+  CatalogStore& operator=(const CatalogStore&) = delete;
+  ~CatalogStore();
+
+  /// Read-only scan of snapshot + WAL. Never throws: every problem is
+  /// reported (and the torn tail measured) in the report.
+  struct RecoveredState {
+    std::vector<PersistedView> views;  ///< registration order
+    RecoveryReport report;
+  };
+  RecoveredState Recover() const;
+
+  /// Prepares the store for appends: creates the directory and files on
+  /// first use and physically truncates any torn WAL tail. Throws
+  /// StoreIoError on I/O failure.
+  void OpenForAppend();
+  bool is_open() const { return wal_fd_ >= 0; }
+  void Close();
+
+  /// Appends + fsyncs one record (commit point). Throws StoreIoError;
+  /// durable() tells whether the record was already committed.
+  void AppendAddView(const PersistedView& view);
+  void AppendViewEvent(const std::string& name, ViewState state,
+                       uint64_t epoch, uint64_t checksum);
+
+  /// Atomically installs a new snapshot and resets the WAL.
+  void WriteSnapshot(const std::vector<PersistedView>& views);
+
+  const std::string& dir() const { return dir_; }
+  std::string wal_path() const { return dir_ + "/catalog.wal"; }
+  std::string snapshot_path() const { return dir_ + "/catalog.snapshot"; }
+  int64_t wal_bytes() const { return wal_offset_; }
+
+ private:
+  void AppendRecord(uint8_t type, const std::string& payload);
+  void RepairTornTail();
+  /// Best-effort immediate tail repair after a failed append (never
+  /// throws; on failure the repair stays pending for the next append).
+  void TryRepairNow() noexcept;
+
+  std::string dir_;
+  int wal_fd_ = -1;
+  /// End of the last committed record (append position after repair).
+  int64_t wal_offset_ = 0;
+  /// A failed append may have left a torn frame past wal_offset_; the
+  /// next append truncates it first (a crash before then leaves the tear
+  /// for recovery to cut, which is equally safe).
+  bool needs_repair_ = false;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_REWRITE_CATALOG_STORE_H_

@@ -37,6 +37,8 @@ const char* RejectReasonName(RejectReason reason) {
       return "grouping-mismatch";
     case RejectReason::kAggregateNotComputable:
       return "aggregate-not-computable";
+    case RejectReason::kStale:
+      return "stale-view";
   }
   return "?";
 }

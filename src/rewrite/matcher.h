@@ -60,12 +60,13 @@ enum class RejectReason {
   kViewMoreAggregated,      ///< SPJ query, aggregated view
   kGroupingMismatch,        ///< query grouping not a subset of view grouping
   kAggregateNotComputable,  ///< query aggregate has no matching view output
+  kStale,                   ///< view lags its base tables beyond tolerance
 };
 
 /// Number of RejectReason values, for reason-indexed count arrays
 /// (mirrors kNumCheckCodes in src/verify).
-inline constexpr int kNumRejectReasons = 11;
-static_assert(static_cast<int>(RejectReason::kAggregateNotComputable) + 1 ==
+inline constexpr int kNumRejectReasons = 12;
+static_assert(static_cast<int>(RejectReason::kStale) + 1 ==
                   kNumRejectReasons,
               "kNumRejectReasons must cover every RejectReason");
 

@@ -10,12 +10,6 @@ namespace mvopt {
 ViewDefinition* ViewCatalog::AddView(const std::string& name,
                                      SpjgQuery definition,
                                      std::string* error) {
-  if (by_name_.count(name) != 0) {
-    if (error != nullptr) {
-      *error = "view '" + name + "' is already registered";
-    }
-    return nullptr;
-  }
   if (MVOPT_FAILPOINT_HIT("view_catalog.add_view")) {
     if (error != nullptr) *error = "failpoint 'view_catalog.add_view'";
     return nullptr;
@@ -29,7 +23,10 @@ ViewDefinition* ViewCatalog::AddView(const std::string& name,
   // Build everything fallible before the commit point: a throw from the
   // definition, the description (or the failpoint standing in for one)
   // leaves all three containers untouched, so views_/descriptions_/
-  // by_name_ can never disagree.
+  // by_name_ can never disagree. The duplicate-name check is part of the
+  // same transactional commit — it is decided by the by_name_ insert
+  // itself, after every fallible step, so a duplicate rejection can
+  // never strand rollback bookkeeping set up along the way.
   auto view = std::make_unique<ViewDefinition>(id, name, std::move(definition));
   ViewDescription description = DescribeView(*catalog_, *view);
   MVOPT_FAILPOINT("view_catalog.describe");
@@ -39,7 +36,14 @@ ViewDefinition* ViewCatalog::AddView(const std::string& name,
   if (descriptions_.size() == descriptions_.capacity()) {
     descriptions_.reserve(std::max<size_t>(8, descriptions_.size() * 2));
   }
-  by_name_.emplace(name, id);  // may throw; nothing else mutated yet
+  auto [it, inserted] = by_name_.emplace(name, id);  // may throw; commit point
+  (void)it;
+  if (!inserted) {
+    if (error != nullptr) {
+      *error = "view '" + name + "' is already registered";
+    }
+    return nullptr;  // nothing mutated: rejection needs no rollback
+  }
   // Capacity reserved and both element moves are noexcept: no-throw.
   views_.push_back(std::move(view));
   descriptions_.push_back(std::move(description));

@@ -1,0 +1,189 @@
+#include "rewrite/view_lifecycle.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvopt {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
+const char* ViewStateName(ViewState state) {
+  switch (state) {
+    case ViewState::kFresh:
+      return "fresh";
+    case ViewState::kStale:
+      return "stale";
+    case ViewState::kQuarantined:
+      return "quarantined";
+    case ViewState::kDisabled:
+      return "disabled";
+  }
+  return "?";
+}
+
+void ViewLifecycleRegistry::EnsureSize(size_t n) {
+  while (entries_.size() < n) entries_.emplace_back();
+}
+
+ViewState ViewLifecycleRegistry::state(ViewId id) const {
+  if (static_cast<size_t>(id) >= entries_.size()) return ViewState::kFresh;
+  return static_cast<ViewState>(entries_[id].state.load(kRelaxed));
+}
+
+bool ViewLifecycleRegistry::IsSidelined(ViewId id) const {
+  ViewState s = state(id);
+  return s == ViewState::kQuarantined || s == ViewState::kDisabled;
+}
+
+uint64_t ViewLifecycleRegistry::epoch(ViewId id) const {
+  if (static_cast<size_t>(id) >= entries_.size()) return 0;
+  return entries_[id].epoch.load(kRelaxed);
+}
+
+uint64_t ViewLifecycleRegistry::checksum(ViewId id) const {
+  if (static_cast<size_t>(id) >= entries_.size()) return 0;
+  return entries_[id].checksum.load(kRelaxed);
+}
+
+ViewLifecycleRegistry::Snapshot ViewLifecycleRegistry::snapshot(
+    ViewId id) const {
+  Snapshot s;
+  if (static_cast<size_t>(id) >= entries_.size()) return s;
+  const Entry& e = entries_[id];
+  s.state = static_cast<ViewState>(e.state.load(kRelaxed));
+  s.epoch = e.epoch.load(kRelaxed);
+  s.content_checksum = e.checksum.load(kRelaxed);
+  s.failure_streak = e.failure_streak.load(kRelaxed);
+  s.next_retry_tick = e.next_retry_tick.load(kRelaxed);
+  s.retry_backoff = e.retry_backoff.load(kRelaxed);
+  return s;
+}
+
+void ViewLifecycleRegistry::AdjustCounters(ViewState from, ViewState to) {
+  if (from == to) return;
+  if (from == ViewState::kQuarantined) num_quarantined_.fetch_sub(1, kRelaxed);
+  if (from == ViewState::kDisabled) num_disabled_.fetch_sub(1, kRelaxed);
+  if (to == ViewState::kQuarantined) num_quarantined_.fetch_add(1, kRelaxed);
+  if (to == ViewState::kDisabled) num_disabled_.fetch_add(1, kRelaxed);
+}
+
+bool ViewLifecycleRegistry::Transition(Entry& e, ViewState from,
+                                       ViewState to) {
+  uint8_t expected = static_cast<uint8_t>(from);
+  if (!e.state.compare_exchange_strong(expected, static_cast<uint8_t>(to),
+                                       kRelaxed, kRelaxed)) {
+    return false;
+  }
+  AdjustCounters(from, to);
+  return true;
+}
+
+void ViewLifecycleRegistry::MarkFresh(ViewId id, uint64_t epoch) {
+  assert(static_cast<size_t>(id) < entries_.size());
+  Entry& e = entries_[id];
+  e.epoch.store(epoch, kRelaxed);
+  e.failure_streak.store(0, kRelaxed);
+  Transition(e, ViewState::kStale, ViewState::kFresh);
+}
+
+void ViewLifecycleRegistry::SetChecksum(ViewId id, uint64_t checksum) {
+  assert(static_cast<size_t>(id) < entries_.size());
+  entries_[id].checksum.store(checksum, kRelaxed);
+}
+
+void ViewLifecycleRegistry::MarkStale(ViewId id) {
+  if (static_cast<size_t>(id) >= entries_.size()) return;
+  Transition(entries_[id], ViewState::kFresh, ViewState::kStale);
+}
+
+bool ViewLifecycleRegistry::ReportVerifyFailure(ViewId id,
+                                                int quarantine_threshold,
+                                                int disable_threshold) {
+  if (static_cast<size_t>(id) >= entries_.size()) return false;
+  Entry& e = entries_[id];
+  const int32_t streak = e.failure_streak.fetch_add(1, kRelaxed) + 1;
+  bool changed = false;
+  if (quarantine_threshold > 0 && streak >= quarantine_threshold) {
+    changed |= Transition(e, ViewState::kFresh, ViewState::kQuarantined);
+    changed |= Transition(e, ViewState::kStale, ViewState::kQuarantined);
+  }
+  if (disable_threshold > 0 && streak >= disable_threshold) {
+    // Reachable from QUARANTINED (escalation) or directly from
+    // FRESH/STALE when quarantine is configured off.
+    changed |= Transition(e, ViewState::kQuarantined, ViewState::kDisabled);
+    changed |= Transition(e, ViewState::kFresh, ViewState::kDisabled);
+    changed |= Transition(e, ViewState::kStale, ViewState::kDisabled);
+  }
+  if (changed) {
+    e.next_retry_tick.store(0, kRelaxed);
+    e.retry_backoff.store(1, kRelaxed);
+  }
+  return changed;
+}
+
+void ViewLifecycleRegistry::ReportVerifySuccess(ViewId id) {
+  if (static_cast<size_t>(id) >= entries_.size()) return;
+  entries_[id].failure_streak.store(0, kRelaxed);
+}
+
+bool ViewLifecycleRegistry::ReportChecksumMismatch(ViewId id) {
+  return Disable(id);
+}
+
+bool ViewLifecycleRegistry::Disable(ViewId id) {
+  if (static_cast<size_t>(id) >= entries_.size()) return false;
+  Entry& e = entries_[id];
+  bool changed = Transition(e, ViewState::kFresh, ViewState::kDisabled) ||
+                 Transition(e, ViewState::kStale, ViewState::kDisabled) ||
+                 Transition(e, ViewState::kQuarantined, ViewState::kDisabled);
+  if (changed) {
+    e.next_retry_tick.store(0, kRelaxed);
+    e.retry_backoff.store(1, kRelaxed);
+  }
+  return changed;
+}
+
+bool ViewLifecycleRegistry::Readmit(ViewId id, uint64_t epoch) {
+  if (static_cast<size_t>(id) >= entries_.size()) return false;
+  Entry& e = entries_[id];
+  bool changed = Transition(e, ViewState::kQuarantined, ViewState::kFresh) ||
+                 Transition(e, ViewState::kDisabled, ViewState::kFresh);
+  if (changed) {
+    e.epoch.store(epoch, kRelaxed);
+    e.failure_streak.store(0, kRelaxed);
+    e.next_retry_tick.store(0, kRelaxed);
+    e.retry_backoff.store(1, kRelaxed);
+  }
+  return changed;
+}
+
+void ViewLifecycleRegistry::Restore(ViewId id, const Snapshot& snapshot) {
+  assert(static_cast<size_t>(id) < entries_.size());
+  Entry& e = entries_[id];
+  ViewState before = static_cast<ViewState>(e.state.load(kRelaxed));
+  e.state.store(static_cast<uint8_t>(snapshot.state), kRelaxed);
+  AdjustCounters(before, snapshot.state);
+  e.epoch.store(snapshot.epoch, kRelaxed);
+  e.checksum.store(snapshot.content_checksum, kRelaxed);
+  e.failure_streak.store(snapshot.failure_streak, kRelaxed);
+  e.next_retry_tick.store(snapshot.next_retry_tick, kRelaxed);
+  e.retry_backoff.store(snapshot.retry_backoff, kRelaxed);
+}
+
+bool ViewLifecycleRegistry::DueForRetry(ViewId id, int64_t tick) const {
+  if (static_cast<size_t>(id) >= entries_.size()) return false;
+  return entries_[id].next_retry_tick.load(kRelaxed) <= tick;
+}
+
+void ViewLifecycleRegistry::RecordRetryFailure(ViewId id, int64_t tick) {
+  if (static_cast<size_t>(id) >= entries_.size()) return;
+  Entry& e = entries_[id];
+  int64_t backoff = e.retry_backoff.load(kRelaxed);
+  e.next_retry_tick.store(tick + backoff, kRelaxed);
+  e.retry_backoff.store(std::min<int64_t>(backoff * 2, kMaxBackoff),
+                        kRelaxed);
+}
+
+}  // namespace mvopt

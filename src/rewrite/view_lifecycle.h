@@ -1,0 +1,155 @@
+// Per-view lifecycle state machine unifying freshness tracking, the
+// enforce-mode quarantine and the content-checksum circuit breaker:
+//
+//                 base-table update          refresh (maintenance)
+//        FRESH ─────────────────────▶ STALE ─────────────────────▶ FRESH
+//          │                            │
+//          │  verify-failure streak ≥ quarantine threshold
+//          ▼                            ▼
+//      QUARANTINED ◀────────────────────┘
+//          │  streak ≥ disable threshold, or content-checksum mismatch
+//          ▼
+//       DISABLED
+//          │  revalidation pass succeeds (exponential backoff between
+//          ▼  attempts; also readmits QUARANTINED views)
+//        FRESH
+//
+// FRESH views match normally. STALE views are skipped (RejectReason::
+// kStale) unless the query opts into a bounded staleness tolerance, in
+// which case their substitutes are down-ranked behind fresh ones.
+// QUARANTINED and DISABLED views never match until readmitted.
+//
+// Thread-safety mirrors MatchingService: entries are atomics in a deque
+// (growth only under the service's exclusive lock), so probe threads may
+// read and record failures under a shared lock. Readmission, disabling
+// and the revalidation pass run under the exclusive lock.
+
+#ifndef MVOPT_REWRITE_VIEW_LIFECYCLE_H_
+#define MVOPT_REWRITE_VIEW_LIFECYCLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+
+#include "query/view_def.h"
+
+namespace mvopt {
+
+enum class ViewState : uint8_t {
+  kFresh = 0,
+  kStale = 1,
+  kQuarantined = 2,
+  kDisabled = 3,
+};
+
+inline constexpr int kNumViewStates = 4;
+
+const char* ViewStateName(ViewState state);
+
+class ViewLifecycleRegistry {
+ public:
+  /// Value snapshot of one view's lifecycle entry.
+  struct Snapshot {
+    ViewState state = ViewState::kFresh;
+    uint64_t epoch = 0;
+    uint64_t content_checksum = 0;
+    int32_t failure_streak = 0;
+    int64_t next_retry_tick = 0;
+    int64_t retry_backoff = 1;
+  };
+
+  ViewLifecycleRegistry() = default;
+  ViewLifecycleRegistry(const ViewLifecycleRegistry&) = delete;
+  ViewLifecycleRegistry& operator=(const ViewLifecycleRegistry&) = delete;
+
+  /// Grows the registry to cover `n` views (exclusive lock only).
+  void EnsureSize(size_t n);
+  size_t size() const { return entries_.size(); }
+
+  ViewState state(ViewId id) const;
+  /// Matchable without any staleness tolerance.
+  bool IsFresh(ViewId id) const { return state(id) == ViewState::kFresh; }
+  /// Skipped unconditionally (quarantined or disabled).
+  bool IsSidelined(ViewId id) const;
+
+  uint64_t epoch(ViewId id) const;
+  uint64_t checksum(ViewId id) const;
+  Snapshot snapshot(ViewId id) const;
+
+  /// Refresh: the view's contents now reflect global epoch `epoch`.
+  /// Resets the failure streak and returns the view to FRESH from FRESH
+  /// or STALE (a quarantined/disabled view stays sidelined — data
+  /// freshness does not clear a circuit breaker).
+  void MarkFresh(ViewId id, uint64_t epoch);
+  void SetChecksum(ViewId id, uint64_t checksum);
+
+  /// Probe-side observation that the view lags its base tables
+  /// (FRESH -> STALE; no-op in any other state).
+  void MarkStale(ViewId id);
+
+  /// Records a soundness-checker rejection. With `quarantine_threshold`
+  /// > 0, a streak of that many rejections moves FRESH/STALE ->
+  /// QUARANTINED; with `disable_threshold` > 0, a streak of that many
+  /// moves to DISABLED. Returns true when the state changed.
+  bool ReportVerifyFailure(ViewId id, int quarantine_threshold,
+                           int disable_threshold);
+  /// A proven substitute resets the failure streak.
+  void ReportVerifySuccess(ViewId id);
+
+  /// Content checksum mismatch: trips the circuit breaker (-> DISABLED)
+  /// from any state. Returns true when the state changed.
+  bool ReportChecksumMismatch(ViewId id);
+
+  /// Forces the view out of rotation (-> DISABLED), e.g. a recovered
+  /// entry whose definition replays but whose data is unavailable.
+  bool Disable(ViewId id);
+
+  /// Readmission: QUARANTINED/DISABLED -> FRESH with the given epoch;
+  /// streak and backoff reset. Returns false if the view was not
+  /// sidelined.
+  bool Readmit(ViewId id, uint64_t epoch);
+
+  /// Restores a recovered entry verbatim (startup only).
+  void Restore(ViewId id, const Snapshot& snapshot);
+
+  /// Exponential-backoff schedule for the revalidation pass, measured in
+  /// revalidation ticks so tests replay deterministically.
+  bool DueForRetry(ViewId id, int64_t tick) const;
+  void RecordRetryFailure(ViewId id, int64_t tick);
+
+  int64_t num_quarantined() const {
+    return num_quarantined_.load(std::memory_order_relaxed);
+  }
+  int64_t num_disabled() const {
+    return num_disabled_.load(std::memory_order_relaxed);
+  }
+  /// Quarantined + disabled (the views probes skip unconditionally).
+  int64_t num_sidelined() const {
+    return num_quarantined() + num_disabled();
+  }
+
+ private:
+  struct Entry {
+    std::atomic<uint8_t> state{0};
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<uint64_t> checksum{0};
+    std::atomic<int32_t> failure_streak{0};
+    std::atomic<int64_t> next_retry_tick{0};
+    std::atomic<int64_t> retry_backoff{1};
+  };
+  static constexpr int64_t kMaxBackoff = 64;
+
+  /// CAS transition keeping the sideline counters consistent; returns
+  /// true when `id` moved from `from` to `to`.
+  bool Transition(Entry& e, ViewState from, ViewState to);
+  void AdjustCounters(ViewState from, ViewState to);
+
+  /// Deque: growth never invalidates entries, atomics never move.
+  std::deque<Entry> entries_;
+  std::atomic<int64_t> num_quarantined_{0};
+  std::atomic<int64_t> num_disabled_{0};
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_REWRITE_VIEW_LIFECYCLE_H_

@@ -203,5 +203,58 @@ TEST_F(ConcurrencyStressTest, InjectedMatcherFaultsStayIsolatedUnderLoad) {
 
 #endif  // MVOPT_FAILPOINTS
 
+TEST_F(ConcurrencyStressTest, QuarantineReadmissionUnderConcurrentProbes) {
+  MatchingService service(&catalog_);
+  AddViewRange(&service, 0, kNumViews);
+  std::vector<std::vector<ViewId>> expected = ReferenceSignatures();
+
+  // One lifecycle thread repeatedly trips the circuit breaker on a block
+  // of views (removing them from the filter tree) and then revalidates
+  // them back in, while readers hammer every query. Probes must stay
+  // crash-free and internally consistent throughout: a sidelined view
+  // never substitutes, and re-admitted views substitute again.
+  std::atomic<bool> stop{false};
+  std::thread lifecycle([&] {
+    auto always_valid = [](const ViewDefinition&) { return true; };
+    for (int round = 0; round < 25; ++round) {
+      for (ViewId id = 0; id < 10; ++id) {
+        service.ReportChecksumMismatch(id);
+      }
+      while (service.lifecycle().num_sidelined() > 0) {
+        service.RevalidationTick(always_valid);
+      }
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kNumReaders; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load()) {
+        for (size_t q = t; q < queries_.size(); q += kNumReaders) {
+          std::vector<Substitute> subs = service.FindSubstitutes(queries_[q]);
+          // Note: no IsQuarantined check here — a view may be sidelined
+          // between the probe and the assertion; only the quiescent
+          // cross-check below is race-free.
+          for (const Substitute& s : subs) {
+            EXPECT_NE(s.view_id, kInvalidViewId);
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+  lifecycle.join();
+  for (std::thread& r : readers) r.join();
+
+  // Every view readmitted: the filter tree must be fully repopulated and
+  // quiescent probes must match the untouched reference exactly — the
+  // re-admission path re-inserted each view correctly.
+  EXPECT_EQ(service.lifecycle().num_sidelined(), 0);
+  ExpectAuditGreen(service);
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    EXPECT_EQ(Signature(&service, queries_[q]), expected[q]) << "query " << q;
+  }
+}
+
 }  // namespace
 }  // namespace mvopt

@@ -204,5 +204,67 @@ TEST_F(BudgetOptimizerTest, BudgetTruncationSurfacesInMatchingStats) {
   EXPECT_EQ(service.stats().full_tests, 0);
 }
 
+TEST_F(BudgetOptimizerTest, ReusedBudgetDoesNotCarryDegradationForward) {
+  // Regression: a sticky degradation reason (or partially-consumed
+  // counters) from one Optimize() must not leak into the next when the
+  // caller reuses a single budget object across queries.
+  MatchingService service(&catalog_);
+  AddWorkloadViews(&service, 60, 11);
+  Optimizer optimizer(&catalog_, &service);
+  SpjgQuery q = ThreeTableQuery();
+
+  QueryBudget budget;
+  budget.set_memo_expr_cap(0);
+  OptimizationResult capped = optimizer.Optimize(q, &budget);
+  ASSERT_NE(capped.plan, nullptr);
+  EXPECT_EQ(capped.degradation, DegradationReason::kMemoExprCapReached);
+
+  // Same budget object, cap lifted: the second optimization must start
+  // from a clean slate instead of reporting (or acting on) the stale
+  // exhaustion.
+  budget.set_memo_expr_cap(QueryBudget::kUnlimited);
+  OptimizationResult clean = optimizer.Optimize(q, &budget);
+  ASSERT_NE(clean.plan, nullptr);
+  EXPECT_EQ(clean.degradation, DegradationReason::kNone);
+  EXPECT_FALSE(budget.exhausted());
+
+  // And with no change at all, each run re-trips the cap independently
+  // rather than compounding counters across runs.
+  budget.set_memo_expr_cap(0);
+  for (int i = 0; i < 3; ++i) {
+    OptimizationResult r = optimizer.Optimize(q, &budget);
+    ASSERT_NE(r.plan, nullptr);
+    EXPECT_EQ(r.degradation, DegradationReason::kMemoExprCapReached);
+  }
+}
+
+TEST(QueryBudgetTest, ResetForQueryClearsOutcomeButKeepsLimits) {
+  QueryBudget budget;
+  budget.set_memo_group_cap(1);
+  budget.ConsumeMemoGroup();
+  budget.ConsumeMemoGroup();
+  EXPECT_TRUE(budget.exhausted());
+  budget.NoteDegradation(DegradationReason::kStaleViewsOnly);
+  budget.ResetForQuery();
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.reason(), DegradationReason::kNone);
+  EXPECT_EQ(budget.memo_groups_used(), 0);
+  // The cap itself survives: it re-trips on the next query's usage.
+  budget.ConsumeMemoGroup();
+  EXPECT_TRUE(budget.ConsumeMemoGroup());
+  EXPECT_EQ(budget.reason(), DegradationReason::kMemoGroupCapReached);
+}
+
+TEST(QueryBudgetTest, AdvisoryDegradationReportsWithoutExhausting) {
+  QueryBudget budget;
+  budget.NoteDegradation(DegradationReason::kStaleViewsOnly);
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.reason(), DegradationReason::kStaleViewsOnly);
+  // A hard limit outranks the advisory.
+  budget.set_candidate_cap(0);
+  budget.ConsumeCandidate();
+  EXPECT_EQ(budget.reason(), DegradationReason::kCandidateCapReached);
+}
+
 }  // namespace
 }  // namespace mvopt

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Kill-at-every-failpoint crash loop for the durable view catalog.
+#
+# For each catalog_store failpoint site, runs N iterations of:
+#   1. recovery_driver crash <dir> <site> <iter>  — recovers the catalog,
+#      arms the site, checkpoints and registers one more view, records
+#      the acknowledged outcome in the manifest, then dies with _exit(42)
+#      mid-protocol (the armed fault decides where the bytes stop).
+#   2. recovery_driver verify <dir>               — recovers again and
+#      asserts: no quarantined entries, every acknowledged view present,
+#      every unacknowledged view absent, InvariantAuditor green, and all
+#      substitutes produced after recovery pass the RewriteChecker.
+#
+# The store directory is seeded once per site and reused across the
+# iterations, so WAL appends, checkpoints and torn tails compound the
+# way they would across real process lifetimes.
+#
+# Usage: tools/ci/run_crash_recovery.sh [build-dir] [iterations]
+#   build-dir   defaults to ./build (must contain examples/recovery_driver)
+#   iterations  crash/recover cycles per site (default 5)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+iterations="${2:-5}"
+driver="${build_dir}/examples/recovery_driver"
+
+if [[ ! -x "${driver}" ]]; then
+  echo "error: ${driver} not built (cmake --build ${build_dir} --target recovery_driver)" >&2
+  exit 1
+fi
+
+sites=(
+  catalog_store.wal_append
+  catalog_store.wal_write
+  catalog_store.wal_fsync
+  catalog_store.commit
+  catalog_store.snapshot_write
+  catalog_store.snapshot_rename
+  catalog_store.wal_truncate
+)
+
+scratch="$(mktemp -d /tmp/mvopt_crash_recovery_XXXXXX)"
+trap 'rm -rf "${scratch}"' EXIT
+
+for site in "${sites[@]}"; do
+  dir="${scratch}/${site}"
+  mkdir -p "${dir}"
+  echo "=== ${site}: seed ==="
+  "${driver}" seed "${dir}" 6 >/dev/null
+  for ((i = 0; i < iterations; ++i)); do
+    # The crash run must die with _exit(42); any other status means the
+    # fault either escaped as an unhandled error or was never reached.
+    status=0
+    "${driver}" crash "${dir}" "${site}" "${i}" >/dev/null || status=$?
+    if [[ "${status}" -ne 42 ]]; then
+      echo "error: ${site} iter ${i}: crash run exited ${status}, want 42" >&2
+      exit 1
+    fi
+    "${driver}" verify "${dir}" >/dev/null ||
+      { echo "error: ${site} iter ${i}: verification failed" >&2; exit 1; }
+  done
+  echo "=== ${site}: ${iterations} crash/recover cycles clean ==="
+done
+
+echo "=== crash recovery matrix clean ==="

@@ -46,7 +46,20 @@ run_thread() {
     -R 'ConcurrencyStress' -j "${jobs}"
 }
 
+run_crash_recovery() {
+  # The crash/recover matrix reuses the ASan tree: the recovery path and
+  # the torn-tail repair run instrumented, and leaks in the recovery
+  # loop would surface here.
+  local build_dir="${build_root}/address"
+  echo "=== crash recovery: build driver ==="
+  cmake --build "${build_dir}" --target recovery_driver -j "${jobs}"
+  echo "=== crash recovery: kill-at-every-failpoint loop ==="
+  ASAN_OPTIONS=detect_leaks=0 \
+    "${repo_root}/tools/ci/run_crash_recovery.sh" "${build_dir}" 3
+}
+
 run_one address
 run_one undefined
 run_thread
+run_crash_recovery
 echo "=== sanitizers clean ==="

@@ -66,6 +66,13 @@ class Workload {
                                                bool use_filter_tree) const {
     MatchingService::Options opts;
     opts.use_filter_tree = use_filter_tree;
+    return MakeService(n, opts);
+  }
+
+  /// Same, with full control over the service options (observability,
+  /// verification, quarantine).
+  std::unique_ptr<MatchingService> MakeService(
+      int n, const MatchingService::Options& opts) const {
     auto service = std::make_unique<MatchingService>(&catalog_, opts);
     tpch::WorkloadGenerator index_gen(&catalog_, 4242);
     for (int i = 0; i < n; ++i) {

@@ -117,6 +117,7 @@ void ViewMaintainer::PublishRefreshAll() {
       lifecycle_->SetChecksum(id, data->ContentChecksum());
     }
     lifecycle_->MarkFresh(id, now);
+    if (counters_.refreshes != nullptr) counters_.refreshes->Increment();
   }
 }
 
@@ -171,6 +172,9 @@ bool ViewMaintainer::Maintain(ViewDefinition* view, TableId table,
     MaintainSpj(view, delta_out, kind);
   }
   ++incremental_updates_;
+  if (counters_.incremental_updates != nullptr) {
+    counters_.incremental_updates->Increment();
+  }
   return true;
 }
 
@@ -278,6 +282,9 @@ void ViewMaintainer::Recompute(ViewDefinition* view) {
   for (auto& r : rows) data->AppendRow(std::move(r));
   data->RebuildIndexes();
   ++full_recomputations_;
+  if (counters_.full_recomputations != nullptr) {
+    counters_.full_recomputations->Increment();
+  }
 }
 
 }  // namespace mvopt

@@ -21,6 +21,7 @@
 
 #include "common/epoch.h"
 #include "engine/database.h"
+#include "observe/metrics.h"
 #include "rewrite/view_lifecycle.h"
 
 namespace mvopt {
@@ -62,6 +63,18 @@ class ViewMaintainer {
   int64_t incremental_updates() const { return incremental_updates_; }
   int64_t full_recomputations() const { return full_recomputations_; }
 
+  /// Observability hooks (nullptr slots are skipped): refreshes counts
+  /// per-view FRESH publications after a maintenance pass; the other two
+  /// mirror the local statistics above.
+  struct MaintenanceCounters {
+    Counter* refreshes = nullptr;
+    Counter* incremental_updates = nullptr;
+    Counter* full_recomputations = nullptr;
+  };
+  void set_counters(const MaintenanceCounters& counters) {
+    counters_ = counters;
+  }
+
  private:
   enum class DeltaKind { kInsert, kDelete };
 
@@ -84,6 +97,7 @@ class ViewMaintainer {
   ViewLifecycleRegistry* lifecycle_ = nullptr;
   int64_t incremental_updates_ = 0;
   int64_t full_recomputations_ = 0;
+  MaintenanceCounters counters_;
 };
 
 }  // namespace mvopt

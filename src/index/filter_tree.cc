@@ -199,7 +199,29 @@ void FilterTree::RemoveView(ViewId id) {
 
 void FilterTree::SearchLevel(const Node& node, FilterLevel level,
                              const SearchContext& ctx, bool agg_tree,
-                             std::vector<int>* out) const {
+                             std::vector<int>* out,
+                             FilterSearchStats* stats) const {
+  // Lattice search kinds by level (the §4.4 walk each condition uses);
+  // recorded before the dispatch so impossible-key early returns still
+  // count as a performed search.
+  if (stats != nullptr) {
+    switch (level) {
+      case FilterLevel::kHub:
+      case FilterLevel::kResidual:
+      case FilterLevel::kRangeConstraints:
+        ++stats->subset_searches;
+        break;
+      case FilterLevel::kSourceTables:
+      case FilterLevel::kOutputExprs:
+      case FilterLevel::kGroupingExprs:
+        ++stats->superset_searches;
+        break;
+      case FilterLevel::kOutputColumns:
+      case FilterLevel::kGroupingColumns:
+        ++stats->scan_searches;
+        break;
+    }
+  }
   switch (level) {
     case FilterLevel::kHub:
       // Hub condition (§4.2.2): hub ⊆ query source tables.
@@ -298,8 +320,11 @@ void FilterTree::Search(const Node& node,
                         QueryBudget* budget) const {
   if (budget != nullptr && budget->TickDeadline()) return;
   std::vector<int> qualifying;
-  SearchLevel(node, levels[depth], ctx, agg_tree, &qualifying);
+  SearchLevel(node, levels[depth], ctx, agg_tree, &qualifying, stats);
   if (stats != nullptr) {
+    const size_t li = static_cast<size_t>(levels[depth]);
+    ++stats->level_probes[li];
+    stats->level_qualifying[li] += static_cast<int64_t>(qualifying.size());
     stats->lattice_nodes_visited += static_cast<int64_t>(qualifying.size());
   }
   const bool last = depth + 1 == levels.size();

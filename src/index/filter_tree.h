@@ -16,6 +16,7 @@
 #ifndef MVOPT_INDEX_FILTER_TREE_H_
 #define MVOPT_INDEX_FILTER_TREE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -42,14 +43,44 @@ enum class FilterLevel {
   kGroupingColumns,
 };
 
+/// Number of FilterLevel values, for level-indexed count arrays.
+inline constexpr int kNumFilterLevels = 8;
+static_assert(static_cast<int>(FilterLevel::kGroupingColumns) + 1 ==
+                  kNumFilterLevels,
+              "kNumFilterLevels must cover every FilterLevel");
+
 const char* FilterLevelName(FilterLevel level);
 
-/// Search-side instrumentation (for the §5 effectiveness numbers and the
-/// level-ablation bench).
+/// Search-side instrumentation (for the §5 effectiveness numbers, the
+/// level-ablation bench and the observability layer). Per-level arrays
+/// are indexed by FilterLevel value, merging the SPJ and aggregation
+/// trees.
 struct FilterSearchStats {
   int64_t lattice_nodes_visited = 0;
   int64_t views_range_checked = 0;
   int64_t views_range_rejected = 0;
+  /// Lattice search calls by kind (§4.4's subset/superset walks; scans
+  /// are the backjoin-relaxed full-level walks).
+  int64_t subset_searches = 0;
+  int64_t superset_searches = 0;
+  int64_t scan_searches = 0;
+  /// Times each level's partitioning condition was evaluated.
+  std::array<int64_t, kNumFilterLevels> level_probes{};
+  /// Lattice nodes qualifying (candidate paths surviving) per level.
+  std::array<int64_t, kNumFilterLevels> level_qualifying{};
+
+  void MergeFrom(const FilterSearchStats& other) {
+    lattice_nodes_visited += other.lattice_nodes_visited;
+    views_range_checked += other.views_range_checked;
+    views_range_rejected += other.views_range_rejected;
+    subset_searches += other.subset_searches;
+    superset_searches += other.superset_searches;
+    scan_searches += other.scan_searches;
+    for (int i = 0; i < kNumFilterLevels; ++i) {
+      level_probes[i] += other.level_probes[i];
+      level_qualifying[i] += other.level_qualifying[i];
+    }
+  }
 };
 
 class FilterTree {
@@ -124,7 +155,7 @@ class FilterTree {
               QueryBudget* budget) const;
   void SearchLevel(const Node& node, FilterLevel level,
                    const SearchContext& ctx, bool agg_tree,
-                   std::vector<int>* out) const;
+                   std::vector<int>* out, FilterSearchStats* stats) const;
   bool PassesFullRangeCondition(ViewId id, const SearchContext& ctx) const;
 
   uint32_t Intern(const std::string& text);

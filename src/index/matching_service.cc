@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <exception>
 
 #include "common/failpoint.h"
@@ -10,7 +11,14 @@
 namespace mvopt {
 
 namespace {
-constexpr auto kRelaxed = std::memory_order_relaxed;
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start,
+                    SteadyClock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
 }  // namespace
 
 MatchingService::MatchingService(const Catalog* catalog)
@@ -24,6 +32,150 @@ MatchingService::MatchingService(const Catalog* catalog, Options options)
       matcher_(catalog, options.match),
       checker_(catalog, options.verify) {
   filter_tree_.set_assume_backjoins(options_.match.enable_backjoins);
+  RegisterMetrics();
+}
+
+void MatchingService::RegisterMetrics() {
+  if (!options_.observe.counters_enabled()) return;
+  MetricsRegistry* r = options_.observe.registry;
+  metrics_.invocations = r->FindOrCreateCounter(
+      "mvopt_probe_invocations_total", "FindSubstitutes probes");
+  metrics_.candidates = r->FindOrCreateCounter(
+      "mvopt_probe_candidates_total",
+      "Views surviving the filter-tree probe (summed over probes)");
+  metrics_.full_tests = r->FindOrCreateCounter(
+      "mvopt_probe_full_tests_total", "Full view-matching tests run");
+  metrics_.substitutes = r->FindOrCreateCounter(
+      "mvopt_probe_substitutes_total", "Substitutes produced");
+  metrics_.match_failures = r->FindOrCreateCounter(
+      "mvopt_probe_match_failures_total",
+      "Matcher runs aborted by an exception");
+  metrics_.budget_truncations = r->FindOrCreateCounter(
+      "mvopt_probe_budget_truncations_total",
+      "Probes cut short by budget exhaustion");
+  metrics_.quarantine_skips = r->FindOrCreateCounter(
+      "mvopt_probe_quarantine_skips_total",
+      "Candidates skipped while sidelined");
+  metrics_.stale_tolerated = r->FindOrCreateCounter(
+      "mvopt_probe_stale_tolerated_total",
+      "Stale substitutes kept under a staleness tolerance");
+  for (int i = 0; i < kNumRejectReasons; ++i) {
+    metrics_.rejects[i] = r->FindOrCreateCounter(
+        "mvopt_match_rejects_total", "Match rejections by reason",
+        {{"reason", RejectReasonName(static_cast<RejectReason>(i))}});
+  }
+  for (int i = 0; i < kNumFilterLevels; ++i) {
+    const char* level = FilterLevelName(static_cast<FilterLevel>(i));
+    metrics_.level_probes[i] = r->FindOrCreateCounter(
+        "mvopt_filter_level_probes_total",
+        "Filter-tree partitioning conditions evaluated, by level",
+        {{"level", level}});
+    metrics_.level_visits[i] = r->FindOrCreateCounter(
+        "mvopt_filter_level_visits_total",
+        "Lattice nodes qualifying per filter-tree level", {{"level", level}});
+  }
+  metrics_.lattice_nodes = r->FindOrCreateCounter(
+      "mvopt_filter_lattice_nodes_total", "Lattice nodes visited");
+  metrics_.subset_searches = r->FindOrCreateCounter(
+      "mvopt_filter_subset_searches_total", "Lattice subset searches");
+  metrics_.superset_searches = r->FindOrCreateCounter(
+      "mvopt_filter_superset_searches_total", "Lattice superset searches");
+  metrics_.scan_searches = r->FindOrCreateCounter(
+      "mvopt_filter_scan_searches_total",
+      "Full-level lattice scans (backjoin-relaxed levels)");
+  metrics_.range_checked = r->FindOrCreateCounter(
+      "mvopt_filter_range_checked_total",
+      "Views run through the full range-constraint check");
+  metrics_.range_rejected = r->FindOrCreateCounter(
+      "mvopt_filter_range_rejected_total",
+      "Views rejected by the full range-constraint check");
+  metrics_.probe_latency = r->FindOrCreateHistogram(
+      "mvopt_probe_latency_seconds", "FindSubstitutes wall-clock latency");
+  std::array<Counter*, kNumViewStates> to_state{};
+  for (int s = 0; s < kNumViewStates; ++s) {
+    to_state[s] = r->FindOrCreateCounter(
+        "mvopt_lifecycle_transitions_total",
+        "View lifecycle transitions, by destination state",
+        {{"to", ViewStateName(static_cast<ViewState>(s))}});
+  }
+  lifecycle_.set_transition_counters(to_state);
+}
+
+void MatchingService::WireStoreCountersLocked() {
+  if (store_ == nullptr || !options_.observe.counters_enabled()) return;
+  MetricsRegistry* r = options_.observe.registry;
+  CatalogStore::StoreCounters c;
+  c.wal_appends = r->FindOrCreateCounter("mvopt_wal_appends_total",
+                                         "Catalog WAL append attempts");
+  c.wal_fsyncs = r->FindOrCreateCounter(
+      "mvopt_wal_fsyncs_total", "Catalog WAL commit-point fsyncs");
+  c.wal_append_failures = r->FindOrCreateCounter(
+      "mvopt_wal_append_failures_total", "Catalog WAL appends that threw");
+  c.snapshot_writes = r->FindOrCreateCounter(
+      "mvopt_snapshot_writes_total", "Catalog snapshots installed");
+  store_->set_counters(c);
+}
+
+void MatchingService::CommitProbe(const ProbeDelta& delta,
+                                  const FilterSearchStats* fstats) {
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.MergeFrom(delta.stats);
+    verify_counters_.MergeFrom(delta.verify);
+    for (const std::string& t : delta.rejection_traces) {
+      if (rejection_traces_.size() >= VerifyStats::kMaxRejectionTraces) break;
+      rejection_traces_.push_back(t);
+    }
+  }
+  // Mirror into the registry (relaxed atomics; outside the lock).
+  if (metrics_.invocations == nullptr) return;
+  const MatchingStats& s = delta.stats;
+  if (s.invocations != 0) metrics_.invocations->Increment(s.invocations);
+  if (s.candidates != 0) metrics_.candidates->Increment(s.candidates);
+  if (s.full_tests != 0) metrics_.full_tests->Increment(s.full_tests);
+  if (s.substitutes != 0) metrics_.substitutes->Increment(s.substitutes);
+  if (s.match_failures != 0) {
+    metrics_.match_failures->Increment(s.match_failures);
+  }
+  if (s.budget_truncations != 0) {
+    metrics_.budget_truncations->Increment(s.budget_truncations);
+  }
+  if (s.quarantine_skips != 0) {
+    metrics_.quarantine_skips->Increment(s.quarantine_skips);
+  }
+  if (s.stale_tolerated != 0) {
+    metrics_.stale_tolerated->Increment(s.stale_tolerated);
+  }
+  for (size_t i = 0; i < s.rejects.size(); ++i) {
+    if (s.rejects[i] != 0) metrics_.rejects[i]->Increment(s.rejects[i]);
+  }
+  if (fstats == nullptr) return;
+  for (int i = 0; i < kNumFilterLevels; ++i) {
+    if (fstats->level_probes[i] != 0) {
+      metrics_.level_probes[i]->Increment(fstats->level_probes[i]);
+    }
+    if (fstats->level_qualifying[i] != 0) {
+      metrics_.level_visits[i]->Increment(fstats->level_qualifying[i]);
+    }
+  }
+  if (fstats->lattice_nodes_visited != 0) {
+    metrics_.lattice_nodes->Increment(fstats->lattice_nodes_visited);
+  }
+  if (fstats->subset_searches != 0) {
+    metrics_.subset_searches->Increment(fstats->subset_searches);
+  }
+  if (fstats->superset_searches != 0) {
+    metrics_.superset_searches->Increment(fstats->superset_searches);
+  }
+  if (fstats->scan_searches != 0) {
+    metrics_.scan_searches->Increment(fstats->scan_searches);
+  }
+  if (fstats->views_range_checked != 0) {
+    metrics_.range_checked->Increment(fstats->views_range_checked);
+  }
+  if (fstats->views_range_rejected != 0) {
+    metrics_.range_rejected->Increment(fstats->views_range_rejected);
+  }
 }
 
 void MatchingService::GrowBookkeepingLocked() {
@@ -127,15 +279,40 @@ uint64_t MatchingService::StalenessLag(ViewId id) const {
 }
 
 std::vector<Substitute> MatchingService::FindSubstitutes(
-    const SpjgQuery& query, QueryBudget* budget) {
+    const SpjgQuery& query, QueryBudget* budget, QueryTrace* trace) {
   std::shared_lock<std::shared_mutex> lock(mu_);
   MVOPT_FAILPOINT("matching_service.find_substitutes");
-  stats_.invocations.fetch_add(1, kRelaxed);
-  if (view_catalog_.num_views() == 0) return {};
+  // In kOff mode (no registered metrics, no trace) the instrumentation
+  // below reduces to null/flag checks: no clock reads, no FilterSearch-
+  // Stats collection, no trace recording. bench/observe_overhead guards
+  // this stays within 2% of a build without the hooks.
+  const bool counters = metrics_.invocations != nullptr;
+  const bool tracing = trace != nullptr;
+  const bool observing = counters || tracing;
+  ProbeDelta delta;
+  delta.stats.invocations = 1;
+  if (tracing) trace->NoteProbe();
+  SteadyClock::time_point t_start{};
+  if (observing) t_start = SteadyClock::now();
+
+  if (view_catalog_.num_views() == 0) {
+    if (observing) {
+      const double elapsed = SecondsSince(t_start, SteadyClock::now());
+      if (tracing) {
+        trace->AddStageSeconds(QueryTrace::Stage::kFilterProbe, elapsed);
+      }
+      if (counters) metrics_.probe_latency->Observe(elapsed);
+    }
+    CommitProbe(delta, nullptr);
+    return {};
+  }
+
+  FilterSearchStats fstats;
+  FilterSearchStats* fstats_ptr = observing ? &fstats : nullptr;
   std::vector<ViewId> candidates;
   if (options_.use_filter_tree) {
     QueryDescription qd = DescribeQuery(*catalog_, query);
-    candidates = filter_tree_.FindCandidates(qd, nullptr, budget);
+    candidates = filter_tree_.FindCandidates(qd, fstats_ptr, budget);
   } else {
     // Without the index every view description must be considered; the
     // only cheap pre-test retained is the aggregation/table-set screen
@@ -145,8 +322,9 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
       candidates.push_back(id);
     }
   }
-  stats_.candidates.fetch_add(static_cast<int64_t>(candidates.size()),
-                              kRelaxed);
+  SteadyClock::time_point t_filter{};
+  if (observing) t_filter = SteadyClock::now();
+  delta.stats.candidates = static_cast<int64_t>(candidates.size());
 
   const bool quarantine_active =
       options_.quarantine_threshold > 0 &&
@@ -157,13 +335,17 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
   int64_t stale_rejects = 0;
   for (ViewId id : candidates) {
     if (budget != nullptr && budget->TickDeadline()) {
-      stats_.budget_truncations.fetch_add(1, kRelaxed);
+      delta.stats.budget_truncations += 1;
       break;
     }
     // Sidelined views never participate, regardless of how they got
     // there (verify quarantine, checksum breaker, recovered state).
     if (lifecycle_.IsSidelined(id)) {
-      stats_.quarantine_skips.fetch_add(1, kRelaxed);
+      delta.stats.quarantine_skips += 1;
+      if (tracing) {
+        trace->RecordVerdict(view_catalog_.view(id).name(), "skipped",
+                             "sidelined");
+      }
       continue;
     }
     // Staleness screen: a view whose base tables advanced past its last
@@ -173,27 +355,34 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
     if (lag > 0) {
       lifecycle_.MarkStale(id);  // opportunistic: probe observed the lag
       if (lag > tolerance) {
-        stats_.rejects[static_cast<size_t>(RejectReason::kStale)].fetch_add(
-            1, kRelaxed);
+        delta.stats.rejects[static_cast<size_t>(RejectReason::kStale)] += 1;
         ++stale_rejects;
+        if (tracing) {
+          trace->RecordVerdict(view_catalog_.view(id).name(), "rejected",
+                               "stale lag=" + std::to_string(lag));
+        }
         continue;
       }
       tolerated_stale = true;
     }
-    stats_.full_tests.fetch_add(1, kRelaxed);
+    delta.stats.full_tests += 1;
     MatchResult result;
     try {
       MVOPT_FAILPOINT("matcher.match");
       result = matcher_.Match(query, view_catalog_.view(id));
     } catch (const std::exception&) {
       // Fault isolation: one failing candidate never poisons the probe.
-      stats_.match_failures.fetch_add(1, kRelaxed);
+      delta.stats.match_failures += 1;
+      if (tracing) {
+        trace->RecordVerdict(view_catalog_.view(id).name(), "error",
+                             "matcher exception");
+      }
       continue;
     }
     if (result.ok()) {
       Substitute sub = std::move(*result.substitute);
       if (options_.verify_mode != VerifyMode::kOff) {
-        verify_stats_.checked.fetch_add(1, kRelaxed);
+        delta.verify.checked += 1;
         Verdict verdict;
         if (MVOPT_FAILPOINT_HIT("rewrite_checker.check")) {
           verdict = Verdict::Fail(CheckCode::kMalformedSubstitute,
@@ -202,23 +391,37 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
           verdict = checker_.Check(query, view_catalog_.view(id), sub);
         }
         if (verdict.proven) {
-          verify_stats_.proven.fetch_add(1, kRelaxed);
+          delta.verify.proven += 1;
           if (quarantine_active) lifecycle_.ReportVerifySuccess(id);
         } else {
-          RecordVerifyRejection(id, verdict);
-          if (options_.verify_mode == VerifyMode::kEnforce) continue;
+          RecordVerifyRejection(id, verdict, &delta);
+          if (options_.verify_mode == VerifyMode::kEnforce) {
+            if (tracing) {
+              trace->RecordVerdict(view_catalog_.view(id).name(), "rejected",
+                                   std::string("verify:") +
+                                       CheckCodeName(verdict.code));
+            }
+            continue;
+          }
         }
       }
-      stats_.substitutes.fetch_add(1, kRelaxed);
+      delta.stats.substitutes += 1;
+      if (tracing) {
+        trace->RecordVerdict(view_catalog_.view(id).name(), "accepted",
+                             tolerated_stale ? "stale-tolerated" : "");
+      }
       if (tolerated_stale) {
-        stats_.stale_tolerated.fetch_add(1, kRelaxed);
+        delta.stats.stale_tolerated += 1;
         stale_out.push_back(std::move(sub));
       } else {
         out.push_back(std::move(sub));
       }
     } else {
-      stats_.rejects[static_cast<size_t>(result.reason)].fetch_add(1,
-                                                                   kRelaxed);
+      delta.stats.rejects[static_cast<size_t>(result.reason)] += 1;
+      if (tracing) {
+        trace->RecordVerdict(view_catalog_.view(id).name(), "rejected",
+                             RejectReasonName(result.reason));
+      }
     }
   }
   // Degradation advisory: the probe had stale candidates but no fresh
@@ -229,21 +432,45 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
     budget->NoteDegradation(DegradationReason::kStaleViewsOnly);
   }
   for (Substitute& sub : stale_out) out.push_back(std::move(sub));
+
+  if (observing) {
+    const SteadyClock::time_point t_end = SteadyClock::now();
+    const double filter_seconds = SecondsSince(t_start, t_filter);
+    const double match_seconds = SecondsSince(t_filter, t_end);
+    if (counters) {
+      metrics_.probe_latency->Observe(filter_seconds + match_seconds);
+    }
+    if (tracing) {
+      trace->AddStageSeconds(QueryTrace::Stage::kFilterProbe, filter_seconds);
+      trace->AddStageSeconds(QueryTrace::Stage::kMatchTests, match_seconds);
+      trace->AddCount("candidates", delta.stats.candidates);
+      trace->AddCount("full_tests", delta.stats.full_tests);
+      trace->AddCount("substitutes", delta.stats.substitutes);
+      trace->AddCount("lattice_nodes_visited", fstats.lattice_nodes_visited);
+      for (int i = 0; i < kNumFilterLevels; ++i) {
+        if (fstats.level_probes[i] == 0 && fstats.level_qualifying[i] == 0) {
+          continue;
+        }
+        const char* level = FilterLevelName(static_cast<FilterLevel>(i));
+        trace->AddCount(std::string("filter.probes.") + level,
+                        fstats.level_probes[i]);
+        trace->AddCount(std::string("filter.qualifying.") + level,
+                        fstats.level_qualifying[i]);
+      }
+    }
+  }
+  CommitProbe(delta, fstats_ptr);
   return out;
 }
 
-void MatchingService::RecordVerifyRejection(ViewId id,
-                                            const Verdict& verdict) {
-  verify_stats_.rejected.fetch_add(1, kRelaxed);
-  verify_stats_.by_code[static_cast<size_t>(verdict.code)].fetch_add(
-      1, kRelaxed);
-  {
-    std::lock_guard<std::mutex> trace_lock(trace_mu_);
-    if (rejection_traces_.size() < VerifyStats::kMaxRejectionTraces) {
-      rejection_traces_.push_back(view_catalog_.view(id).name() + ": " +
-                                  CheckCodeName(verdict.code) + ": " +
-                                  verdict.detail);
-    }
+void MatchingService::RecordVerifyRejection(ViewId id, const Verdict& verdict,
+                                            ProbeDelta* delta) {
+  delta->verify.rejected += 1;
+  delta->verify.by_code[static_cast<size_t>(verdict.code)] += 1;
+  if (delta->rejection_traces.size() < VerifyStats::kMaxRejectionTraces) {
+    delta->rejection_traces.push_back(view_catalog_.view(id).name() + ": " +
+                                      CheckCodeName(verdict.code) + ": " +
+                                      verdict.detail);
   }
   if (options_.quarantine_threshold > 0 &&
       options_.verify_mode == VerifyMode::kEnforce) {
@@ -258,6 +485,7 @@ void MatchingService::AttachStore(CatalogStore* store) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   store->OpenForAppend();
   store_ = store;
+  WireStoreCountersLocked();
 }
 
 RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
@@ -306,6 +534,7 @@ RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
   }
   store->OpenForAppend();
   store_ = store;
+  WireStoreCountersLocked();
   return report;
 }
 
@@ -367,6 +596,13 @@ int MatchingService::RevalidationTick(
       lifecycle_.RecordRetryFailure(id, tick);
     }
   }
+  // Under the exclusive lock no transition is in flight, so the
+  // incremental gauges must agree with the per-entry states exactly.
+  // AuditCounters also resyncs on mismatch, so the check must run even
+  // in NDEBUG builds.
+  bool gauges_consistent = lifecycle_.AuditCounters();
+  assert(gauges_consistent && "lifecycle gauge drift detected");
+  (void)gauges_consistent;
   return readmitted;
 }
 
@@ -404,57 +640,46 @@ std::vector<std::string> MatchingService::QuarantinedViews() const {
 }
 
 MatchingStats MatchingService::stats() const {
-  MatchingStats snapshot;
-  snapshot.invocations = stats_.invocations.load(kRelaxed);
-  snapshot.candidates = stats_.candidates.load(kRelaxed);
-  snapshot.full_tests = stats_.full_tests.load(kRelaxed);
-  snapshot.substitutes = stats_.substitutes.load(kRelaxed);
-  snapshot.match_failures = stats_.match_failures.load(kRelaxed);
-  snapshot.budget_truncations = stats_.budget_truncations.load(kRelaxed);
-  snapshot.quarantine_skips = stats_.quarantine_skips.load(kRelaxed);
-  snapshot.stale_tolerated = stats_.stale_tolerated.load(kRelaxed);
-  for (size_t i = 0; i < snapshot.rejects.size(); ++i) {
-    snapshot.rejects[i] = stats_.rejects[i].load(kRelaxed);
-  }
-  return snapshot;
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  return stats_;
 }
 
 VerifyStats MatchingService::verify_stats() const {
   VerifyStats snapshot;
-  snapshot.checked = verify_stats_.checked.load(kRelaxed);
-  snapshot.proven = verify_stats_.proven.load(kRelaxed);
-  snapshot.rejected = verify_stats_.rejected.load(kRelaxed);
   snapshot.quarantined_views =
       static_cast<int64_t>(lifecycle_.num_sidelined());
-  for (size_t i = 0; i < snapshot.by_code.size(); ++i) {
-    snapshot.by_code[i] = verify_stats_.by_code[i].load(kRelaxed);
-  }
-  {
-    std::lock_guard<std::mutex> trace_lock(trace_mu_);
-    snapshot.rejection_traces = rejection_traces_;
-  }
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  snapshot.checked = verify_counters_.checked;
+  snapshot.proven = verify_counters_.proven;
+  snapshot.rejected = verify_counters_.rejected;
+  snapshot.by_code = verify_counters_.by_code;
+  snapshot.rejection_traces = rejection_traces_;
   return snapshot;
 }
 
-void MatchingService::ResetStats() {
-  stats_.invocations.store(0, kRelaxed);
-  stats_.candidates.store(0, kRelaxed);
-  stats_.full_tests.store(0, kRelaxed);
-  stats_.substitutes.store(0, kRelaxed);
-  stats_.match_failures.store(0, kRelaxed);
-  stats_.budget_truncations.store(0, kRelaxed);
-  stats_.quarantine_skips.store(0, kRelaxed);
-  stats_.stale_tolerated.store(0, kRelaxed);
-  for (auto& r : stats_.rejects) r.store(0, kRelaxed);
+MatchingStats MatchingService::ResetStats() {
+  // Swap under the same lock probes commit under: every in-flight probe
+  // lands entirely in the returned snapshot or entirely after the reset;
+  // no increment is ever lost.
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  MatchingStats previous = stats_;
+  stats_ = MatchingStats{};
+  return previous;
 }
 
-void MatchingService::ResetVerifyStats() {
-  verify_stats_.checked.store(0, kRelaxed);
-  verify_stats_.proven.store(0, kRelaxed);
-  verify_stats_.rejected.store(0, kRelaxed);
-  for (auto& c : verify_stats_.by_code) c.store(0, kRelaxed);
-  std::lock_guard<std::mutex> trace_lock(trace_mu_);
+VerifyStats MatchingService::ResetVerifyStats() {
+  VerifyStats previous;
+  previous.quarantined_views =
+      static_cast<int64_t>(lifecycle_.num_sidelined());
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  previous.checked = verify_counters_.checked;
+  previous.proven = verify_counters_.proven;
+  previous.rejected = verify_counters_.rejected;
+  previous.by_code = verify_counters_.by_code;
+  previous.rejection_traces = std::move(rejection_traces_);
+  verify_counters_ = VerifyCounters{};
   rejection_traces_.clear();
+  return previous;
 }
 
 std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
@@ -468,11 +693,12 @@ std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
   // view whose table set qualifies. Sidelined and stale views are
   // excluded here too — a union leg is as much a rewrite as a direct
   // substitute.
+  ProbeDelta delta;  // quarantine skips only; not a FindSubstitutes probe
   std::vector<ViewId> candidates;
   QueryDescription qd = DescribeQuery(*catalog_, query);
   for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
     if (lifecycle_.IsSidelined(id)) {
-      stats_.quarantine_skips.fetch_add(1, kRelaxed);
+      delta.stats.quarantine_skips += 1;
       continue;
     }
     if (StalenessLagLocked(id) > 0) {
@@ -487,6 +713,7 @@ std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
                                    qd.source_tables.end());
     if (tables_ok) candidates.push_back(id);
   }
+  if (delta.stats.quarantine_skips != 0) CommitProbe(delta, nullptr);
   UnionMatchOptions opts;
   opts.match = options_.match;
   UnionMatcher matcher(catalog_, &view_catalog_, opts);

@@ -5,13 +5,26 @@
 //
 // Concurrency model: FindSubstitutes / FindUnionSubstitute may be called
 // from any number of threads while AddView proceeds on another — readers
-// take a shared lock, AddView an exclusive one, and all counters are
-// atomic, so probe results are always computed against a consistent
-// catalog/filter-tree snapshot (the one before or after the AddView).
-// AddView itself is transactional: if indexing fails after catalog
-// registration, the registration is rolled back, so the catalog, filter
-// tree and lattices never disagree. The stats()/verify_stats() accessors
-// return value snapshots.
+// take a shared lock, AddView an exclusive one, so probe results are
+// always computed against a consistent catalog/filter-tree snapshot (the
+// one before or after the AddView). AddView itself is transactional: if
+// indexing fails after catalog registration, the registration is rolled
+// back, so the catalog, filter tree and lattices never disagree.
+//
+// Stats are *probe-atomic*: each probe accumulates its counters locally
+// and commits them in one critical section at the end, so a stats()
+// snapshot is always internally consistent (full_tests ≤ candidates,
+// substitutes ≤ full_tests, every probe's contribution is all-in or
+// all-out) and a ResetStats() racing concurrent probes loses no
+// increments — it returns the pre-reset snapshot, and every in-flight
+// probe lands entirely before or entirely after the reset.
+//
+// Observability (src/observe): with Options::observe enabled the service
+// registers its metric families (probe counters, per-level filter-tree
+// counters, reject reasons, probe-latency histogram, lifecycle
+// transitions, WAL counters) into the shared MetricsRegistry and mirrors
+// every probe commit into them; a QueryTrace passed to FindSubstitutes
+// additionally records per-stage wall clock and per-candidate verdicts.
 //
 // View lifecycle (rewrite/view_lifecycle.h): every view carries a
 // durable lifecycle entry — FRESH / STALE / QUARANTINED / DISABLED —
@@ -46,6 +59,8 @@
 #include "common/epoch.h"
 #include "common/query_budget.h"
 #include "index/filter_tree.h"
+#include "observe/observe.h"
+#include "observe/trace.h"
 #include "query/substitute.h"
 #include "rewrite/catalog_store.h"
 #include "rewrite/matcher.h"
@@ -68,6 +83,18 @@ struct MatchingStats {
   int64_t stale_tolerated = 0;     ///< stale substitutes kept (down-ranked)
   /// Rejection counts by reason (indexed by RejectReason).
   std::array<int64_t, kNumRejectReasons> rejects{};
+
+  void MergeFrom(const MatchingStats& other) {
+    invocations += other.invocations;
+    candidates += other.candidates;
+    full_tests += other.full_tests;
+    substitutes += other.substitutes;
+    match_failures += other.match_failures;
+    budget_truncations += other.budget_truncations;
+    quarantine_skips += other.quarantine_skips;
+    stale_tolerated += other.stale_tolerated;
+    for (size_t i = 0; i < rejects.size(); ++i) rejects[i] += other.rejects[i];
+  }
 };
 
 /// Outcomes of the soundness checker over produced substitutes.
@@ -102,6 +129,9 @@ class MatchingService {
     /// quarantined view to DISABLED (only revalidation re-enables it).
     /// 0 disables the escalation.
     int disable_threshold = 0;
+    /// Observability (off by default; see observe/observe.h). The
+    /// registry, when set, must outlive the service.
+    ObserveOptions observe;
   };
 
   explicit MatchingService(const Catalog* catalog);
@@ -121,9 +151,12 @@ class MatchingService {
   /// `budget`, candidate enumeration and matching stop cooperatively on
   /// exhaustion and the substitutes found so far are returned; the
   /// budget's max_staleness() also bounds how far behind a substituted
-  /// view may lag (default: fresh views only).
+  /// view may lag (default: fresh views only). With a `trace`, per-stage
+  /// wall clock and per-candidate verdicts are recorded into it (the
+  /// trace must not be shared across concurrent probes).
   std::vector<Substitute> FindSubstitutes(const SpjgQuery& query,
-                                          QueryBudget* budget = nullptr);
+                                          QueryBudget* budget = nullptr,
+                                          QueryTrace* trace = nullptr);
 
   /// §7 extension: a union substitute assembled from several
   /// range-partitioned views (SPJ queries only). Tries the views that
@@ -190,11 +223,14 @@ class MatchingService {
   const FilterTree& filter_tree() const { return filter_tree_; }
   const ViewMatcher& matcher() const { return matcher_; }
 
-  /// Value snapshots of the (atomic) counters.
+  /// Internally consistent value snapshots (probe-atomic: no probe is
+  /// ever half-reflected).
   MatchingStats stats() const;
   VerifyStats verify_stats() const;
-  void ResetStats();
-  void ResetVerifyStats();
+  /// Reset and return the pre-reset snapshot in one critical section, so
+  /// no probe's increments are lost even when resets race probes.
+  MatchingStats ResetStats();
+  VerifyStats ResetVerifyStats();
 
   VerifyMode verify_mode() const { return options_.verify_mode; }
   void set_verify_mode(VerifyMode mode) { options_.verify_mode = mode; }
@@ -205,25 +241,65 @@ class MatchingService {
   bool IsQuarantined(ViewId id) const;
 
  private:
-  struct AtomicMatchingCounters {
-    std::atomic<int64_t> invocations{0};
-    std::atomic<int64_t> candidates{0};
-    std::atomic<int64_t> full_tests{0};
-    std::atomic<int64_t> substitutes{0};
-    std::atomic<int64_t> match_failures{0};
-    std::atomic<int64_t> budget_truncations{0};
-    std::atomic<int64_t> quarantine_skips{0};
-    std::atomic<int64_t> stale_tolerated{0};
-    std::array<std::atomic<int64_t>, kNumRejectReasons> rejects{};
-  };
-  struct AtomicVerifyCounters {
-    std::atomic<int64_t> checked{0};
-    std::atomic<int64_t> proven{0};
-    std::atomic<int64_t> rejected{0};
-    std::array<std::atomic<int64_t>, kNumCheckCodes> by_code{};
+  /// Plain (non-atomic) verify counters, guarded by stats_mu_.
+  struct VerifyCounters {
+    int64_t checked = 0;
+    int64_t proven = 0;
+    int64_t rejected = 0;
+    std::array<int64_t, kNumCheckCodes> by_code{};
+
+    void MergeFrom(const VerifyCounters& other) {
+      checked += other.checked;
+      proven += other.proven;
+      rejected += other.rejected;
+      for (size_t i = 0; i < by_code.size(); ++i) {
+        by_code[i] += other.by_code[i];
+      }
+    }
   };
 
-  void RecordVerifyRejection(ViewId id, const Verdict& verdict);
+  /// One probe's locally accumulated stats, committed atomically at the
+  /// end of the probe (the tearing fix: a snapshot reader can never see
+  /// a probe half-applied, and a reset can never lose part of one).
+  struct ProbeDelta {
+    MatchingStats stats;
+    VerifyCounters verify;
+    std::vector<std::string> rejection_traces;
+  };
+
+  /// Cached MetricsRegistry instruments; all null when counters are off,
+  /// so every instrumentation point is a null check in kOff mode.
+  struct ProbeMetrics {
+    Counter* invocations = nullptr;
+    Counter* candidates = nullptr;
+    Counter* full_tests = nullptr;
+    Counter* substitutes = nullptr;
+    Counter* match_failures = nullptr;
+    Counter* budget_truncations = nullptr;
+    Counter* quarantine_skips = nullptr;
+    Counter* stale_tolerated = nullptr;
+    std::array<Counter*, kNumRejectReasons> rejects{};
+    std::array<Counter*, kNumFilterLevels> level_probes{};
+    std::array<Counter*, kNumFilterLevels> level_visits{};
+    Counter* lattice_nodes = nullptr;
+    Counter* subset_searches = nullptr;
+    Counter* superset_searches = nullptr;
+    Counter* scan_searches = nullptr;
+    Counter* range_checked = nullptr;
+    Counter* range_rejected = nullptr;
+    Histogram* probe_latency = nullptr;
+  };
+
+  /// Registers this service's metric families (ctor, counters on).
+  void RegisterMetrics();
+  /// Wires the attached store's WAL counters (requires mu_ exclusive).
+  void WireStoreCountersLocked();
+  /// Commits one probe's delta into the authoritative stats (one
+  /// critical section) and mirrors it into the registry counters.
+  /// `fstats` carries the filter-tree counters when they were collected.
+  void CommitProbe(const ProbeDelta& delta, const FilterSearchStats* fstats);
+  void RecordVerifyRejection(ViewId id, const Verdict& verdict,
+                             ProbeDelta* delta);
   /// Staleness lag of `id` (requires mu_ held, shared or exclusive).
   uint64_t StalenessLagLocked(ViewId id) const;
   /// Persisted image of view `id` (requires mu_ held).
@@ -244,12 +320,15 @@ class MatchingService {
   /// Guards catalog + filter tree structure: shared for probes,
   /// exclusive for AddView / recovery / revalidation.
   mutable std::shared_mutex mu_;
-  /// Guards the (rare) rejection-trace appends.
-  mutable std::mutex trace_mu_;
+  /// Guards the probe-atomic stats below: probes take it once per probe
+  /// (to commit their delta), snapshots and resets take it for the whole
+  /// read-or-swap. Never held together with mu_ waits.
+  mutable std::mutex stats_mu_;
 
-  AtomicMatchingCounters stats_;
-  AtomicVerifyCounters verify_stats_;
+  MatchingStats stats_;
+  VerifyCounters verify_counters_;
   std::vector<std::string> rejection_traces_;
+  ProbeMetrics metrics_;
 
   ViewLifecycleRegistry lifecycle_;
   const TableEpochClock* epochs_ = nullptr;

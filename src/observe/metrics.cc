@@ -1,0 +1,492 @@
+#include "observe/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace mvopt {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+std::string FormatValue(int64_t v) { return std::to_string(v); }
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Escapes a label value per the exposition format (\\, \", \n).
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::array<double, Histogram::kNumBuckets - 1>&
+Histogram::BucketBounds() {
+  static const std::array<double, kNumBuckets - 1> kBounds = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+      5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  10.0};
+  return kBounds;
+}
+
+void Histogram::Observe(double seconds) {
+  if (!(seconds >= 0)) seconds = 0;  // NaN / negative clock glitches
+  const auto& bounds = BucketBounds();
+  // Linear scan: 21 doubles, branch-predictable, no binary-search
+  // mispredicts for the common small-latency case.
+  int b = kNumBuckets - 1;
+  for (int i = 0; i < kNumBuckets - 1; ++i) {
+    if (seconds <= bounds[i]) {
+      b = i;
+      break;
+    }
+  }
+  buckets_[b].fetch_add(1, kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  sum_nanos_.fetch_add(static_cast<int64_t>(seconds * 1e9), kRelaxed);
+}
+
+Counter* MetricsRegistry::FindOrCreateCounter(const std::string& name,
+                                              const std::string& help,
+                                              MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (CounterEntry& e : counters_) {
+    if (e.name == name && e.labels == labels) return &e.counter;
+  }
+  counters_.emplace_back();
+  CounterEntry& e = counters_.back();
+  e.name = name;
+  e.help = help;
+  e.labels = std::move(labels);
+  return &e.counter;
+}
+
+Histogram* MetricsRegistry::FindOrCreateHistogram(const std::string& name,
+                                                  const std::string& help,
+                                                  MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (HistogramEntry& e : histograms_) {
+    if (e.name == name && e.labels == labels) return &e.histogram;
+  }
+  histograms_.emplace_back();
+  HistogramEntry& e = histograms_.back();
+  e.name = name;
+  e.help = help;
+  e.labels = std::move(labels);
+  return &e.histogram;
+}
+
+std::optional<int64_t> MetricsRegistry::CounterValue(
+    const std::string& name, const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CounterEntry& e : counters_) {
+    if (e.name == name && e.labels == labels) return e.counter.value();
+  }
+  return std::nullopt;
+}
+
+int64_t MetricsRegistry::SumFamily(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t sum = 0;
+  for (const CounterEntry& e : counters_) {
+    if (e.name == name) sum += e.counter.value();
+  }
+  return sum;
+}
+
+size_t MetricsRegistry::num_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size();
+}
+
+size_t MetricsRegistry::num_histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.size();
+}
+
+std::string FormatLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::WritePrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // One HELP/TYPE block per family, samples in registration order within
+  // it. Registration order is deterministic, so the exposition is too.
+  std::vector<std::string> families_done;
+  auto family_done = [&families_done](const std::string& name) {
+    return std::find(families_done.begin(), families_done.end(), name) !=
+           families_done.end();
+  };
+  for (const CounterEntry& e : counters_) {
+    if (family_done(e.name)) continue;
+    families_done.push_back(e.name);
+    out += "# HELP " + e.name + " " + e.help + "\n";
+    out += "# TYPE " + e.name + " counter\n";
+    for (const CounterEntry& s : counters_) {
+      if (s.name != e.name) continue;
+      out += s.name + FormatLabels(s.labels) + " " +
+             FormatValue(s.counter.value()) + "\n";
+    }
+  }
+  for (const HistogramEntry& e : histograms_) {
+    if (family_done(e.name)) continue;
+    families_done.push_back(e.name);
+    out += "# HELP " + e.name + " " + e.help + "\n";
+    out += "# TYPE " + e.name + " histogram\n";
+    for (const HistogramEntry& s : histograms_) {
+      if (s.name != e.name) continue;
+      const auto& bounds = Histogram::BucketBounds();
+      int64_t cumulative = 0;
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        cumulative += s.histogram.bucket_count(i);
+        MetricLabels ls = s.labels;
+        ls.emplace_back("le", i < Histogram::kNumBuckets - 1
+                                  ? FormatDouble(bounds[i])
+                                  : "+Inf");
+        out += s.name + "_bucket" + FormatLabels(ls) + " " +
+               FormatValue(cumulative) + "\n";
+      }
+      out += s.name + "_sum" + FormatLabels(s.labels) + " " +
+             FormatDouble(s.histogram.sum_seconds()) + "\n";
+      out += s.name + "_count" + FormatLabels(s.labels) + " " +
+             FormatValue(s.histogram.count()) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::WriteJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const CounterEntry& e : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"labels\":{";
+    for (size_t i = 0; i < e.labels.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscape(e.labels[i].first) + "\":\"" +
+             JsonEscape(e.labels[i].second) + "\"";
+    }
+    out += "},\"value\":" + FormatValue(e.counter.value()) + "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const HistogramEntry& e : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"count\":" +
+           FormatValue(e.histogram.count()) +
+           ",\"sum_seconds\":" + FormatDouble(e.histogram.sum_seconds()) +
+           ",\"buckets\":[";
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (i > 0) out += ",";
+      out += FormatValue(e.histogram.bucket_count(i));
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+// --- validators -----------------------------------------------------------
+
+bool ValidatePrometheusText(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  // Families that emitted a TYPE line, so samples can be checked against
+  // announced families (histogram samples use the _bucket/_sum/_count
+  // suffixes of their family name).
+  std::vector<std::string> announced;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + why + ": " + line;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, name;
+      ls >> hash >> kind >> name;
+      if (kind != "HELP" && kind != "TYPE") return fail("bad comment kind");
+      if (name.empty()) return fail("comment without metric name");
+      if (kind == "TYPE") announced.push_back(name);
+      continue;
+    }
+    // Sample: name[{labels}] value
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return fail("sample without value");
+    std::string name = line.substr(0, name_end);
+    if (name.empty() ||
+        !(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_')) {
+      return fail("bad metric name");
+    }
+    size_t value_start;
+    if (line[name_end] == '{') {
+      size_t close = line.find('}', name_end);
+      if (close == std::string::npos) return fail("unterminated label set");
+      value_start = close + 1;
+    } else {
+      value_start = name_end;
+    }
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    if (value_start >= line.size()) return fail("sample without value");
+    const std::string value_text = line.substr(value_start);
+    char* end = nullptr;
+    double v = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      return fail("unparsable sample value");
+    }
+    if (std::isnan(v)) return fail("NaN sample value");
+    // The sample must belong to an announced family (exact name or a
+    // histogram-suffixed variant).
+    bool known = false;
+    for (const std::string& fam : announced) {
+      if (name == fam || name == fam + "_bucket" || name == fam + "_sum" ||
+          name == fam + "_count") {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return fail("sample precedes its TYPE line");
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+namespace {
+
+/// Recursive-descent JSON well-formedness scanner.
+struct JsonScanner {
+  const char* p;
+  const char* end;
+  std::string error;
+  int depth = 0;
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool Fail(const std::string& why) {
+    error = why;
+    return false;
+  }
+  bool Value() {
+    if (++depth > 256) return Fail("nesting too deep");
+    SkipWs();
+    if (p >= end) return Fail("unexpected end of input");
+    bool ok;
+    switch (*p) {
+      case '{':
+        ok = Object();
+        break;
+      case '[':
+        ok = Array();
+        break;
+      case '"':
+        ok = String();
+        break;
+      case 't':
+        ok = Literal("true");
+        break;
+      case 'f':
+        ok = Literal("false");
+        break;
+      case 'n':
+        ok = Literal("null");
+        break;
+      default:
+        ok = Number();
+    }
+    --depth;
+    return ok;
+  }
+  bool Literal(const char* lit) {
+    for (const char* q = lit; *q != '\0'; ++q, ++p) {
+      if (p >= end || *p != *q) return Fail("bad literal");
+    }
+    return true;
+  }
+  bool Number() {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                       *p == '.' || *p == 'e' || *p == 'E' || *p == '+' ||
+                       *p == '-')) {
+      ++p;
+    }
+    if (p == start) return Fail("expected a value");
+    char* numend = nullptr;
+    std::string text(start, p);
+    std::strtod(text.c_str(), &numend);
+    if (numend != text.c_str() + text.size()) return Fail("bad number");
+    return true;
+  }
+  bool String() {
+    ++p;  // opening quote
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return Fail("truncated escape");
+        const char c = *p;
+        if (c == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p;
+            if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p))) {
+              return Fail("bad unicode escape");
+            }
+          }
+        } else if (c != '"' && c != '\\' && c != '/' && c != 'b' &&
+                   c != 'f' && c != 'n' && c != 'r' && c != 't') {
+          return Fail("bad escape");
+        }
+      }
+      ++p;
+    }
+    if (p >= end) return Fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+  bool Object() {
+    ++p;  // {
+    SkipWs();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (p >= end || *p != '"') return Fail("expected object key");
+      if (!String()) return false;
+      SkipWs();
+      if (p >= end || *p != ':') return Fail("expected ':'");
+      ++p;
+      if (!Value()) return false;
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+  bool Array() {
+    ++p;  // [
+    SkipWs();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+bool ValidateJson(const std::string& text, std::string* error) {
+  JsonScanner scan{text.data(), text.data() + text.size(), "", 0};
+  if (!scan.Value()) {
+    if (error != nullptr) {
+      *error = scan.error + " at offset " +
+               std::to_string(scan.p - text.data());
+    }
+    return false;
+  }
+  scan.SkipWs();
+  if (scan.p != scan.end) {
+    if (error != nullptr) *error = "trailing data after JSON value";
+    return false;
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace mvopt

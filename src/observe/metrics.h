@@ -1,0 +1,152 @@
+// Low-overhead metrics for the query pipeline: named monotonic counters
+// and fixed-bucket latency histograms collected in a MetricsRegistry.
+//
+// Hot path: Counter::Increment and Histogram::Observe are single relaxed
+// atomic adds — no locks, no allocation, safe from any thread. The
+// registry mutex guards only registration (FindOrCreate*) and snapshot
+// assembly; instruments live in deques so their addresses stay stable
+// for the lifetime of the registry and call sites can cache raw
+// pointers.
+//
+// Reads: counters are monotonic, so a relaxed per-instrument load taken
+// under the registration mutex yields a snapshot in which every value
+// was current at some point during the call — sufficient for export.
+// (Cross-counter invariants such as "full tests ≤ candidates" are the
+// job of the probe-atomic MatchingService stats, not of the registry;
+// see index/matching_service.h.)
+//
+// Export: Prometheus text exposition (WritePrometheus) and a JSON dump
+// (WriteJson), plus validators used by the CI smoke step and tests.
+
+#ifndef MVOPT_OBSERVE_METRICS_H_
+#define MVOPT_OBSERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mvopt {
+
+/// Monotonic counter. Increment-only; relaxed atomics on the hot path.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram. Bucket upper bounds follow a 1-2-5
+/// decade ladder from 1µs to 10s plus +Inf, so every histogram in the
+/// system is bucket-compatible and the exposition stays small.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 22;  // 21 finite bounds + Inf
+
+  /// Upper bounds in seconds (index i holds observations ≤ bound[i]).
+  static const std::array<double, kNumBuckets - 1>& BucketBounds();
+
+  void Observe(double seconds);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of observed values (accumulated in integer nanoseconds so the
+  /// hot path stays a single atomic add).
+  double sum_seconds() const {
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  int64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_nanos_{0};
+};
+
+/// Sorted (label, value) pairs; the empty vector means "no labels".
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the instrument registered under (name, labels), creating it
+  /// on first use. The returned pointer stays valid for the registry's
+  /// lifetime; call sites should cache it. `help` is recorded on first
+  /// registration of the family.
+  Counter* FindOrCreateCounter(const std::string& name, const std::string& help,
+                               MetricLabels labels = {});
+  Histogram* FindOrCreateHistogram(const std::string& name,
+                                   const std::string& help,
+                                   MetricLabels labels = {});
+
+  /// Value of one counter, or nullopt if never registered.
+  std::optional<int64_t> CounterValue(const std::string& name,
+                                      const MetricLabels& labels = {}) const;
+  /// Sum over every labeled instrument of a counter family (0 if none).
+  int64_t SumFamily(const std::string& name) const;
+
+  /// Prometheus text exposition format (one HELP/TYPE block per family).
+  std::string WritePrometheus() const;
+  /// JSON dump: {"counters": [...], "histograms": [...]}.
+  std::string WriteJson() const;
+
+  size_t num_counters() const;
+  size_t num_histograms() const;
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    std::string help;
+    MetricLabels labels;
+    Counter counter;
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::string help;
+    MetricLabels labels;
+    Histogram histogram;
+  };
+
+  mutable std::mutex mu_;
+  /// Deques: growth never moves an instrument.
+  std::deque<CounterEntry> counters_;
+  std::deque<HistogramEntry> histograms_;
+};
+
+/// Renders `labels` as {k="v",...}, empty string for no labels. Values
+/// are escaped per the exposition format.
+std::string FormatLabels(const MetricLabels& labels);
+
+/// Structural validation of a Prometheus text exposition: every line is
+/// a comment or `name{labels} value`, HELP/TYPE precede samples of their
+/// family, and every sample value parses as a finite number. Returns
+/// false and sets *error on the first violation.
+bool ValidatePrometheusText(const std::string& text, std::string* error);
+
+/// Minimal JSON well-formedness check (objects, arrays, strings,
+/// numbers, literals). Returns false and sets *error on the first
+/// violation. Used by tests and the CI metrics smoke step.
+bool ValidateJson(const std::string& text, std::string* error);
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace mvopt
+
+#endif  // MVOPT_OBSERVE_METRICS_H_

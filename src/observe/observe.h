@@ -1,0 +1,59 @@
+// The observability knob threaded through the probe pipeline
+// (MatchingService, Optimizer, CatalogStore, ViewMaintainer):
+//
+//   kOff          no clocks read, no counters touched — instrumentation
+//                 points reduce to a null-pointer check, so the mode is
+//                 provably near-zero cost (bench/observe_overhead guards
+//                 ≤2% probe-latency regression).
+//   kCountersOnly registry counters + latency histograms only; two clock
+//                 reads per probe, relaxed atomic adds per event.
+//   kFullTrace    counters plus a QueryTrace span recorder attached to
+//                 every OptimizationResult (per-stage wall clock and
+//                 per-candidate-view verdict records).
+//
+// Each layer registers its own metric families into the shared
+// MetricsRegistry at construction and caches raw Counter/Histogram
+// pointers, so the hot path never consults the registry.
+
+#ifndef MVOPT_OBSERVE_OBSERVE_H_
+#define MVOPT_OBSERVE_OBSERVE_H_
+
+#include "observe/metrics.h"
+
+namespace mvopt {
+
+enum class ObserveMode {
+  kOff = 0,
+  kCountersOnly = 1,
+  kFullTrace = 2,
+};
+
+inline const char* ObserveModeName(ObserveMode mode) {
+  switch (mode) {
+    case ObserveMode::kOff:
+      return "off";
+    case ObserveMode::kCountersOnly:
+      return "counters";
+    case ObserveMode::kFullTrace:
+      return "full-trace";
+  }
+  return "?";
+}
+
+struct ObserveOptions {
+  ObserveMode mode = ObserveMode::kOff;
+  /// Shared registry; required for any mode other than kOff (a null
+  /// registry silently degrades to kOff).
+  MetricsRegistry* registry = nullptr;
+
+  bool counters_enabled() const {
+    return mode != ObserveMode::kOff && registry != nullptr;
+  }
+  bool trace_enabled() const {
+    return mode == ObserveMode::kFullTrace && registry != nullptr;
+  }
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_OBSERVE_OBSERVE_H_

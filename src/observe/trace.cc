@@ -1,0 +1,85 @@
+#include "observe/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "observe/metrics.h"
+
+namespace mvopt {
+
+const char* QueryTrace::StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kFilterProbe:
+      return "filter-probe";
+    case Stage::kMatchTests:
+      return "match-tests";
+    case Stage::kMemoExploration:
+      return "memo-exploration";
+    case Stage::kCosting:
+      return "costing";
+  }
+  return "?";
+}
+
+void QueryTrace::AddCount(const std::string& name, int64_t n) {
+  auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), name,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it != counts_.end() && it->first == name) {
+    it->second += n;
+  } else {
+    counts_.insert(it, {name, n});
+  }
+}
+
+int64_t QueryTrace::count(const std::string& name) const {
+  auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), name,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  return (it != counts_.end() && it->first == name) ? it->second : 0;
+}
+
+void QueryTrace::RecordVerdict(std::string view, std::string action,
+                               std::string detail) {
+  verdicts_.push_back(
+      Verdict{std::move(view), std::move(action), std::move(detail)});
+}
+
+std::string QueryTrace::ToJson() const {
+  std::string out = "{";
+  out += "\"query\":\"" + JsonEscape(query_) + "\",";
+  out += "\"num_probes\":" + std::to_string(num_probes_) + ",";
+  out += "\"stages\":{";
+  for (int i = 0; i < kNumStages; ++i) {
+    if (i > 0) out += ",";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", stage_seconds_[i]);
+    out += "\"" + std::string(StageName(static_cast<Stage>(i))) +
+           "_seconds\":" + buf;
+  }
+  out += "},\"counts\":{";
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(counts_[i].first) +
+           "\":" + std::to_string(counts_[i].second);
+  }
+  out += "},\"verdicts\":[";
+  for (size_t i = 0; i < verdicts_.size(); ++i) {
+    if (i > 0) out += ",";
+    const Verdict& v = verdicts_[i];
+    out += "{\"view\":\"" + JsonEscape(v.view) + "\",\"action\":\"" +
+           JsonEscape(v.action) + "\"";
+    if (!v.detail.empty()) {
+      out += ",\"detail\":\"" + JsonEscape(v.detail) + "\"";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mvopt

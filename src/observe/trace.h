@@ -1,0 +1,79 @@
+// QueryTrace: a per-optimization span recorder attached to
+// OptimizationResult in full-trace mode. Records per-stage wall-clock
+// (filter probe → match tests → memo exploration → costing), named
+// counts (per-level filter-tree candidate counts, candidates emitted,
+// memo sizes) and one verdict record per candidate view the probe
+// pipeline examined, so a single query's matching behavior can be
+// replayed offline from the JSON dump.
+//
+// A trace belongs to one optimization and is NOT thread-safe; the
+// optimizer owns it for the duration of Optimize and hands it out via a
+// shared_ptr afterwards.
+
+#ifndef MVOPT_OBSERVE_TRACE_H_
+#define MVOPT_OBSERVE_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mvopt {
+
+class QueryTrace {
+ public:
+  /// The pipeline stages measured per query (§5's time breakdown).
+  enum class Stage {
+    kFilterProbe = 0,     ///< filter-tree candidate search
+    kMatchTests = 1,      ///< full view-matching tests over candidates
+    kMemoExploration = 2, ///< memo/group construction incl. rule firing
+    kCosting = 3,         ///< physical implementation + plan selection
+  };
+  static constexpr int kNumStages = 4;
+  static const char* StageName(Stage stage);
+
+  /// One candidate view's fate in a probe.
+  struct Verdict {
+    std::string view;     ///< view name
+    std::string action;   ///< accepted | rejected | skipped-sidelined | ...
+    std::string detail;   ///< reject reason / staleness lag / check code
+  };
+
+  void set_query(std::string sql) { query_ = std::move(sql); }
+  const std::string& query() const { return query_; }
+
+  void AddStageSeconds(Stage stage, double seconds) {
+    stage_seconds_[static_cast<size_t>(stage)] += seconds;
+  }
+  double stage_seconds(Stage stage) const {
+    return stage_seconds_[static_cast<size_t>(stage)];
+  }
+
+  /// Accumulates a named count (e.g. "filter-level.hub", "candidates").
+  void AddCount(const std::string& name, int64_t n);
+  int64_t count(const std::string& name) const;
+
+  void RecordVerdict(std::string view, std::string action,
+                     std::string detail = "");
+  const std::vector<Verdict>& verdicts() const { return verdicts_; }
+
+  /// Number of probes (FindSubstitutes calls) folded into this trace.
+  void NoteProbe() { ++num_probes_; }
+  int64_t num_probes() const { return num_probes_; }
+
+  /// Full JSON dump for offline analysis.
+  std::string ToJson() const;
+
+ private:
+  std::string query_;
+  std::array<double, kNumStages> stage_seconds_{};
+  /// Sorted-insertion (name, value) pairs: few distinct names per trace.
+  std::vector<std::pair<std::string, int64_t>> counts_;
+  std::vector<Verdict> verdicts_;
+  int64_t num_probes_ = 0;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_OBSERVE_TRACE_H_

@@ -13,9 +13,21 @@ namespace {
 constexpr double kDefaultResidualSelectivity = 1.0 / 3.0;
 constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
 constexpr double kMinSelectivity = 1e-9;
+/// Estimates are clamped into [kMinCardinality, kMaxCardinality]: a NaN
+/// or Inf estimate poisons every best-plan `<` comparison downstream
+/// (NaN compares false both ways, so an unusable plan can survive as
+/// "best"), and an underflowed 0 makes every alternative look free.
+constexpr double kMinCardinality = 1e-6;
+constexpr double kMaxCardinality = 1e18;
 
 double Clamp01(double x) {
+  if (std::isnan(x)) return kMinSelectivity;
   return std::max(kMinSelectivity, std::min(1.0, x));
+}
+
+double ClampCardinality(double card) {
+  if (std::isnan(card)) return kMaxCardinality;  // pessimistic, but finite
+  return std::max(kMinCardinality, std::min(kMaxCardinality, card));
 }
 
 }  // namespace
@@ -35,8 +47,13 @@ double CardinalityEstimator::RangeSelectivity(const TableDef& table,
   }
   const double lo = stats.min.AsDouble();
   const double hi = stats.max.AsDouble();
-  if (hi <= lo) return kDefaultRangeSelectivity;
   const double b = bound.AsDouble();
+  // Degenerate stats or bound (NaN, +-Inf, collapsed range): the
+  // interpolation below would produce NaN or a meaningless 0/1.
+  if (!std::isfinite(lo) || !std::isfinite(hi) || !std::isfinite(b) ||
+      hi <= lo) {
+    return kDefaultRangeSelectivity;
+  }
   double frac = (b - lo) / (hi - lo);
   frac = std::max(0.0, std::min(1.0, frac));
   switch (op) {
@@ -125,7 +142,7 @@ double CardinalityEstimator::EstimateSpj(const SpjgQuery& query) const {
   for (size_t i = 0; i < preds.residual.size(); ++i) {
     card *= kDefaultResidualSelectivity;
   }
-  return std::max(card, 0.0);
+  return ClampCardinality(card);
 }
 
 double CardinalityEstimator::EstimateResult(const SpjgQuery& query) const {
@@ -145,7 +162,7 @@ double CardinalityEstimator::EstimateResult(const SpjgQuery& query) const {
     }
     groups *= d;
   }
-  return std::min(groups, spj);
+  return ClampCardinality(std::min(groups, spj));
 }
 
 }  // namespace mvopt

@@ -40,6 +40,7 @@ struct Optimizer::Context {
   std::vector<AggSpec> agg_specs;
   std::map<uint32_t, double> card_cache;
   OptimizerMetrics metrics;
+  QueryTrace* trace = nullptr;  // full-trace mode only
 
   uint32_t MaskOf(const ExprPtr& e) const {
     std::vector<ColumnRefId> cols;
@@ -78,7 +79,36 @@ Optimizer::Optimizer(const Catalog* catalog, MatchingService* matching,
     : catalog_(catalog),
       matching_(matching),
       options_(options),
-      estimator_(catalog) {}
+      estimator_(catalog) {
+  RegisterMetrics();
+}
+
+void Optimizer::RegisterMetrics() {
+  if (!options_.observe.counters_enabled()) return;
+  MetricsRegistry* r = options_.observe.registry;
+  metrics_.optimizations = r->FindOrCreateCounter(
+      "mvopt_optimize_total", "Optimize calls completed");
+  metrics_.memo_groups = r->FindOrCreateCounter(
+      "mvopt_memo_groups_total", "Memo groups created");
+  metrics_.memo_exprs = r->FindOrCreateCounter(
+      "mvopt_memo_exprs_total", "Memo logical expressions generated");
+  metrics_.view_matching_invocations = r->FindOrCreateCounter(
+      "mvopt_view_matching_invocations_total",
+      "View-matching rule invocations");
+  metrics_.view_matching_failures = r->FindOrCreateCounter(
+      "mvopt_view_matching_failures_total",
+      "View-matching probes that raised and were isolated");
+  for (int i = 0; i < kNumDegradationReasons; ++i) {
+    const auto reason = static_cast<DegradationReason>(i);
+    if (reason == DegradationReason::kNone) continue;
+    metrics_.degradations[i] = r->FindOrCreateCounter(
+        "mvopt_budget_degradations_total",
+        "Optimizations degraded by a budget limit, by first tripped reason",
+        {{"reason", DegradationReasonName(reason)}});
+  }
+  metrics_.optimize_latency = r->FindOrCreateHistogram(
+      "mvopt_optimize_latency_seconds", "Optimize wall-clock latency");
+}
 
 SpjgQuery Optimizer::GroupSignature(const Context& ctx,
                                     const Group& group) const {
@@ -128,7 +158,7 @@ void Optimizer::ApplyViewMatching(Context* ctx, int group_id) {
   auto start = std::chrono::steady_clock::now();
   std::vector<Substitute> subs;
   try {
-    subs = matching_->FindSubstitutes(sig, ctx->budget);
+    subs = matching_->FindSubstitutes(sig, ctx->budget, ctx->trace);
   } catch (const std::exception&) {
     // Fault isolation: a failing matching service degrades the plan (no
     // substitutes for this group), never the optimization.
@@ -777,6 +807,17 @@ OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
     ctx.conjunct_mask.push_back(ctx.MaskOf(c));
   }
 
+  const bool counters = metrics_.optimizations != nullptr;
+  std::shared_ptr<QueryTrace> trace;
+  if (options_.observe.trace_enabled()) {
+    trace = std::make_shared<QueryTrace>();
+    trace->set_query(query.ToSql(*catalog_));
+    ctx.trace = trace.get();
+  }
+  const bool observing = counters || trace != nullptr;
+  std::chrono::steady_clock::time_point t_start{};
+  if (observing) t_start = std::chrono::steady_clock::now();
+
   int root;
   if (query.is_aggregate) {
     AggSpec spec0;
@@ -791,6 +832,9 @@ OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
   } else {
     root = MakeSpjGroup(&ctx, ctx.full_mask);
   }
+
+  std::chrono::steady_clock::time_point t_memo{};
+  if (observing) t_memo = std::chrono::steady_clock::now();
 
   PhysPlanPtr plan = OptimizeGroup(&ctx, root);
   OptimizationResult result;
@@ -810,6 +854,52 @@ OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
   result.degradation =
       budget != nullptr ? budget->reason() : DegradationReason::kNone;
   result.metrics = ctx.metrics;
+
+  if (observing) {
+    const auto t_end = std::chrono::steady_clock::now();
+    // Memo exploration nests the view-matching probes; the probes record
+    // their own stages (filter probe, match tests), so subtract them to
+    // keep the four stage spans additive.
+    const double memo_seconds = std::max(
+        0.0, std::chrono::duration<double>(t_memo - t_start).count() -
+                 ctx.metrics.view_matching_seconds);
+    const double costing_seconds =
+        std::chrono::duration<double>(t_end - t_memo).count();
+    if (trace != nullptr) {
+      trace->AddStageSeconds(QueryTrace::Stage::kMemoExploration,
+                             memo_seconds);
+      trace->AddStageSeconds(QueryTrace::Stage::kCosting, costing_seconds);
+      trace->AddCount("memo_groups", ctx.metrics.groups_created);
+      trace->AddCount("memo_exprs", ctx.metrics.expressions_generated);
+      trace->AddCount("view_matching_invocations",
+                      ctx.metrics.view_matching_invocations);
+      trace->AddCount("substitutes_produced",
+                      ctx.metrics.substitutes_produced);
+      result.trace = std::move(trace);
+    }
+    if (counters) {
+      metrics_.optimizations->Increment();
+      metrics_.optimize_latency->Observe(
+          std::chrono::duration<double>(t_end - t_start).count());
+      if (ctx.metrics.groups_created != 0) {
+        metrics_.memo_groups->Increment(ctx.metrics.groups_created);
+      }
+      if (ctx.metrics.expressions_generated != 0) {
+        metrics_.memo_exprs->Increment(ctx.metrics.expressions_generated);
+      }
+      if (ctx.metrics.view_matching_invocations != 0) {
+        metrics_.view_matching_invocations->Increment(
+            ctx.metrics.view_matching_invocations);
+      }
+      if (ctx.metrics.view_matching_failures != 0) {
+        metrics_.view_matching_failures->Increment(
+            ctx.metrics.view_matching_failures);
+      }
+      Counter* degraded =
+          metrics_.degradations[static_cast<size_t>(result.degradation)];
+      if (degraded != nullptr) degraded->Increment();
+    }
+  }
   if (options_.audit_memo) {
     std::vector<MemoGroupRecord> records;
     records.reserve(ctx.groups.size());

@@ -175,26 +175,6 @@ void FsyncDir(const std::string& dir) {
   }
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char ch : s) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out.push_back(ch);
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 std::string RecoveryReport::ToJson() const {
@@ -421,6 +401,7 @@ void CatalogStore::AppendRecord(uint8_t type, const std::string& payload) {
   }
   RepairTornTail();
   const std::string frame = FrameRecord(type, payload);
+  if (counters_.wal_appends != nullptr) counters_.wal_appends->Increment();
   try {
     MVOPT_FAILPOINT("catalog_store.wal_append");
     if (MVOPT_FAILPOINT_HIT("catalog_store.wal_write")) {
@@ -434,11 +415,18 @@ void CatalogStore::AppendRecord(uint8_t type, const std::string& payload) {
     if (::fsync(wal_fd_) != 0) {
       throw StoreIoError("fsync: " + std::string(std::strerror(errno)), false);
     }
+    if (counters_.wal_fsyncs != nullptr) counters_.wal_fsyncs->Increment();
   } catch (const StoreIoError&) {
+    if (counters_.wal_append_failures != nullptr) {
+      counters_.wal_append_failures->Increment();
+    }
     needs_repair_ = true;
     TryRepairNow();
     throw;
   } catch (const std::exception& e) {
+    if (counters_.wal_append_failures != nullptr) {
+      counters_.wal_append_failures->Increment();
+    }
     needs_repair_ = true;
     TryRepairNow();
     throw StoreIoError(e.what(), /*durable=*/false);
@@ -494,6 +482,9 @@ void CatalogStore::WriteSnapshot(const std::vector<PersistedView>& views) {
   FsyncDir(dir_);
   // Snapshot installed; from here the operation is durably committed
   // even if the WAL reset below never happens (replay dedups).
+  if (counters_.snapshot_writes != nullptr) {
+    counters_.snapshot_writes->Increment();
+  }
   try {
     MVOPT_FAILPOINT("catalog_store.wal_truncate");
   } catch (const std::exception& e) {

@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "observe/metrics.h"
 #include "rewrite/view_lifecycle.h"
 
 namespace mvopt {
@@ -134,6 +135,17 @@ class CatalogStore {
   std::string snapshot_path() const { return dir_ + "/catalog.snapshot"; }
   int64_t wal_bytes() const { return wal_offset_; }
 
+  /// Observability hooks (nullptr slots are skipped). Appends count
+  /// frames handed to write(2); fsyncs count successful commit-point
+  /// fsyncs; failures count appends that threw (durable or not).
+  struct StoreCounters {
+    Counter* wal_appends = nullptr;
+    Counter* wal_fsyncs = nullptr;
+    Counter* wal_append_failures = nullptr;
+    Counter* snapshot_writes = nullptr;
+  };
+  void set_counters(const StoreCounters& counters) { counters_ = counters; }
+
  private:
   void AppendRecord(uint8_t type, const std::string& payload);
   void RepairTornTail();
@@ -149,6 +161,7 @@ class CatalogStore {
   /// next append truncates it first (a crash before then leaves the tear
   /// for recovery to cut, which is equally safe).
   bool needs_repair_ = false;
+  StoreCounters counters_;
 };
 
 }  // namespace mvopt

@@ -24,7 +24,32 @@ const char* ViewStateName(ViewState state) {
 }
 
 void ViewLifecycleRegistry::EnsureSize(size_t n) {
-  while (entries_.size() < n) entries_.emplace_back();
+  while (entries_.size() < n) {
+    entries_.emplace_back();
+    state_counts_[static_cast<size_t>(ViewState::kFresh)].fetch_add(1,
+                                                                    kRelaxed);
+  }
+}
+
+int64_t ViewLifecycleRegistry::CountState(ViewState state) const {
+  int64_t n = 0;
+  for (const Entry& e : entries_) {
+    if (static_cast<ViewState>(e.state.load(kRelaxed)) == state) ++n;
+  }
+  return n;
+}
+
+bool ViewLifecycleRegistry::AuditCounters() {
+  bool consistent = true;
+  for (int s = 0; s < kNumViewStates; ++s) {
+    const int64_t actual = CountState(static_cast<ViewState>(s));
+    // Self-healing: resync the gauge to the authoritative state map so a
+    // historical drift never stays permanent.
+    if (state_counts_[s].exchange(actual, kRelaxed) != actual) {
+      consistent = false;
+    }
+  }
+  return consistent;
 }
 
 ViewState ViewLifecycleRegistry::state(ViewId id) const {
@@ -63,10 +88,10 @@ ViewLifecycleRegistry::Snapshot ViewLifecycleRegistry::snapshot(
 
 void ViewLifecycleRegistry::AdjustCounters(ViewState from, ViewState to) {
   if (from == to) return;
-  if (from == ViewState::kQuarantined) num_quarantined_.fetch_sub(1, kRelaxed);
-  if (from == ViewState::kDisabled) num_disabled_.fetch_sub(1, kRelaxed);
-  if (to == ViewState::kQuarantined) num_quarantined_.fetch_add(1, kRelaxed);
-  if (to == ViewState::kDisabled) num_disabled_.fetch_add(1, kRelaxed);
+  state_counts_[static_cast<size_t>(from)].fetch_sub(1, kRelaxed);
+  state_counts_[static_cast<size_t>(to)].fetch_add(1, kRelaxed);
+  Counter* c = transition_counters_[static_cast<size_t>(to)];
+  if (c != nullptr) c->Increment();
 }
 
 bool ViewLifecycleRegistry::Transition(Entry& e, ViewState from,
@@ -162,8 +187,11 @@ bool ViewLifecycleRegistry::Readmit(ViewId id, uint64_t epoch) {
 void ViewLifecycleRegistry::Restore(ViewId id, const Snapshot& snapshot) {
   assert(static_cast<size_t>(id) < entries_.size());
   Entry& e = entries_[id];
-  ViewState before = static_cast<ViewState>(e.state.load(kRelaxed));
-  e.state.store(static_cast<uint8_t>(snapshot.state), kRelaxed);
+  // Exchange, not load-then-store: the gauge delta must be computed from
+  // the state this store actually replaced, or a transition racing the
+  // restore would leave the gauges permanently wrong.
+  ViewState before = static_cast<ViewState>(
+      e.state.exchange(static_cast<uint8_t>(snapshot.state), kRelaxed));
   AdjustCounters(before, snapshot.state);
   e.epoch.store(snapshot.epoch, kRelaxed);
   e.checksum.store(snapshot.content_checksum, kRelaxed);

@@ -27,10 +27,12 @@
 #ifndef MVOPT_REWRITE_VIEW_LIFECYCLE_H_
 #define MVOPT_REWRITE_VIEW_LIFECYCLE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
 
+#include "observe/metrics.h"
 #include "query/view_def.h"
 
 namespace mvopt {
@@ -117,15 +119,42 @@ class ViewLifecycleRegistry {
   bool DueForRetry(ViewId id, int64_t tick) const;
   void RecordRetryFailure(ViewId id, int64_t tick);
 
+  /// Gauges. Maintained incrementally by every *successful* state
+  /// transition (the CAS winner adjusts exactly its from→to delta, and
+  /// Restore adjusts from the exchanged-out previous state, so no
+  /// interleaving can make the totals drift from the authoritative
+  /// per-entry states once in-flight calls retire).
   int64_t num_quarantined() const {
-    return num_quarantined_.load(std::memory_order_relaxed);
+    return state_counts_[static_cast<size_t>(ViewState::kQuarantined)].load(
+        std::memory_order_relaxed);
   }
   int64_t num_disabled() const {
-    return num_disabled_.load(std::memory_order_relaxed);
+    return state_counts_[static_cast<size_t>(ViewState::kDisabled)].load(
+        std::memory_order_relaxed);
   }
   /// Quarantined + disabled (the views probes skip unconditionally).
   int64_t num_sidelined() const {
     return num_quarantined() + num_disabled();
+  }
+
+  /// Authoritative count derived from the per-entry states. Requires
+  /// external synchronization against EnsureSize (the service's
+  /// exclusive lock).
+  int64_t CountState(ViewState state) const;
+
+  /// Reconciles the incremental gauges against the authoritative state
+  /// map: returns true when they already agreed, false after resyncing a
+  /// drifted gauge. Called (and asserted) by
+  /// MatchingService::RevalidationTick under the exclusive lock, when no
+  /// transition can be in flight.
+  bool AuditCounters();
+
+  /// Observability: counts every state transition on the counter of its
+  /// destination state (nullptr slots are skipped). Wire before
+  /// concurrent use.
+  void set_transition_counters(
+      const std::array<Counter*, kNumViewStates>& to_state) {
+    transition_counters_ = to_state;
   }
 
  private:
@@ -139,15 +168,16 @@ class ViewLifecycleRegistry {
   };
   static constexpr int64_t kMaxBackoff = 64;
 
-  /// CAS transition keeping the sideline counters consistent; returns
-  /// true when `id` moved from `from` to `to`.
+  /// CAS transition keeping the state gauges consistent; returns true
+  /// when `id` moved from `from` to `to`.
   bool Transition(Entry& e, ViewState from, ViewState to);
   void AdjustCounters(ViewState from, ViewState to);
 
   /// Deque: growth never invalidates entries, atomics never move.
   std::deque<Entry> entries_;
-  std::atomic<int64_t> num_quarantined_{0};
-  std::atomic<int64_t> num_disabled_{0};
+  /// Live entries per state (new entries are born FRESH).
+  std::array<std::atomic<int64_t>, kNumViewStates> state_counts_{};
+  std::array<Counter*, kNumViewStates> transition_counters_{};
 };
 
 }  // namespace mvopt

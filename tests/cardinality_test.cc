@@ -1,5 +1,8 @@
 #include "optimizer/cardinality.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "tpch/schema.h"
@@ -132,6 +135,95 @@ TEST_F(CardinalityTest, AggregateResultBoundedByGroupsAndInput) {
   b2.SetAggregate();
   (void)l2;
   EXPECT_DOUBLE_EQ(estimator_.EstimateResult(b2.Build()), 1.0);
+}
+
+TEST_F(CardinalityTest, RangeSelectivityDegenerateStatsFallToDefault) {
+  // NaN/Inf statistics or bounds, and collapsed [min, max] ranges, must
+  // fall back to the default selectivity instead of interpolating into
+  // NaN (which would poison every best-plan comparison downstream).
+  Catalog catalog;
+  TableDef* t = catalog.CreateTable("t");
+  ColumnOrdinal col = t->AddColumn("a", ValueType::kDouble, false);
+  t->set_row_count(1000);
+  CardinalityEstimator estimator(&catalog);
+  auto sel = [&](CompareOp op, const Value& bound) {
+    return estimator.RangeSelectivity(*t, col, op, bound);
+  };
+  const Value kBound = Value::Double(5.0);
+
+  struct Case {
+    const char* what;
+    Value min, max, bound;
+  };
+  const Case cases[] = {
+      {"nan min", Value::Double(std::nan("")), Value::Double(10.0), kBound},
+      {"inf max", Value::Double(0.0),
+       Value::Double(std::numeric_limits<double>::infinity()), kBound},
+      {"-inf min", Value::Double(-std::numeric_limits<double>::infinity()),
+       Value::Double(10.0), kBound},
+      {"nan bound", Value::Double(0.0), Value::Double(10.0),
+       Value::Double(std::nan(""))},
+      {"collapsed range", Value::Double(7.0), Value::Double(7.0), kBound},
+      {"inverted range", Value::Double(10.0), Value::Double(0.0), kBound},
+  };
+  for (const Case& c : cases) {
+    t->mutable_column(col).stats.min = c.min;
+    t->mutable_column(col).stats.max = c.max;
+    for (CompareOp op : {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                         CompareOp::kGe}) {
+      const double s = sel(op, c.bound);
+      EXPECT_TRUE(std::isfinite(s)) << c.what;
+      EXPECT_GT(s, 0.0) << c.what;
+      EXPECT_LE(s, 1.0) << c.what;
+    }
+  }
+}
+
+TEST_F(CardinalityTest, EstimatesAreAlwaysFiniteAndPositive) {
+  // An empty table (row_count 0) with a stack of range predicates must
+  // not underflow to 0 — a zero estimate makes every plan shape over the
+  // table look free — and poisoned statistics must not yield NaN/Inf.
+  Catalog catalog;
+  TableDef* t = catalog.CreateTable("empty");
+  ColumnOrdinal col = t->AddColumn("a", ValueType::kDouble, false);
+  t->set_row_count(0);
+  t->mutable_column(col).stats.min = Value::Double(std::nan(""));
+  t->mutable_column(col).stats.max = Value::Double(std::nan(""));
+  CardinalityEstimator estimator(&catalog);
+
+  SpjgBuilder b(&catalog);
+  int r = b.AddTable("empty");
+  for (int i = 0; i < 8; ++i) {
+    b.Where(Expr::MakeCompare(CompareOp::kLt, b.Col(r, "a"),
+                              Expr::MakeLiteral(Value::Double(1.0))));
+  }
+  b.Output(b.Col(r, "a"));
+  const SpjgQuery q = b.Build();
+  for (double est : {estimator.EstimateSpj(q), estimator.EstimateResult(q)}) {
+    EXPECT_TRUE(std::isfinite(est));
+    EXPECT_GT(est, 0.0);
+  }
+}
+
+TEST_F(CardinalityTest, HugeCrossJoinsClampInsteadOfOverflowing) {
+  // A cross join of maximal tables would overflow double multiplication
+  // toward Inf without the cardinality clamp.
+  Catalog catalog;
+  for (const char* name : {"big1", "big2", "big3"}) {
+    TableDef* t = catalog.CreateTable(name);
+    t->AddColumn("a", ValueType::kInt64, false);
+    t->set_row_count(std::numeric_limits<int64_t>::max());
+  }
+  CardinalityEstimator estimator(&catalog);
+  SpjgBuilder b(&catalog);
+  int t1 = b.AddTable("big1");
+  b.AddTable("big2");
+  b.AddTable("big3");
+  b.Output(b.Col(t1, "a"));
+  const double est = estimator.EstimateSpj(b.Build());
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_LE(est, 1e18);
+  EXPECT_GT(est, 0.0);
 }
 
 TEST_F(CardinalityTest, ResidualsUseDefaultSelectivity) {

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -202,6 +203,153 @@ TEST_F(ConcurrencyStressTest, InjectedMatcherFaultsStayIsolatedUnderLoad) {
 }
 
 #endif  // MVOPT_FAILPOINTS
+
+TEST_F(ConcurrencyStressTest, StatsSnapshotsNeverTearUnderConcurrentProbes) {
+  // Regression for the stats-snapshot tearing bug: stats() used to read
+  // eight independent atomics one by one, so a snapshot could observe a
+  // probe's full_tests but not its candidates. Probes now commit their
+  // whole delta at once, so every snapshot — taken mid-flight — must
+  // satisfy the cross-field probe invariants.
+  MatchingService service(&catalog_);
+  AddViewRange(&service, 0, kNumViews);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> probes{0};
+  constexpr int kRounds = 12;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kNumReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = t; q < queries_.size(); q += kNumReaders) {
+          (void)service.FindSubstitutes(queries_[q]);
+          probes.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MatchingStats s = service.stats();
+      EXPECT_LE(s.full_tests, s.candidates);
+      EXPECT_LE(s.substitutes, s.full_tests);
+      EXPECT_LE(s.quarantine_skips + s.full_tests, s.candidates);
+      EXPECT_GE(s.invocations, 0);
+      for (int64_t r : s.rejects) EXPECT_GE(r, 0);
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& r : readers) r.join();
+  stop.store(true);
+  observer.join();
+
+  // With the system quiescent the totals are deterministic: every reader
+  // round re-ran the full query set, so the service's stats must equal
+  // kRounds * (one serial pass) — nothing lost, nothing double-counted.
+  MatchingService reference(&catalog_);
+  AddViewRange(&reference, 0, kNumViews);
+  for (const SpjgQuery& q : queries_) (void)reference.FindSubstitutes(q);
+  const MatchingStats expected = reference.stats();
+  const MatchingStats got = service.stats();
+  EXPECT_EQ(got.invocations, probes.load());
+  EXPECT_EQ(got.invocations, expected.invocations * kRounds);
+  EXPECT_EQ(got.candidates, expected.candidates * kRounds);
+  EXPECT_EQ(got.full_tests, expected.full_tests * kRounds);
+  EXPECT_EQ(got.substitutes, expected.substitutes * kRounds);
+  for (size_t i = 0; i < got.rejects.size(); ++i) {
+    EXPECT_EQ(got.rejects[i], expected.rejects[i] * kRounds) << "reason " << i;
+  }
+}
+
+TEST_F(ConcurrencyStressTest, ConcurrentResetsLoseNoProbes) {
+  // Regression for the reset race: ResetStats() returns the pre-reset
+  // snapshot atomically, so snapshots harvested by a racing resetter
+  // plus the final stats() must account for every probe exactly once —
+  // even with resets landing mid-burst from two threads.
+  MatchingService service(&catalog_);
+  AddViewRange(&service, 0, kNumViews);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> probes{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kNumReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int round = 0; round < 12; ++round) {
+        for (size_t q = t; q < queries_.size(); q += kNumReaders) {
+          (void)service.FindSubstitutes(queries_[q]);
+          probes.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::mutex harvest_mu;
+  MatchingStats harvested;
+  std::vector<std::thread> resetters;
+  for (int t = 0; t < 2; ++t) {
+    resetters.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        MatchingStats s = service.ResetStats();
+        EXPECT_LE(s.full_tests, s.candidates);
+        EXPECT_LE(s.substitutes, s.full_tests);
+        std::lock_guard<std::mutex> lock(harvest_mu);
+        harvested.MergeFrom(s);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  stop.store(true);
+  for (std::thread& r : resetters) r.join();
+  harvested.MergeFrom(service.ResetStats());
+  EXPECT_EQ(harvested.invocations, probes.load());
+
+  MatchingService reference(&catalog_);
+  AddViewRange(&reference, 0, kNumViews);
+  for (const SpjgQuery& q : queries_) (void)reference.FindSubstitutes(q);
+  const MatchingStats expected = reference.stats();
+  EXPECT_EQ(harvested.candidates, expected.candidates * 12);
+  EXPECT_EQ(harvested.full_tests, expected.full_tests * 12);
+  EXPECT_EQ(harvested.substitutes, expected.substitutes * 12);
+}
+
+TEST_F(ConcurrencyStressTest, RegistryCountersMatchStatsAfterConcurrentLoad) {
+  // The registry mirror is updated outside the stats mutex with relaxed
+  // atomics; once quiescent it must agree exactly with the probe-atomic
+  // stats — no increment lost on any thread.
+  MetricsRegistry registry;
+  MatchingService::Options opts;
+  opts.observe.mode = ObserveMode::kCountersOnly;
+  opts.observe.registry = &registry;
+  MatchingService service(&catalog_, opts);
+  AddViewRange(&service, 0, kNumViews);
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kNumReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int round = 0; round < 6; ++round) {
+        for (size_t q = t; q < queries_.size(); q += kNumReaders) {
+          (void)service.FindSubstitutes(queries_[q]);
+        }
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+
+  const MatchingStats s = service.stats();
+  EXPECT_EQ(registry.CounterValue("mvopt_probe_invocations_total"),
+            s.invocations);
+  EXPECT_EQ(registry.CounterValue("mvopt_probe_candidates_total"),
+            s.candidates);
+  EXPECT_EQ(registry.CounterValue("mvopt_probe_full_tests_total"),
+            s.full_tests);
+  EXPECT_EQ(registry.CounterValue("mvopt_probe_substitutes_total"),
+            s.substitutes);
+  int64_t rejects = 0;
+  for (int64_t r : s.rejects) rejects += r;
+  EXPECT_EQ(registry.SumFamily("mvopt_match_rejects_total"), rejects);
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(registry.WritePrometheus(), &error))
+      << error;
+}
 
 TEST_F(ConcurrencyStressTest, QuarantineReadmissionUnderConcurrentProbes) {
   MatchingService service(&catalog_);

@@ -1,0 +1,289 @@
+#include "observe/metrics.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "observe/observe.h"
+#include "observe/trace.h"
+
+namespace mvopt {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  Histogram h;
+  h.Observe(0.5e-6);   // below the first bound (1µs) -> bucket 0
+  h.Observe(1.5e-3);   // between 1ms and 2ms
+  h.Observe(100.0);    // beyond the last finite bound (10s) -> +Inf
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 1);
+  int64_t total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    total += h.bucket_count(i);
+  }
+  EXPECT_EQ(total, h.count());
+  EXPECT_NEAR(h.sum_seconds(), 100.0015005, 1e-6);
+}
+
+TEST(HistogramTest, NanAndNegativeObservationsClampToZero) {
+  Histogram h;
+  h.Observe(-1.0);
+  h.Observe(std::nan(""));
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_DOUBLE_EQ(h.sum_seconds(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundsAreStrictlyIncreasing) {
+  const auto& bounds = Histogram::BucketBounds();
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, FindOrCreateIsIdempotentPerNameAndLabels) {
+  MetricsRegistry r;
+  Counter* a = r.FindOrCreateCounter("x_total", "help");
+  Counter* b = r.FindOrCreateCounter("x_total", "ignored on re-lookup");
+  EXPECT_EQ(a, b);
+  Counter* labeled = r.FindOrCreateCounter("x_total", "help",
+                                           {{"kind", "left"}});
+  EXPECT_NE(a, labeled);
+  EXPECT_EQ(r.num_counters(), 2u);
+
+  a->Increment(3);
+  labeled->Increment(4);
+  EXPECT_EQ(r.CounterValue("x_total"), 3);
+  EXPECT_EQ(r.CounterValue("x_total", {{"kind", "left"}}), 4);
+  EXPECT_EQ(r.CounterValue("missing"), std::nullopt);
+  EXPECT_EQ(r.SumFamily("x_total"), 7);
+  EXPECT_EQ(r.SumFamily("missing"), 0);
+}
+
+TEST(MetricsRegistryTest, InstrumentPointersSurviveRegistryGrowth) {
+  MetricsRegistry r;
+  Counter* first = r.FindOrCreateCounter("c0_total", "h");
+  std::vector<Counter*> all{first};
+  for (int i = 1; i < 200; ++i) {
+    all.push_back(
+        r.FindOrCreateCounter("c" + std::to_string(i) + "_total", "h"));
+  }
+  first->Increment();
+  EXPECT_EQ(first->value(), 1);
+  EXPECT_EQ(r.FindOrCreateCounter("c0_total", "h"), first);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.FindOrCreateCounter("c" + std::to_string(i) + "_total", "h"),
+              all[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry r;
+  Counter* c = r.FindOrCreateCounter("hits_total", "h");
+  Histogram* h = r.FindOrCreateHistogram("lat_seconds", "h");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(1e-5);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+  EXPECT_EQ(h->count(), kThreads * kPerThread);
+}
+
+TEST(PrometheusTest, ExpositionStructureAndValues) {
+  MetricsRegistry r;
+  r.FindOrCreateCounter("mvopt_things_total", "Things seen")->Increment(5);
+  r.FindOrCreateCounter("mvopt_rejects_total", "By reason",
+                        {{"reason", "stale"}})
+      ->Increment(2);
+  r.FindOrCreateCounter("mvopt_rejects_total", "By reason",
+                        {{"reason", "extra-table"}})
+      ->Increment(3);
+  Histogram* h = r.FindOrCreateHistogram("mvopt_lat_seconds", "Latency");
+  h->Observe(1.5e-6);  // second bucket (le 2e-06)
+  h->Observe(0.3);     // le 0.5
+
+  const std::string text = r.WritePrometheus();
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error;
+
+  EXPECT_NE(text.find("# HELP mvopt_things_total Things seen\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mvopt_things_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvopt_things_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("mvopt_rejects_total{reason=\"stale\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvopt_rejects_total{reason=\"extra-table\"} 3\n"),
+            std::string::npos);
+  // One HELP/TYPE block per family, not per labeled instrument.
+  size_t first = text.find("# TYPE mvopt_rejects_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE mvopt_rejects_total counter", first + 1),
+            std::string::npos);
+  // Histogram: cumulative buckets ending in +Inf == count, plus sum.
+  EXPECT_NE(text.find("# TYPE mvopt_lat_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvopt_lat_seconds_bucket{le=\"2e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvopt_lat_seconds_bucket{le=\"0.5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvopt_lat_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvopt_lat_seconds_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("mvopt_lat_seconds_sum "), std::string::npos);
+}
+
+TEST(PrometheusTest, ValidatorRejectsMalformedExpositions) {
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText("# FOO bar\n", &error));
+  EXPECT_FALSE(error.empty());
+  // A sample whose family was never announced with a TYPE line.
+  EXPECT_FALSE(ValidatePrometheusText("orphan_total 3\n", &error));
+  // Unparsable and NaN sample values.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE x counter\nx notanumber\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("# TYPE x counter\nx nan\n", &error));
+  // Unterminated label set.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE x counter\nx{a=\"b\" 1\n", &error));
+  // A valid exposition clears the error.
+  EXPECT_TRUE(ValidatePrometheusText("# TYPE x counter\nx 1\n", &error));
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(PrometheusTest, LabelValuesAreEscaped) {
+  MetricsRegistry r;
+  r.FindOrCreateCounter("x_total", "h", {{"q", "a\"b\\c\nd"}})->Increment();
+  const std::string text = r.WritePrometheus();
+  EXPECT_NE(text.find("x_total{q=\"a\\\"b\\\\c\\nd\"} 1"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error;
+}
+
+TEST(JsonTest, RegistryDumpIsValidAndComplete) {
+  MetricsRegistry r;
+  r.FindOrCreateCounter("a_total", "h")->Increment(7);
+  r.FindOrCreateCounter("b_total", "h", {{"k", "v"}})->Increment(9);
+  r.FindOrCreateHistogram("lat_seconds", "h")->Observe(1e-3);
+  const std::string json = r.WriteJson();
+  std::string error;
+  EXPECT_TRUE(ValidateJson(json, &error)) << error;
+  EXPECT_NE(json.find("\"name\":\"a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"k\":\"v\""), std::string::npos);
+  EXPECT_NE(json.find("\"sum_seconds\":"), std::string::npos);
+}
+
+TEST(JsonTest, ValidatorAcceptsAndRejects) {
+  std::string error;
+  EXPECT_TRUE(ValidateJson("{\"a\":[1,2.5,-3e2,true,false,null,\"s\"]}",
+                           &error));
+  EXPECT_FALSE(ValidateJson("{", &error));
+  EXPECT_FALSE(ValidateJson("{\"a\":}", &error));
+  EXPECT_FALSE(ValidateJson("[1,]", &error));
+  EXPECT_FALSE(ValidateJson("tru", &error));
+  EXPECT_FALSE(ValidateJson("{} extra", &error));
+}
+
+TEST(JsonTest, EscapeCoversControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd\te\rf"), "a\\\"b\\\\c\\nd\\te\\rf");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ObserveOptionsTest, ModeGatesAreConsistent) {
+  MetricsRegistry r;
+  ObserveOptions o;
+  EXPECT_FALSE(o.counters_enabled());
+  EXPECT_FALSE(o.trace_enabled());
+  o.registry = &r;
+  o.mode = ObserveMode::kOff;
+  EXPECT_FALSE(o.counters_enabled());
+  o.mode = ObserveMode::kCountersOnly;
+  EXPECT_TRUE(o.counters_enabled());
+  EXPECT_FALSE(o.trace_enabled());
+  o.mode = ObserveMode::kFullTrace;
+  EXPECT_TRUE(o.counters_enabled());
+  EXPECT_TRUE(o.trace_enabled());
+  // A mode without a registry enables nothing.
+  o.registry = nullptr;
+  EXPECT_FALSE(o.counters_enabled());
+}
+
+TEST(QueryTraceTest, StagesCountsAndVerdicts) {
+  QueryTrace t;
+  t.set_query("SELECT 1");
+  t.AddStageSeconds(QueryTrace::Stage::kFilterProbe, 0.5);
+  t.AddStageSeconds(QueryTrace::Stage::kFilterProbe, 0.25);
+  t.AddStageSeconds(QueryTrace::Stage::kCosting, 1.0);
+  EXPECT_DOUBLE_EQ(t.stage_seconds(QueryTrace::Stage::kFilterProbe), 0.75);
+  EXPECT_DOUBLE_EQ(t.stage_seconds(QueryTrace::Stage::kMatchTests), 0.0);
+
+  t.AddCount("candidates", 3);
+  t.AddCount("candidates", 2);
+  t.AddCount("filter.probes.hub", 7);
+  EXPECT_EQ(t.count("candidates"), 5);
+  EXPECT_EQ(t.count("filter.probes.hub"), 7);
+  EXPECT_EQ(t.count("missing"), 0);
+
+  t.RecordVerdict("v1", "accepted");
+  t.RecordVerdict("v2", "rejected", "extra-table");
+  ASSERT_EQ(t.verdicts().size(), 2u);
+  EXPECT_EQ(t.verdicts()[1].detail, "extra-table");
+
+  t.NoteProbe();
+  t.NoteProbe();
+  EXPECT_EQ(t.num_probes(), 2);
+}
+
+TEST(QueryTraceTest, JsonDumpRoundTripsItsContent) {
+  QueryTrace t;
+  t.set_query("SELECT \"x\" FROM t");
+  t.AddStageSeconds(QueryTrace::Stage::kMatchTests, 0.125);
+  t.AddCount("candidates", 4);
+  t.RecordVerdict("v7", "rejected", "verify:residual");
+  t.NoteProbe();
+  const std::string json = t.ToJson();
+  std::string error;
+  EXPECT_TRUE(ValidateJson(json, &error)) << error;
+  // Every recorded fact shows up: the query (escaped), the stage name,
+  // the count, and the verdict triple.
+  EXPECT_NE(json.find("SELECT \\\"x\\\" FROM t"), std::string::npos);
+  EXPECT_NE(json.find(QueryTrace::StageName(
+                QueryTrace::Stage::kMatchTests)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"candidates\":4"), std::string::npos);
+  EXPECT_NE(json.find("v7"), std::string::npos);
+  EXPECT_NE(json.find("verify:residual"), std::string::npos);
+}
+
+TEST(QueryTraceTest, StageNamesAreDistinct) {
+  for (int i = 0; i < QueryTrace::kNumStages; ++i) {
+    for (int j = i + 1; j < QueryTrace::kNumStages; ++j) {
+      EXPECT_STRNE(
+          QueryTrace::StageName(static_cast<QueryTrace::Stage>(i)),
+          QueryTrace::StageName(static_cast<QueryTrace::Stage>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvopt

@@ -25,6 +25,84 @@ namespace {
 
 // --- registry unit tests --------------------------------------------------
 
+TEST(ViewLifecycleRegistryTest, GaugesTrackEveryTransitionPath) {
+  // Regression for the gauge-drift bug: the quarantined/disabled gauges
+  // must equal the authoritative per-entry counts after any sequence of
+  // transitions, including self-transitions (MarkFresh on a FRESH view
+  // used to double-count) and Restore over an existing non-FRESH entry.
+  ViewLifecycleRegistry reg;
+  reg.EnsureSize(4);
+
+  reg.MarkFresh(0, 1);  // FRESH -> FRESH: must not disturb any gauge
+  reg.MarkFresh(0, 2);
+  EXPECT_EQ(reg.num_sidelined(), 0);
+  EXPECT_EQ(reg.CountState(ViewState::kFresh), 4);
+
+  reg.ReportChecksumMismatch(1);  // FRESH -> DISABLED
+  reg.ReportChecksumMismatch(1);  // DISABLED -> DISABLED: no drift
+  EXPECT_EQ(reg.num_disabled(), 1);
+  EXPECT_EQ(reg.num_disabled(), reg.CountState(ViewState::kDisabled));
+
+  ViewLifecycleRegistry::Snapshot snap;
+  snap.state = ViewState::kQuarantined;
+  reg.Restore(1, snap);  // DISABLED -> QUARANTINED via Restore
+  EXPECT_EQ(reg.num_disabled(), 0);
+  EXPECT_EQ(reg.num_quarantined(), 1);
+  reg.Restore(1, snap);  // QUARANTINED -> QUARANTINED: no drift
+  EXPECT_EQ(reg.num_quarantined(), 1);
+
+  reg.Readmit(1, 7);
+  EXPECT_EQ(reg.num_sidelined(), 0);
+  EXPECT_TRUE(reg.AuditCounters());  // gauges agree with the state map
+}
+
+TEST(ViewLifecycleRegistryTest, AuditCountersAgreesWithAuthoritativeCounts) {
+  ViewLifecycleRegistry reg;
+  reg.EnsureSize(3);
+  reg.ReportChecksumMismatch(0);
+  reg.MarkStale(1);
+  EXPECT_TRUE(reg.AuditCounters());
+  EXPECT_EQ(reg.CountState(ViewState::kDisabled), 1);
+  EXPECT_EQ(reg.CountState(ViewState::kStale), 1);
+  EXPECT_EQ(reg.CountState(ViewState::kFresh), 1);
+  // After a resync the gauges match the authoritative counts again and a
+  // second audit is clean.
+  EXPECT_EQ(reg.num_disabled(), reg.CountState(ViewState::kDisabled));
+  EXPECT_TRUE(reg.AuditCounters());
+}
+
+TEST(ViewLifecycleRegistryTest, TransitionCountersCountDestinations) {
+  MetricsRegistry metrics;
+  std::array<Counter*, kNumViewStates> to_state{};
+  for (int i = 0; i < kNumViewStates; ++i) {
+    to_state[i] = metrics.FindOrCreateCounter(
+        "mvopt_lifecycle_transitions_total", "By destination state",
+        {{"to", ViewStateName(static_cast<ViewState>(i))}});
+  }
+  ViewLifecycleRegistry reg;
+  reg.set_transition_counters(to_state);
+  reg.EnsureSize(2);
+
+  reg.MarkStale(0);             // -> stale
+  reg.MarkFresh(0, 1);          // -> fresh
+  reg.MarkFresh(0, 2);          // fresh -> fresh: not a transition
+  reg.ReportChecksumMismatch(0);  // -> disabled
+  reg.Readmit(0, 3);            // -> fresh
+  reg.ReportVerifyFailure(1, 1, 0);  // -> quarantined
+
+  auto count = [&](ViewState s) {
+    return metrics
+        .CounterValue("mvopt_lifecycle_transitions_total",
+                      {{"to", ViewStateName(s)}})
+        .value_or(-1);
+  };
+  EXPECT_EQ(count(ViewState::kStale), 1);
+  EXPECT_EQ(count(ViewState::kFresh), 2);
+  EXPECT_EQ(count(ViewState::kDisabled), 1);
+  EXPECT_EQ(count(ViewState::kQuarantined), 1);
+  EXPECT_EQ(metrics.SumFamily("mvopt_lifecycle_transitions_total"), 5);
+}
+
 TEST(ViewLifecycleRegistryTest, DefaultsToFresh) {
   ViewLifecycleRegistry reg;
   reg.EnsureSize(2);

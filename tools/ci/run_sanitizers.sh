@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds and runs the full test suite under AddressSanitizer and
 # UndefinedBehaviorSanitizer, plus the concurrency stress suite under
-# ThreadSanitizer (see MVOPT_SANITIZE in the top-level CMakeLists.txt).
+# ThreadSanitizer (see MVOPT_SANITIZE in the top-level CMakeLists.txt),
+# an observability smoke step (metrics_driver --selfcheck), and the
+# crash/recovery matrix.
 # Each sanitizer gets its own build tree so the instrumented objects
 # never mix with the regular build.
 #
@@ -46,6 +48,20 @@ run_thread() {
     -R 'ConcurrencyStress' -j "${jobs}"
 }
 
+run_metrics_smoke() {
+  # Observability smoke: run the metrics driver over a small workload in
+  # the ASan tree and let its --selfcheck validate that the Prometheus
+  # exposition parses, the JSON dumps parse, and every mandatory pipeline
+  # metric is present and non-negative (probe/optimize counters > 0).
+  local build_dir="${build_root}/address"
+  echo "=== metrics smoke: build driver ==="
+  cmake --build "${build_dir}" --target metrics_driver -j "${jobs}"
+  echo "=== metrics smoke: selfcheck ==="
+  ASAN_OPTIONS=detect_leaks=1 \
+    "${build_dir}/examples/metrics_driver" \
+    --views 100 --queries 30 --quiet --selfcheck
+}
+
 run_crash_recovery() {
   # The crash/recover matrix reuses the ASan tree: the recovery path and
   # the torn-tail repair run instrumented, and leaks in the recovery
@@ -61,5 +77,6 @@ run_crash_recovery() {
 run_one address
 run_one undefined
 run_thread
+run_metrics_smoke
 run_crash_recovery
 echo "=== sanitizers clean ==="

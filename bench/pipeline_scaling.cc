@@ -1,0 +1,83 @@
+// Parallel match-stage scaling: FindSubstitutes wall clock as a function
+// of worker count and catalog size, with the filter tree on and off.
+//
+// With the filter tree ON at the paper's prune ratios (~1 candidate per
+// probe at 1000 views) there is nothing to parallelize — those rows
+// document that the serial fast path stays fast. The match-BOUND rows
+// are the filter-OFF ones: every registered view is a candidate, so the
+// match stage carries the probe and the pool pays off. The sweep also
+// cross-checks that every worker count produces the identical substitute
+// total — the determinism contract, observed from the outside.
+//
+// Knobs: MVOPT_BENCH_QUERIES / MVOPT_BENCH_VIEWS / MVOPT_BENCH_STEP
+// (bench/harness.h). Output: results/pipeline_scaling.txt via stdout.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/query_context.h"
+#include "common/thread_pool.h"
+
+int main() {
+  using namespace mvopt;
+  using namespace mvopt::bench;
+
+  SweepConfig config;
+  Workload workload(config.max_views, config.num_queries);
+  const std::vector<int> worker_counts = {0, 1, 2, 4, 8};
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("# Pipeline scaling: FindSubstitutes wall clock vs match-stage "
+              "workers\n");
+  std::printf("# %d queries per point; workers=0 is the serial pipeline "
+              "(baseline)\n", config.num_queries);
+  std::printf("# hardware threads: %u%s\n", hw,
+              hw <= 1 ? "  (single-core host: the sweep degenerates to an "
+                        "overhead measurement; speedup > 1 requires real "
+                        "cores)"
+                      : "");
+  std::printf("%-8s %-8s %-8s %12s %10s %12s\n", "views", "filter", "workers",
+              "seconds", "speedup", "substitutes");
+
+  for (int n : config.ViewCounts()) {
+    if (n == 0) continue;
+    for (bool use_filter_tree : {true, false}) {
+      auto service = workload.MakeService(n, use_filter_tree);
+      double baseline = -1;
+      int64_t baseline_subs = -1;
+      for (int workers : worker_counts) {
+        ThreadPool pool(workers);
+        int64_t substitutes = 0;
+        auto start = std::chrono::steady_clock::now();
+        for (const SpjgQuery& q : workload.queries()) {
+          QueryContext ctx;
+          if (workers > 0) ctx.set_match_pool(&pool);
+          substitutes +=
+              static_cast<int64_t>(service->FindSubstitutes(q, ctx).size());
+        }
+        auto end = std::chrono::steady_clock::now();
+        const double seconds =
+            std::chrono::duration<double>(end - start).count();
+        if (baseline < 0) {
+          baseline = seconds;
+          baseline_subs = substitutes;
+        }
+        if (substitutes != baseline_subs) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: views=%d filter=%d workers=%d "
+                       "substitutes=%lld baseline=%lld\n",
+                       n, use_filter_tree ? 1 : 0, workers,
+                       static_cast<long long>(substitutes),
+                       static_cast<long long>(baseline_subs));
+          return 1;
+        }
+        std::printf("%-8d %-8s %-8d %12.3f %10.2f %12lld\n", n,
+                    use_filter_tree ? "on" : "off", workers, seconds,
+                    baseline / seconds, static_cast<long long>(substitutes));
+      }
+    }
+  }
+  return 0;
+}

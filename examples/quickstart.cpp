@@ -104,10 +104,14 @@ int main() {
   SpjgQuery query = qb.Build();
   std::printf("query:\n%s\n\n", query.ToSql(catalog).c_str());
 
-  // 4. Optimize with and without the view.
+  // 4. Optimize with and without the view. The QueryContext carries the
+  // per-query knobs (deadline budget, staleness tolerance, trace, match
+  // pool); default-constructed it behaves exactly like the plain call.
   Optimizer with_views(&catalog, &service);
   Optimizer without_views(&catalog, nullptr);
-  OptimizationResult rewritten = with_views.Optimize(query);
+  QueryContext ctx;
+  ctx.EmplaceBudget().set_deadline_after(std::chrono::seconds(5));
+  OptimizationResult rewritten = with_views.Optimize(query, ctx);
   OptimizationResult baseline = without_views.Optimize(query);
   std::printf("plan with view matching (cost %.0f):\n%s\n",
               rewritten.cost, rewritten.plan->ToString(catalog).c_str());

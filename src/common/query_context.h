@@ -1,0 +1,157 @@
+// QueryContext: the single per-query object threaded through every layer
+// of the matching/optimization pipeline (FilterTree probes →
+// MatchingService stages → RewriteChecker → Optimizer). Four PRs of
+// growth each added a loose cross-cutting parameter (QueryBudget*,
+// QueryTrace*, staleness tolerance, failpoint/observe knobs); the
+// context replaces the bundle with one handle that owns or borrows:
+//
+//   - the resource budget (deadline, candidate/memo caps, degradation
+//     state — see common/query_budget.h),
+//   - the per-query trace recorder (observe/trace.h, borrowed; common/
+//     stays below observe/ so only the pointer lives here),
+//   - an observe hook invoked at every pipeline stage boundary (how the
+//     golden-order tests watch the staged pipeline without a registry),
+//   - the staleness tolerance (merged with the budget's, maximum wins),
+//   - the query's RNG seed (deterministic tie-breaking / sampling for
+//     layers that need randomness; never consult a global generator),
+//   - the match-stage parallelism knobs (a borrowed ThreadPool and the
+//     minimum candidate count that justifies fanning out).
+//
+// A context is per-query state and is NOT thread-safe; give each
+// concurrent optimization its own instance (the pool it borrows may be
+// shared — ThreadPool::RunBatch is). A default-constructed context is
+// byte-for-byte equivalent to the legacy no-budget/no-trace call paths:
+// no deadline, fresh-views-only, serial matching.
+
+#ifndef MVOPT_COMMON_QUERY_CONTEXT_H_
+#define MVOPT_COMMON_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/query_budget.h"
+
+namespace mvopt {
+
+class QueryTrace;  // observe/trace.h (layered above common/)
+class ThreadPool;  // common/thread_pool.h
+
+class QueryContext {
+ public:
+  /// Stage-boundary observe hook: (stage name, stage wall-clock seconds).
+  /// Invoked by the pipeline even when no trace/registry is attached.
+  using StageHook = std::function<void(const char* stage, double seconds)>;
+
+  QueryContext() = default;
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  // --- budget -------------------------------------------------------------
+
+  /// Installs an owned budget (replacing any borrowed one) and returns
+  /// it for configuration.
+  QueryBudget& EmplaceBudget() {
+    owned_budget_ = std::make_unique<QueryBudget>();
+    budget_ = owned_budget_.get();
+    return *budget_;
+  }
+  /// Borrows an external budget (may be null = ungoverned). The legacy
+  /// pointer-parameter overloads funnel through this.
+  void BorrowBudget(QueryBudget* budget) {
+    owned_budget_.reset();
+    budget_ = budget;
+  }
+  QueryBudget* budget() { return budget_; }
+  const QueryBudget* budget() const { return budget_; }
+
+  /// Cooperative deadline check (no-op without a budget). Returns true
+  /// when the query should wind down.
+  bool TickDeadline() {
+    return budget_ != nullptr && budget_->TickDeadline();
+  }
+  bool exhausted() const { return budget_ != nullptr && budget_->exhausted(); }
+
+  // --- degradation --------------------------------------------------------
+
+  /// Records an advisory degradation. Routed into the budget when one is
+  /// attached (so OptimizationResult::degradation reports it); kept
+  /// locally otherwise so ungoverned callers can still inspect it.
+  void NoteDegradation(DegradationReason reason) {
+    if (budget_ != nullptr) {
+      budget_->NoteDegradation(reason);
+    } else if (advisory_ == DegradationReason::kNone) {
+      advisory_ = reason;
+    }
+  }
+  DegradationReason degradation() const {
+    return budget_ != nullptr ? budget_->reason() : advisory_;
+  }
+
+  // --- trace / observe hooks ----------------------------------------------
+
+  /// Borrows a per-query trace recorder (not thread-safe; one probe at a
+  /// time). The optimizer attaches one automatically in full-trace mode.
+  void set_trace(QueryTrace* trace) { trace_ = trace; }
+  QueryTrace* trace() const { return trace_; }
+
+  void set_stage_hook(StageHook hook) { stage_hook_ = std::move(hook); }
+  bool has_stage_hook() const { return static_cast<bool>(stage_hook_); }
+  void NotifyStage(const char* stage, double seconds) const {
+    if (stage_hook_) stage_hook_(stage, seconds);
+  }
+
+  /// Whether the pipeline should read clocks / record stage boundaries
+  /// for this query even if the service's counters are off.
+  bool observing() const { return trace_ != nullptr || has_stage_hook(); }
+
+  // --- staleness ----------------------------------------------------------
+
+  /// Staleness tolerance in update epochs; the effective tolerance is
+  /// the maximum of this and the budget's (0 = fresh views only).
+  void set_max_staleness(uint64_t epochs) { max_staleness_ = epochs; }
+  uint64_t max_staleness() const {
+    const uint64_t b = budget_ != nullptr ? budget_->max_staleness() : 0;
+    return max_staleness_ > b ? max_staleness_ : b;
+  }
+
+  // --- randomness ---------------------------------------------------------
+
+  /// Per-query RNG seed: any layer needing randomness derives a private
+  /// stream from this so runs replay exactly. Defaults to the golden
+  /// ratio constant used across the repo's deterministic generators.
+  void set_rng_seed(uint64_t seed) { rng_seed_ = seed; }
+  uint64_t rng_seed() const { return rng_seed_; }
+
+  // --- match-stage parallelism --------------------------------------------
+
+  /// Borrows a thread pool for the match stage. Null (the default) keeps
+  /// the stage serial — plans and substitute ordering byte-identical to
+  /// the pre-pipeline implementation. The pool may be shared across
+  /// concurrent queries and must outlive every context borrowing it.
+  void set_match_pool(ThreadPool* pool) { match_pool_ = pool; }
+  ThreadPool* match_pool() const { return match_pool_; }
+
+  /// Candidate count below which the match stage stays serial even with
+  /// a pool attached (dispatch overhead beats the win on tiny sets —
+  /// with the filter tree at the paper's prune ratios most probes leave
+  /// a handful of candidates).
+  void set_min_parallel_candidates(int n) { min_parallel_candidates_ = n; }
+  int min_parallel_candidates() const { return min_parallel_candidates_; }
+
+ private:
+  QueryBudget* budget_ = nullptr;
+  std::unique_ptr<QueryBudget> owned_budget_;
+  DegradationReason advisory_ = DegradationReason::kNone;
+  QueryTrace* trace_ = nullptr;
+  StageHook stage_hook_;
+  uint64_t max_staleness_ = 0;
+  uint64_t rng_seed_ = 0x9e3779b97f4a7c15ull;
+  ThreadPool* match_pool_ = nullptr;
+  int min_parallel_candidates_ = 4;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_COMMON_QUERY_CONTEXT_H_

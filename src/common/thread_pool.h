@@ -1,0 +1,151 @@
+// A small fixed thread pool for the matching pipeline's batched match
+// stage (and any future intra-query parallelism: sharded catalog probes,
+// batched workloads). Design goals, in order:
+//
+//   1. Determinism stays the caller's property: the pool only runs the
+//      closures it is given; callers assign each work item its own
+//      output slot, so results are merged in item order regardless of
+//      which worker ran what.
+//   2. Batches from concurrent callers interleave safely: RunBatch may
+//      be invoked from many threads against one shared pool; each batch
+//      tracks its own completion, and the calling thread participates
+//      in its own batch (so a pool with zero workers still makes
+//      progress and degenerates to serial execution).
+//   3. No surprises under sanitizers: all cross-thread communication is
+//      mutex/condition-variable/atomic based; tasks must not throw
+//      (wrap fallible work, as the match stage does per candidate).
+//
+// The pool is intentionally minimal — no futures, no stealing, no
+// priorities. It exists to be the seam `QueryContext::match_pool` plugs
+// into, not a general executor.
+
+#ifndef MVOPT_COMMON_THREAD_POOL_H_
+#define MVOPT_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mvopt {
+
+class ThreadPool {
+ public:
+  /// Starts `num_workers` threads (0 is allowed: RunBatch then executes
+  /// everything on the calling thread).
+  explicit ThreadPool(int num_workers) {
+    if (num_workers < 0) num_workers = 0;
+    workers_.reserve(static_cast<size_t>(num_workers));
+    for (int i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs every task across the workers and the calling thread; returns
+  /// when all of them have completed. Tasks must not throw. Safe to call
+  /// from multiple threads concurrently.
+  void RunBatch(const std::vector<std::function<void()>>& tasks) {
+    if (tasks.empty()) return;
+    auto batch = std::make_shared<Batch>();
+    batch->tasks = &tasks;
+    batch->size = tasks.size();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batches_.push_back(batch);
+    }
+    cv_.notify_all();
+    // The caller participates: claim and run tasks until none are left.
+    DrainBatch(*batch);
+    RetireBatch(batch);
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done_cv.wait(lock,
+                        [&] { return batch->completed == batch->size; });
+  }
+
+ private:
+  struct Batch {
+    const std::vector<std::function<void()>>* tasks = nullptr;
+    size_t size = 0;
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t completed = 0;  // guarded by mu
+  };
+
+  /// Claims and runs tasks from `batch` until every index is taken.
+  void DrainBatch(Batch& batch) {
+    for (;;) {
+      const size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch.size) return;
+      (*batch.tasks)[i]();
+      bool all_done = false;
+      {
+        std::lock_guard<std::mutex> lock(batch.mu);
+        all_done = ++batch.completed == batch.size;
+      }
+      if (all_done) batch.done_cv.notify_all();
+    }
+  }
+
+  /// Removes a fully claimed batch from the shared queue (idempotent).
+  void RetireBatch(const std::shared_ptr<Batch>& batch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = batches_.begin(); it != batches_.end(); ++it) {
+      if (*it == batch) {
+        batches_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || !batches_.empty(); });
+        if (batches_.empty()) {
+          if (stop_) return;
+          continue;
+        }
+        batch = batches_.front();
+      }
+      if (batch->next.load(std::memory_order_relaxed) >= batch->size) {
+        // Fully claimed (tasks may still be running on other threads);
+        // retire it so waiters stop rediscovering it.
+        RetireBatch(batch);
+        continue;
+      }
+      DrainBatch(*batch);
+      RetireBatch(batch);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Batch>> batches_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_COMMON_THREAD_POOL_H_

@@ -1,11 +1,13 @@
 #include "index/matching_service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <exception>
 
 #include "common/failpoint.h"
+#include "common/thread_pool.h"
 #include "query/parser.h"
 
 namespace mvopt {
@@ -17,6 +19,37 @@ using SteadyClock = std::chrono::steady_clock;
 double SecondsSince(SteadyClock::time_point start,
                     SteadyClock::time_point end) {
   return std::chrono::duration<double>(end - start).count();
+}
+
+/// Lap timer for the pipeline's stage boundaries; reads no clock when
+/// the probe is unobserved (kOff mode must stay hook-free).
+class StageTimer {
+ public:
+  explicit StageTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) last_ = SteadyClock::now();
+  }
+  double Lap() {
+    if (!enabled_) return 0.0;
+    const SteadyClock::time_point now = SteadyClock::now();
+    const double seconds = SecondsSince(last_, now);
+    last_ = now;
+    return seconds;
+  }
+
+ private:
+  bool enabled_;
+  SteadyClock::time_point last_{};
+};
+
+/// One stage boundary: stage wall clock into the trace, the stage name
+/// into the trace's pipeline log and the context's stage hook.
+void NoteStage(QueryContext& ctx, QueryTrace* trace, QueryTrace::Stage stage,
+               const char* name, double seconds) {
+  if (trace != nullptr) {
+    trace->AddStageSeconds(stage, seconds);
+    trace->NoteStageBoundary(name);
+  }
+  ctx.NotifyStage(name, seconds);
 }
 
 }  // namespace
@@ -278,41 +311,14 @@ uint64_t MatchingService::StalenessLag(ViewId id) const {
   return StalenessLagLocked(id);
 }
 
-std::vector<Substitute> MatchingService::FindSubstitutes(
-    const SpjgQuery& query, QueryBudget* budget, QueryTrace* trace) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  MVOPT_FAILPOINT("matching_service.find_substitutes");
-  // In kOff mode (no registered metrics, no trace) the instrumentation
-  // below reduces to null/flag checks: no clock reads, no FilterSearch-
-  // Stats collection, no trace recording. bench/observe_overhead guards
-  // this stays within 2% of a build without the hooks.
-  const bool counters = metrics_.invocations != nullptr;
-  const bool tracing = trace != nullptr;
-  const bool observing = counters || tracing;
-  ProbeDelta delta;
-  delta.stats.invocations = 1;
-  if (tracing) trace->NoteProbe();
-  SteadyClock::time_point t_start{};
-  if (observing) t_start = SteadyClock::now();
-
-  if (view_catalog_.num_views() == 0) {
-    if (observing) {
-      const double elapsed = SecondsSince(t_start, SteadyClock::now());
-      if (tracing) {
-        trace->AddStageSeconds(QueryTrace::Stage::kFilterProbe, elapsed);
-      }
-      if (counters) metrics_.probe_latency->Observe(elapsed);
-    }
-    CommitProbe(delta, nullptr);
-    return {};
-  }
-
-  FilterSearchStats fstats;
-  FilterSearchStats* fstats_ptr = observing ? &fstats : nullptr;
+std::vector<ViewId> MatchingService::StageProbe(const SpjgQuery& query,
+                                                QueryContext& ctx,
+                                                FilterSearchStats* fstats) {
   std::vector<ViewId> candidates;
+  if (view_catalog_.num_views() == 0) return candidates;
   if (options_.use_filter_tree) {
     QueryDescription qd = DescribeQuery(*catalog_, query);
-    candidates = filter_tree_.FindCandidates(qd, fstats_ptr, budget);
+    candidates = filter_tree_.FindCandidates(qd, fstats, ctx.budget());
   } else {
     // Without the index every view description must be considered; the
     // only cheap pre-test retained is the aggregation/table-set screen
@@ -322,127 +328,282 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
       candidates.push_back(id);
     }
   }
-  SteadyClock::time_point t_filter{};
-  if (observing) t_filter = SteadyClock::now();
-  delta.stats.candidates = static_cast<int64_t>(candidates.size());
+  return candidates;
+}
 
-  const bool quarantine_active =
-      options_.quarantine_threshold > 0 &&
-      options_.verify_mode == VerifyMode::kEnforce;
-  const uint64_t tolerance = budget != nullptr ? budget->max_staleness() : 0;
-  std::vector<Substitute> out;
-  std::vector<Substitute> stale_out;  // tolerated-stale: ranked after fresh
-  int64_t stale_rejects = 0;
+std::vector<MatchingService::GatedCandidate> MatchingService::StagePrefilter(
+    const std::vector<ViewId>& candidates, QueryContext& ctx,
+    ProbeDelta* delta, int64_t* stale_rejects, bool* truncated) {
+  QueryTrace* trace = ctx.trace();
+  const uint64_t tolerance = ctx.max_staleness();
+  std::vector<GatedCandidate> gated;
+  gated.reserve(candidates.size());
   for (ViewId id : candidates) {
-    if (budget != nullptr && budget->TickDeadline()) {
-      delta.stats.budget_truncations += 1;
+    if (ctx.TickDeadline()) {
+      *truncated = true;
       break;
     }
     // Sidelined views never participate, regardless of how they got
-    // there (verify quarantine, checksum breaker, recovered state).
-    if (lifecycle_.IsSidelined(id)) {
-      delta.stats.quarantine_skips += 1;
-      if (tracing) {
-        trace->RecordVerdict(view_catalog_.view(id).name(), "skipped",
-                             "sidelined");
-      }
-      continue;
-    }
-    // Staleness screen: a view whose base tables advanced past its last
-    // refresh may only substitute within the query's declared tolerance.
+    // there (verify quarantine, checksum breaker, recovered state);
+    // stale views may only substitute within the query's tolerance.
     const uint64_t lag = StalenessLagLocked(id);
-    bool tolerated_stale = false;
-    if (lag > 0) {
-      lifecycle_.MarkStale(id);  // opportunistic: probe observed the lag
-      if (lag > tolerance) {
-        delta.stats.rejects[static_cast<size_t>(RejectReason::kStale)] += 1;
-        ++stale_rejects;
-        if (tracing) {
+    switch (lifecycle_.GateForProbe(id, lag, tolerance)) {
+      case ViewLifecycleRegistry::ProbeGate::kSidelined:
+        delta->stats.quarantine_skips += 1;
+        if (trace != nullptr) {
+          trace->RecordVerdict(view_catalog_.view(id).name(), "skipped",
+                               "sidelined");
+        }
+        break;
+      case ViewLifecycleRegistry::ProbeGate::kRejectStale:
+        delta->stats.rejects[static_cast<size_t>(RejectReason::kStale)] += 1;
+        ++*stale_rejects;
+        if (trace != nullptr) {
           trace->RecordVerdict(view_catalog_.view(id).name(), "rejected",
                                "stale lag=" + std::to_string(lag));
         }
-        continue;
-      }
-      tolerated_stale = true;
+        break;
+      case ViewLifecycleRegistry::ProbeGate::kAdmit:
+        gated.push_back(GatedCandidate{id, 0});
+        break;
+      case ViewLifecycleRegistry::ProbeGate::kAdmitStale:
+        gated.push_back(GatedCandidate{id, lag});
+        break;
     }
-    delta.stats.full_tests += 1;
-    MatchResult result;
-    try {
-      MVOPT_FAILPOINT("matcher.match");
-      result = matcher_.Match(query, view_catalog_.view(id));
-    } catch (const std::exception&) {
-      // Fault isolation: one failing candidate never poisons the probe.
-      delta.stats.match_failures += 1;
-      if (tracing) {
-        trace->RecordVerdict(view_catalog_.view(id).name(), "error",
+  }
+  return gated;
+}
+
+std::vector<MatchingService::MatchOutcome> MatchingService::StageMatch(
+    const SpjgQuery& query, const std::vector<GatedCandidate>& gated,
+    QueryContext& ctx, bool* truncated) {
+  std::vector<MatchOutcome> outcomes(gated.size());
+  if (gated.empty() || ctx.exhausted()) return outcomes;
+
+  ThreadPool* pool = ctx.match_pool();
+  const bool parallel =
+      pool != nullptr && pool->num_workers() > 0 &&
+      static_cast<int>(gated.size()) >= ctx.min_parallel_candidates();
+
+  if (!parallel) {
+    for (size_t i = 0; i < gated.size(); ++i) {
+      if (ctx.TickDeadline()) {
+        *truncated = true;
+        break;  // remaining slots stay kSkipped
+      }
+      MatchOutcome& o = outcomes[i];
+      try {
+        MVOPT_FAILPOINT("matcher.match");
+        o.result = matcher_.Match(query, view_catalog_.view(gated[i].id));
+        o.kind = MatchOutcome::Kind::kDone;
+      } catch (const std::exception&) {
+        // Fault isolation: one failing candidate never poisons the probe.
+        o.kind = MatchOutcome::Kind::kError;
+      }
+    }
+    return outcomes;
+  }
+
+  // Parallel batch. The budget is not thread-safe, so workers never
+  // touch it: the deadline is snapshotted here, each task compares the
+  // clock against it and raises a shared stop flag, and the exhaustion
+  // is charged to the budget after the join. Each task writes only its
+  // own outcome slots; the serial compensate stage merges the slots in
+  // candidate order, so results are identical for any worker count.
+  //
+  // Tasks are contiguous candidate RANGES, not single candidates: the
+  // typical candidate is rejected by the matcher's table-set screen in
+  // well under a microsecond, so per-candidate closures would spend
+  // more time in dispatch (closure allocation, claim, completion lock)
+  // than in matching. A few chunks per drainer (workers + the calling
+  // thread) keeps the batch balanced while amortizing that overhead.
+  QueryBudget* budget = ctx.budget();
+  const bool has_deadline = budget != nullptr && budget->has_deadline();
+  const QueryBudget::Clock::time_point deadline =
+      has_deadline ? budget->deadline() : QueryBudget::Clock::time_point{};
+  std::atomic<bool> stop{false};
+  const size_t drainers = static_cast<size_t>(pool->num_workers()) + 1;
+  const size_t num_chunks = std::min(gated.size(), drainers * 4);
+  const size_t chunk = (gated.size() + num_chunks - 1) / num_chunks;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_chunks);
+  for (size_t begin = 0; begin < gated.size(); begin += chunk) {
+    const size_t end = std::min(begin + chunk, gated.size());
+    tasks.emplace_back([this, &query, &gated, &outcomes, &stop, has_deadline,
+                        deadline, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        if (stop.load(std::memory_order_relaxed)) return;  // slots stay
+                                                           // kSkipped
+        if (has_deadline && QueryBudget::Clock::now() >= deadline) {
+          stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+        MatchOutcome& o = outcomes[i];
+        try {
+          MVOPT_FAILPOINT("matcher.match");
+          o.result = matcher_.Match(query, view_catalog_.view(gated[i].id));
+          o.kind = MatchOutcome::Kind::kDone;
+        } catch (const std::exception&) {
+          o.kind = MatchOutcome::Kind::kError;
+        }
+      }
+    });
+  }
+  pool->RunBatch(tasks);
+  if (stop.load(std::memory_order_relaxed)) {
+    if (budget != nullptr) {
+      budget->MarkExhausted(DegradationReason::kDeadlineExceeded);
+    }
+    *truncated = true;
+  }
+  return outcomes;
+}
+
+void MatchingService::StageCompensate(
+    const SpjgQuery& query, const std::vector<GatedCandidate>& gated,
+    std::vector<MatchOutcome>* outcomes, QueryContext& ctx, ProbeDelta* delta,
+    std::vector<Substitute>* fresh, std::vector<Substitute>* stale) {
+  QueryTrace* trace = ctx.trace();
+  const bool quarantine_active = options_.quarantine_threshold > 0 &&
+                                 options_.verify_mode == VerifyMode::kEnforce;
+  for (size_t i = 0; i < gated.size(); ++i) {
+    const GatedCandidate& g = gated[i];
+    MatchOutcome& o = (*outcomes)[i];
+    if (o.kind == MatchOutcome::Kind::kSkipped) continue;
+    delta->stats.full_tests += 1;
+    if (o.kind == MatchOutcome::Kind::kError) {
+      delta->stats.match_failures += 1;
+      if (trace != nullptr) {
+        trace->RecordVerdict(view_catalog_.view(g.id).name(), "error",
                              "matcher exception");
       }
       continue;
     }
-    if (result.ok()) {
-      Substitute sub = std::move(*result.substitute);
-      if (options_.verify_mode != VerifyMode::kOff) {
-        delta.verify.checked += 1;
-        Verdict verdict;
-        if (MVOPT_FAILPOINT_HIT("rewrite_checker.check")) {
-          verdict = Verdict::Fail(CheckCode::kMalformedSubstitute,
-                                  "failpoint 'rewrite_checker.check'");
-        } else {
-          verdict = checker_.Check(query, view_catalog_.view(id), sub);
-        }
-        if (verdict.proven) {
-          delta.verify.proven += 1;
-          if (quarantine_active) lifecycle_.ReportVerifySuccess(id);
-        } else {
-          RecordVerifyRejection(id, verdict, &delta);
-          if (options_.verify_mode == VerifyMode::kEnforce) {
-            if (tracing) {
-              trace->RecordVerdict(view_catalog_.view(id).name(), "rejected",
-                                   std::string("verify:") +
-                                       CheckCodeName(verdict.code));
-            }
-            continue;
-          }
-        }
-      }
-      delta.stats.substitutes += 1;
-      if (tracing) {
-        trace->RecordVerdict(view_catalog_.view(id).name(), "accepted",
-                             tolerated_stale ? "stale-tolerated" : "");
-      }
-      if (tolerated_stale) {
-        delta.stats.stale_tolerated += 1;
-        stale_out.push_back(std::move(sub));
-      } else {
-        out.push_back(std::move(sub));
-      }
-    } else {
-      delta.stats.rejects[static_cast<size_t>(result.reason)] += 1;
-      if (tracing) {
-        trace->RecordVerdict(view_catalog_.view(id).name(), "rejected",
+    MatchResult& result = o.result;
+    if (!result.ok()) {
+      delta->stats.rejects[static_cast<size_t>(result.reason)] += 1;
+      if (trace != nullptr) {
+        trace->RecordVerdict(view_catalog_.view(g.id).name(), "rejected",
                              RejectReasonName(result.reason));
       }
+      continue;
+    }
+    Substitute sub = std::move(*result.substitute);
+    if (options_.verify_mode != VerifyMode::kOff) {
+      delta->verify.checked += 1;
+      Verdict verdict;
+      if (MVOPT_FAILPOINT_HIT("rewrite_checker.check")) {
+        verdict = Verdict::Fail(CheckCode::kMalformedSubstitute,
+                                "failpoint 'rewrite_checker.check'");
+      } else {
+        verdict = checker_.Check(query, view_catalog_.view(g.id), sub);
+      }
+      if (verdict.proven) {
+        delta->verify.proven += 1;
+        if (quarantine_active) lifecycle_.ReportVerifySuccess(g.id);
+      } else {
+        RecordVerifyRejection(g.id, verdict, delta);
+        if (options_.verify_mode == VerifyMode::kEnforce) {
+          if (trace != nullptr) {
+            trace->RecordVerdict(
+                view_catalog_.view(g.id).name(), "rejected",
+                std::string("verify:") + CheckCodeName(verdict.code));
+          }
+          continue;
+        }
+      }
+    }
+    delta->stats.substitutes += 1;
+    if (trace != nullptr) {
+      trace->RecordVerdict(view_catalog_.view(g.id).name(), "accepted",
+                           g.lag > 0 ? "stale-tolerated" : "");
+    }
+    if (g.lag > 0) {
+      delta->stats.stale_tolerated += 1;
+      sub.staleness_lag = g.lag;
+      stale->push_back(std::move(sub));
+    } else {
+      fresh->push_back(std::move(sub));
     }
   }
-  // Degradation advisory: the probe had stale candidates but no fresh
-  // substitute — the plan either fell back to base tables or leans on a
-  // down-ranked stale view.
-  if (budget != nullptr && out.empty() &&
-      (stale_rejects > 0 || !stale_out.empty())) {
-    budget->NoteDegradation(DegradationReason::kStaleViewsOnly);
+}
+
+std::vector<Substitute> MatchingService::FindSubstitutes(
+    const SpjgQuery& query, QueryContext& ctx) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  MVOPT_FAILPOINT("matching_service.find_substitutes");
+  // In kOff mode (no registered metrics, no trace, no stage hook) the
+  // instrumentation below reduces to null/flag checks: no clock reads,
+  // no FilterSearchStats collection, no trace recording. bench/
+  // observe_overhead guards this stays within 2% of a build without the
+  // hooks.
+  QueryTrace* trace = ctx.trace();
+  const bool counters = metrics_.invocations != nullptr;
+  const bool tracing = trace != nullptr;
+  const bool observing = counters || tracing || ctx.has_stage_hook();
+  ProbeDelta delta;
+  delta.stats.invocations = 1;
+  if (tracing) trace->NoteProbe();
+  StageTimer timer(observing);
+  double total_seconds = 0;
+  bool truncated = false;
+
+  // Stage 1 (probe): candidate enumeration.
+  FilterSearchStats fstats;
+  FilterSearchStats* fstats_ptr = observing ? &fstats : nullptr;
+  std::vector<ViewId> candidates = StageProbe(query, ctx, fstats_ptr);
+  delta.stats.candidates = static_cast<int64_t>(candidates.size());
+  if (observing) {
+    const double s = timer.Lap();
+    total_seconds += s;
+    NoteStage(ctx, trace, QueryTrace::Stage::kFilterProbe, "probe", s);
+  }
+
+  // Stage 2 (prefilter): sidelined screen + staleness gate.
+  int64_t stale_rejects = 0;
+  std::vector<GatedCandidate> gated =
+      StagePrefilter(candidates, ctx, &delta, &stale_rejects, &truncated);
+  if (observing) {
+    const double s = timer.Lap();
+    total_seconds += s;
+    NoteStage(ctx, trace, QueryTrace::Stage::kPrefilter, "prefilter", s);
+  }
+
+  // Stage 3 (match): serial or batched-parallel matcher runs.
+  std::vector<MatchOutcome> outcomes =
+      StageMatch(query, gated, ctx, &truncated);
+  if (observing) {
+    const double s = timer.Lap();
+    total_seconds += s;
+    NoteStage(ctx, trace, QueryTrace::Stage::kMatchTests, "match", s);
+  }
+
+  // Stage 4 (compensate): verification + accounting, candidate order.
+  std::vector<Substitute> out;
+  std::vector<Substitute> stale_out;  // tolerated-stale: ranked after fresh
+  StageCompensate(query, gated, &outcomes, ctx, &delta, &out, &stale_out);
+  if (observing) {
+    const double s = timer.Lap();
+    total_seconds += s;
+    NoteStage(ctx, trace, QueryTrace::Stage::kCompensate, "compensate", s);
+  }
+
+  // Stage 5 (cost-annotate): fresh substitutes rank ahead of tolerated-
+  // stale ones (which carry their staleness_lag annotation), and a probe
+  // that saw stale candidates but produced no fresh substitute records
+  // the advisory degradation — the plan either fell back to base tables
+  // or leans on a down-ranked stale view.
+  if (truncated) delta.stats.budget_truncations += 1;
+  if (out.empty() && (stale_rejects > 0 || !stale_out.empty())) {
+    ctx.NoteDegradation(DegradationReason::kStaleViewsOnly);
   }
   for (Substitute& sub : stale_out) out.push_back(std::move(sub));
-
   if (observing) {
-    const SteadyClock::time_point t_end = SteadyClock::now();
-    const double filter_seconds = SecondsSince(t_start, t_filter);
-    const double match_seconds = SecondsSince(t_filter, t_end);
-    if (counters) {
-      metrics_.probe_latency->Observe(filter_seconds + match_seconds);
-    }
+    const double s = timer.Lap();
+    total_seconds += s;
+    NoteStage(ctx, trace, QueryTrace::Stage::kCostAnnotate, "cost-annotate", s);
+    if (counters) metrics_.probe_latency->Observe(total_seconds);
     if (tracing) {
-      trace->AddStageSeconds(QueryTrace::Stage::kFilterProbe, filter_seconds);
-      trace->AddStageSeconds(QueryTrace::Stage::kMatchTests, match_seconds);
       trace->AddCount("candidates", delta.stats.candidates);
       trace->AddCount("full_tests", delta.stats.full_tests);
       trace->AddCount("substitutes", delta.stats.substitutes);
@@ -461,6 +622,14 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
   }
   CommitProbe(delta, fstats_ptr);
   return out;
+}
+
+std::vector<Substitute> MatchingService::FindSubstitutes(
+    const SpjgQuery& query, QueryBudget* budget, QueryTrace* trace) {
+  QueryContext ctx;
+  ctx.BorrowBudget(budget);
+  ctx.set_trace(trace);
+  return FindSubstitutes(query, ctx);
 }
 
 void MatchingService::RecordVerifyRejection(ViewId id, const Verdict& verdict,
@@ -683,41 +852,60 @@ VerifyStats MatchingService::ResetVerifyStats() {
 }
 
 std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
-    const SpjgQuery& query) {
+    const SpjgQuery& query, QueryContext& ctx) {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  if (query.is_aggregate || view_catalog_.num_views() < 2) {
-    return std::nullopt;
-  }
-  // Candidate legs need not contain the query's ranges (that is the
-  // point), so probe with only the structural conditions intact: every
-  // view whose table set qualifies. Sidelined and stale views are
-  // excluded here too — a union leg is as much a rewrite as a direct
-  // substitute.
-  ProbeDelta delta;  // quarantine skips only; not a FindSubstitutes probe
-  std::vector<ViewId> candidates;
-  QueryDescription qd = DescribeQuery(*catalog_, query);
-  for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
-    if (lifecycle_.IsSidelined(id)) {
-      delta.stats.quarantine_skips += 1;
-      continue;
+  QueryTrace* trace = ctx.trace();
+  const bool observing = trace != nullptr || ctx.has_stage_hook();
+  StageTimer timer(observing);
+  std::optional<UnionSubstitute> result;
+  if (!query.is_aggregate && view_catalog_.num_views() >= 2 &&
+      !ctx.TickDeadline()) {
+    // Candidate legs need not contain the query's ranges (that is the
+    // point), so probe with only the structural conditions intact: every
+    // view whose table set qualifies. Sidelined views are excluded here
+    // too — a union leg is as much a rewrite as a direct substitute —
+    // and stale views are admitted only within the context's tolerance.
+    ProbeDelta delta;  // quarantine skips only; not a FindSubstitutes probe
+    const uint64_t tolerance = ctx.max_staleness();
+    std::vector<ViewId> candidates;
+    QueryDescription qd = DescribeQuery(*catalog_, query);
+    for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
+      const uint64_t lag = StalenessLagLocked(id);
+      switch (lifecycle_.GateForProbe(id, lag, tolerance)) {
+        case ViewLifecycleRegistry::ProbeGate::kSidelined:
+          delta.stats.quarantine_skips += 1;
+          continue;
+        case ViewLifecycleRegistry::ProbeGate::kRejectStale:
+          continue;
+        case ViewLifecycleRegistry::ProbeGate::kAdmit:
+        case ViewLifecycleRegistry::ProbeGate::kAdmitStale:
+          break;
+      }
+      const ViewDescription& d = view_catalog_.description(id);
+      if (d.is_aggregate) continue;
+      bool tables_ok = std::includes(d.source_tables.begin(),
+                                     d.source_tables.end(),
+                                     qd.source_tables.begin(),
+                                     qd.source_tables.end());
+      if (tables_ok) candidates.push_back(id);
     }
-    if (StalenessLagLocked(id) > 0) {
-      lifecycle_.MarkStale(id);
-      continue;
-    }
-    const ViewDescription& d = view_catalog_.description(id);
-    if (d.is_aggregate) continue;
-    bool tables_ok = std::includes(d.source_tables.begin(),
-                                   d.source_tables.end(),
-                                   qd.source_tables.begin(),
-                                   qd.source_tables.end());
-    if (tables_ok) candidates.push_back(id);
+    if (delta.stats.quarantine_skips != 0) CommitProbe(delta, nullptr);
+    UnionMatchOptions opts;
+    opts.match = options_.match;
+    UnionMatcher matcher(catalog_, &view_catalog_, opts);
+    result = matcher.Match(query, candidates, &ctx);
   }
-  if (delta.stats.quarantine_skips != 0) CommitProbe(delta, nullptr);
-  UnionMatchOptions opts;
-  opts.match = options_.match;
-  UnionMatcher matcher(catalog_, &view_catalog_, opts);
-  return matcher.Match(query, candidates);
+  if (observing) {
+    const double s = timer.Lap();
+    NoteStage(ctx, trace, QueryTrace::Stage::kUnionMatch, "union-match", s);
+  }
+  return result;
+}
+
+std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
+    const SpjgQuery& query) {
+  QueryContext ctx;
+  return FindUnionSubstitute(query, ctx);
 }
 
 }  // namespace mvopt

@@ -58,6 +58,7 @@
 
 #include "common/epoch.h"
 #include "common/query_budget.h"
+#include "common/query_context.h"
 #include "index/filter_tree.h"
 #include "observe/observe.h"
 #include "observe/trace.h"
@@ -147,13 +148,29 @@ class MatchingService {
   ViewDefinition* AddView(const std::string& name, SpjgQuery definition,
                           std::string* error = nullptr);
 
-  /// The view-matching rule body: all substitutes for `query`. With a
-  /// `budget`, candidate enumeration and matching stop cooperatively on
-  /// exhaustion and the substitutes found so far are returned; the
-  /// budget's max_staleness() also bounds how far behind a substituted
-  /// view may lag (default: fresh views only). With a `trace`, per-stage
-  /// wall clock and per-candidate verdicts are recorded into it (the
-  /// trace must not be shared across concurrent probes).
+  /// The view-matching rule body: all substitutes for `query`, computed
+  /// by an explicit staged pipeline
+  ///
+  ///   probe -> prefilter -> match -> compensate -> cost-annotate
+  ///
+  /// whose boundaries are visible to the context's trace (stage wall
+  /// clock + NoteStageBoundary) and stage hook. The context supplies the
+  /// budget (candidate enumeration and matching stop cooperatively on
+  /// exhaustion, returning the substitutes found so far), the staleness
+  /// tolerance (how far behind a substituted view may lag; default:
+  /// fresh views only) and, optionally, a ThreadPool for the match
+  /// stage. Without a pool (the default) the pipeline is serial and its
+  /// results are byte-identical to the pre-pipeline implementation; with
+  /// one, candidates are matched in parallel batches but results,
+  /// ordering and stats are still deterministic — each candidate fills
+  /// its own outcome slot and the slots are merged in candidate order by
+  /// the serial compensate stage, so worker count and scheduling never
+  /// show through. The context (and its trace) must not be shared across
+  /// concurrent probes; the pool may be.
+  std::vector<Substitute> FindSubstitutes(const SpjgQuery& query,
+                                          QueryContext& ctx);
+
+  /// Back-compat loose-parameter form: forwards through a local context.
   std::vector<Substitute> FindSubstitutes(const SpjgQuery& query,
                                           QueryBudget* budget = nullptr,
                                           QueryTrace* trace = nullptr);
@@ -161,7 +178,14 @@ class MatchingService {
   /// §7 extension: a union substitute assembled from several
   /// range-partitioned views (SPJ queries only). Tries the views that
   /// survive a relaxed filter probe. Not part of FindSubstitutes so the
-  /// §5 experiments stay paper-faithful.
+  /// §5 experiments stay paper-faithful. Respects the context's deadline
+  /// (cooperative ticks inside the partition sweep), admits legs from
+  /// views lagging at most ctx.max_staleness() epochs, and records a
+  /// "union-match" span into the trace / stage hook.
+  std::optional<UnionSubstitute> FindUnionSubstitute(const SpjgQuery& query,
+                                                     QueryContext& ctx);
+
+  /// Back-compat form: default context (no deadline, fresh views only).
   std::optional<UnionSubstitute> FindUnionSubstitute(const SpjgQuery& query);
 
   // --- durability ---------------------------------------------------------
@@ -289,6 +313,58 @@ class MatchingService {
     Counter* range_rejected = nullptr;
     Histogram* probe_latency = nullptr;
   };
+
+  /// A candidate admitted by the prefilter stage. lag == 0 means fresh;
+  /// lag > 0 means the view is stale but within the query's tolerance
+  /// (its substitutes are down-ranked and annotated by cost-annotate).
+  struct GatedCandidate {
+    ViewId id = 0;
+    uint64_t lag = 0;
+  };
+
+  /// Per-candidate outcome slot of the match stage. Slots are written by
+  /// at most one thread (serial loop or the worker that claimed the
+  /// item) and merged in candidate order by the serial compensate stage,
+  /// which is what makes the parallel path deterministic.
+  struct MatchOutcome {
+    enum class Kind : uint8_t {
+      kSkipped = 0,  ///< never attempted (deadline hit before this slot)
+      kDone,         ///< matcher ran; `result` holds its answer
+      kError,        ///< matcher threw; isolated to this candidate
+    };
+    Kind kind = Kind::kSkipped;
+    MatchResult result;
+  };
+
+  // --- pipeline stages (all require mu_ held shared) ----------------------
+
+  /// Stage 1 (probe): filter-tree candidate enumeration (or the full id
+  /// range when the tree is off).
+  std::vector<ViewId> StageProbe(const SpjgQuery& query, QueryContext& ctx,
+                                 FilterSearchStats* fstats);
+  /// Stage 2 (prefilter): sidelined screen + staleness gate via
+  /// ViewLifecycleRegistry::GateForProbe; ticks the deadline per
+  /// candidate. Sets *truncated when the budget cut the walk short.
+  std::vector<GatedCandidate> StagePrefilter(
+      const std::vector<ViewId>& candidates, QueryContext& ctx,
+      ProbeDelta* delta, int64_t* stale_rejects, bool* truncated);
+  /// Stage 3 (match): runs the matcher over the gated candidates —
+  /// serially, or in one ThreadPool batch when the context attached a
+  /// pool and the candidate set is large enough. Workers never touch the
+  /// budget: they compare against a snapshotted deadline and raise a
+  /// shared stop flag; the charge is applied after the join.
+  std::vector<MatchOutcome> StageMatch(const SpjgQuery& query,
+                                       const std::vector<GatedCandidate>& gated,
+                                       QueryContext& ctx, bool* truncated);
+  /// Stage 4 (compensate): serial, candidate-order walk of the outcome
+  /// slots — verification (soundness checker / quarantine bookkeeping),
+  /// stats accounting and trace verdicts all happen here, so the stats
+  /// delta is identical however the match stage was scheduled.
+  void StageCompensate(const SpjgQuery& query,
+                       const std::vector<GatedCandidate>& gated,
+                       std::vector<MatchOutcome>* outcomes, QueryContext& ctx,
+                       ProbeDelta* delta, std::vector<Substitute>* fresh,
+                       std::vector<Substitute>* stale);
 
   /// Registers this service's metric families (ctor, counters on).
   void RegisterMetrics();

@@ -17,6 +17,14 @@ const char* QueryTrace::StageName(Stage stage) {
       return "memo-exploration";
     case Stage::kCosting:
       return "costing";
+    case Stage::kPrefilter:
+      return "prefilter";
+    case Stage::kCompensate:
+      return "compensate";
+    case Stage::kCostAnnotate:
+      return "cost-annotate";
+    case Stage::kUnionMatch:
+      return "union-match";
   }
   return "?";
 }
@@ -67,7 +75,12 @@ std::string QueryTrace::ToJson() const {
     out += "\"" + JsonEscape(counts_[i].first) +
            "\":" + std::to_string(counts_[i].second);
   }
-  out += "},\"verdicts\":[";
+  out += "},\"pipeline\":[";
+  for (size_t i = 0; i < stage_log_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(stage_log_[i]) + "\"";
+  }
+  out += "],\"verdicts\":[";
   for (size_t i = 0; i < verdicts_.size(); ++i) {
     if (i > 0) out += ",";
     const Verdict& v = verdicts_[i];

@@ -23,14 +23,20 @@ namespace mvopt {
 
 class QueryTrace {
  public:
-  /// The pipeline stages measured per query (§5's time breakdown).
+  /// The pipeline stages measured per query (§5's time breakdown, plus
+  /// the staged-probe substages). New values are appended so the
+  /// original four keep their indices in dumps.
   enum class Stage {
     kFilterProbe = 0,     ///< filter-tree candidate search
     kMatchTests = 1,      ///< full view-matching tests over candidates
     kMemoExploration = 2, ///< memo/group construction incl. rule firing
     kCosting = 3,         ///< physical implementation + plan selection
+    kPrefilter = 4,       ///< sidelined skip + staleness gate
+    kCompensate = 5,      ///< verify/compensation checks on raw matches
+    kCostAnnotate = 6,    ///< substitute annotation + deterministic order
+    kUnionMatch = 7,      ///< union-substitute assembly (§7 extension)
   };
-  static constexpr int kNumStages = 4;
+  static constexpr int kNumStages = 8;
   static const char* StageName(Stage stage);
 
   /// One candidate view's fate in a probe.
@@ -62,6 +68,12 @@ class QueryTrace {
   void NoteProbe() { ++num_probes_; }
   int64_t num_probes() const { return num_probes_; }
 
+  /// Ordered log of pipeline stage boundaries as the probe executed
+  /// them (one entry per stage per probe) — the golden-order tests
+  /// assert this sequence stays stable across refactors.
+  void NoteStageBoundary(const char* stage) { stage_log_.push_back(stage); }
+  const std::vector<std::string>& stage_log() const { return stage_log_; }
+
   /// Full JSON dump for offline analysis.
   std::string ToJson() const;
 
@@ -71,6 +83,7 @@ class QueryTrace {
   /// Sorted-insertion (name, value) pairs: few distinct names per trace.
   std::vector<std::pair<std::string, int64_t>> counts_;
   std::vector<Verdict> verdicts_;
+  std::vector<std::string> stage_log_;
   int64_t num_probes_ = 0;
 };
 

@@ -32,7 +32,8 @@ constexpr int kJoinedAggKeyBase = 100000;
 
 struct Optimizer::Context {
   const SpjgQuery* query = nullptr;
-  QueryBudget* budget = nullptr;  // may be null (ungoverned)
+  QueryContext* qctx = nullptr;   // the caller's per-query context
+  QueryBudget* budget = nullptr;  // == qctx->budget(); may be null
   uint32_t full_mask = 0;
   std::vector<uint32_t> conjunct_mask;  // per query conjunct
   std::map<std::pair<uint32_t, int>, int> group_index;
@@ -158,7 +159,7 @@ void Optimizer::ApplyViewMatching(Context* ctx, int group_id) {
   auto start = std::chrono::steady_clock::now();
   std::vector<Substitute> subs;
   try {
-    subs = matching_->FindSubstitutes(sig, ctx->budget, ctx->trace);
+    subs = matching_->FindSubstitutes(sig, *ctx->qctx);
   } catch (const std::exception&) {
     // Fault isolation: a failing matching service degrades the plan (no
     // substitutes for this group), never the optimization.
@@ -791,7 +792,21 @@ PhysPlanPtr Optimizer::OptimizeGroup(Context* ctx, int group_id) {
 
 OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
                                        QueryBudget* budget) {
+  QueryContext qctx;
+  qctx.BorrowBudget(budget);
+  OptimizationResult result = Optimize(query, qctx);
+  if (budget == nullptr) {
+    // The loose form never reported advisory degradations without a
+    // budget to carry them; keep that contract exact.
+    result.degradation = DegradationReason::kNone;
+  }
+  return result;
+}
+
+OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
+                                       QueryContext& qctx) {
   assert(query.num_tables() <= 30);
+  QueryBudget* budget = qctx.budget();
   // A budget object may be reused across queries; per-query outcome
   // state (degradation reason, tick/candidate counters) must not leak
   // from one optimization into the next. Limits and the wall-clock
@@ -799,6 +814,7 @@ OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
   if (budget != nullptr) budget->ResetForQuery();
   Context ctx;
   ctx.query = &query;
+  ctx.qctx = &qctx;
   ctx.budget = budget;
   ctx.full_mask = query.num_tables() >= 32
                       ? 0xffffffffu
@@ -808,13 +824,20 @@ OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
   }
 
   const bool counters = metrics_.optimizations != nullptr;
+  // Tracing: a trace already on the context (caller-owned) wins;
+  // otherwise full-trace mode attaches an optimizer-owned one for the
+  // duration of this call and hands it back in the result.
+  QueryTrace* const caller_trace = qctx.trace();
   std::shared_ptr<QueryTrace> trace;
-  if (options_.observe.trace_enabled()) {
+  if (caller_trace != nullptr) {
+    ctx.trace = caller_trace;
+  } else if (options_.observe.trace_enabled()) {
     trace = std::make_shared<QueryTrace>();
     trace->set_query(query.ToSql(*catalog_));
     ctx.trace = trace.get();
+    qctx.set_trace(trace.get());
   }
-  const bool observing = counters || trace != nullptr;
+  const bool observing = counters || ctx.trace != nullptr;
   std::chrono::steady_clock::time_point t_start{};
   if (observing) t_start = std::chrono::steady_clock::now();
 
@@ -851,8 +874,7 @@ OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
   result.plan = plan;
   result.cost = plan != nullptr ? plan->cost : 0;
   result.uses_view = plan != nullptr && plan->UsesView();
-  result.degradation =
-      budget != nullptr ? budget->reason() : DegradationReason::kNone;
+  result.degradation = qctx.degradation();
   result.metrics = ctx.metrics;
 
   if (observing) {
@@ -865,17 +887,18 @@ OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
                  ctx.metrics.view_matching_seconds);
     const double costing_seconds =
         std::chrono::duration<double>(t_end - t_memo).count();
-    if (trace != nullptr) {
-      trace->AddStageSeconds(QueryTrace::Stage::kMemoExploration,
-                             memo_seconds);
-      trace->AddStageSeconds(QueryTrace::Stage::kCosting, costing_seconds);
-      trace->AddCount("memo_groups", ctx.metrics.groups_created);
-      trace->AddCount("memo_exprs", ctx.metrics.expressions_generated);
-      trace->AddCount("view_matching_invocations",
-                      ctx.metrics.view_matching_invocations);
-      trace->AddCount("substitutes_produced",
-                      ctx.metrics.substitutes_produced);
-      result.trace = std::move(trace);
+    if (ctx.trace != nullptr) {
+      ctx.trace->AddStageSeconds(QueryTrace::Stage::kMemoExploration,
+                                 memo_seconds);
+      ctx.trace->AddStageSeconds(QueryTrace::Stage::kCosting,
+                                 costing_seconds);
+      ctx.trace->AddCount("memo_groups", ctx.metrics.groups_created);
+      ctx.trace->AddCount("memo_exprs", ctx.metrics.expressions_generated);
+      ctx.trace->AddCount("view_matching_invocations",
+                          ctx.metrics.view_matching_invocations);
+      ctx.trace->AddCount("substitutes_produced",
+                          ctx.metrics.substitutes_produced);
+      if (trace != nullptr) result.trace = std::move(trace);
     }
     if (counters) {
       metrics_.optimizations->Increment();
@@ -936,6 +959,9 @@ OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
         records, ctx.full_mask, static_cast<int>(ctx.agg_specs.size()),
         kJoinedAggKeyBase);
   }
+  // Detach an optimizer-owned trace from the caller's context: the
+  // result owns it now, and the context outlives this call.
+  if (qctx.trace() != caller_trace) qctx.set_trace(caller_trace);
   return result;
 }
 

@@ -42,6 +42,12 @@ struct Substitute {
   /// aggregation is needed.
   std::vector<ExprPtr> group_by;
   bool needs_aggregation = false;
+  /// Cost annotation (pipeline stage `cost-annotate`): how many update
+  /// epochs the view lagged its base tables when matched. 0 = fresh;
+  /// nonzero only for tolerated-stale substitutes, which the pipeline
+  /// orders after fresh ones. Advisory — plan costing ignores it, so
+  /// plans stay byte-identical with or without a staleness tolerance.
+  uint64_t staleness_lag = 0;
 
   /// Converts to an ordinary SpjgQuery over the view's materialized table,
   /// ready for execution or memo insertion. Requires the view to have been

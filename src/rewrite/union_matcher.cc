@@ -56,7 +56,8 @@ ValueRange ViewRangeOn(const Catalog& catalog, const ViewDefinition& view,
 }  // namespace
 
 std::optional<UnionSubstitute> UnionMatcher::Match(
-    const SpjgQuery& query, const std::vector<ViewId>& candidates) const {
+    const SpjgQuery& query, const std::vector<ViewId>& candidates,
+    QueryContext* ctx) const {
   if (query.is_aggregate) return std::nullopt;  // SPJ-only (see header)
   if (candidates.size() < 2) return std::nullopt;
 
@@ -88,7 +89,11 @@ std::optional<UnionSubstitute> UnionMatcher::Match(
   }
 
   for (ColumnRefId column : columns) {
-    auto result = TryPartitionColumn(query, column, candidates);
+    if (ctx != nullptr) {
+      ctx->TickDeadline();
+      if (ctx->exhausted()) return std::nullopt;
+    }
+    auto result = TryPartitionColumn(query, column, candidates, ctx);
     if (result.has_value()) return result;
   }
   return std::nullopt;
@@ -96,7 +101,7 @@ std::optional<UnionSubstitute> UnionMatcher::Match(
 
 std::optional<UnionSubstitute> UnionMatcher::TryPartitionColumn(
     const SpjgQuery& query, ColumnRefId column,
-    const std::vector<ViewId>& candidates) const {
+    const std::vector<ViewId>& candidates, QueryContext* ctx) const {
   // The query's target range on the partition column's class.
   ClassifiedPredicates preds = ClassifyConjuncts(query.conjuncts);
   EquivalenceClasses ec;
@@ -118,6 +123,10 @@ std::optional<UnionSubstitute> UnionMatcher::TryPartitionColumn(
   RangeBound cursor = NormalizeLower(target.lo, part_type);
 
   for (int step = 0; step < options_.max_legs; ++step) {
+    if (ctx != nullptr) {
+      ctx->TickDeadline();
+      if (ctx->exhausted()) return std::nullopt;
+    }
     // Views whose range covers the cursor, widest reach first.
     struct Covering {
       ViewId view;

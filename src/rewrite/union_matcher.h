@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/query_context.h"
 #include "rewrite/matcher.h"
 #include "rewrite/view_catalog.h"
 
@@ -50,14 +51,18 @@ class UnionMatcher {
 
   /// Attempts a union substitute for an SPJ `query` over the candidate
   /// view ids (pass every view, or a pre-filtered set). Returns nullopt
-  /// when no disjoint cover exists.
-  std::optional<UnionSubstitute> Match(
-      const SpjgQuery& query, const std::vector<ViewId>& candidates) const;
+  /// when no disjoint cover exists. With a `ctx`, the sweep checks the
+  /// query's deadline at every partition column and leg boundary and
+  /// gives up early (returning nullopt) on exhaustion, and records one
+  /// verdict per attempted leg into the context's trace.
+  std::optional<UnionSubstitute> Match(const SpjgQuery& query,
+                                       const std::vector<ViewId>& candidates,
+                                       QueryContext* ctx = nullptr) const;
 
  private:
   std::optional<UnionSubstitute> TryPartitionColumn(
       const SpjgQuery& query, ColumnRefId column,
-      const std::vector<ViewId>& candidates) const;
+      const std::vector<ViewId>& candidates, QueryContext* ctx) const;
 
   const Catalog* catalog_;
   const ViewCatalog* views_;

@@ -123,6 +123,14 @@ void ViewLifecycleRegistry::MarkStale(ViewId id) {
   Transition(entries_[id], ViewState::kFresh, ViewState::kStale);
 }
 
+ViewLifecycleRegistry::ProbeGate ViewLifecycleRegistry::GateForProbe(
+    ViewId id, uint64_t lag, uint64_t tolerance) {
+  if (IsSidelined(id)) return ProbeGate::kSidelined;
+  if (lag == 0) return ProbeGate::kAdmit;
+  MarkStale(id);  // opportunistic: the probe observed the lag
+  return lag <= tolerance ? ProbeGate::kAdmitStale : ProbeGate::kRejectStale;
+}
+
 bool ViewLifecycleRegistry::ReportVerifyFailure(ViewId id,
                                                 int quarantine_threshold,
                                                 int disable_threshold) {

@@ -89,6 +89,20 @@ class ViewLifecycleRegistry {
   /// (FRESH -> STALE; no-op in any other state).
   void MarkStale(ViewId id);
 
+  /// One candidate's fate at the pipeline's prefilter stage.
+  enum class ProbeGate : uint8_t {
+    kAdmit = 0,    ///< fresh (or lag 0): matches normally
+    kAdmitStale,   ///< lag within tolerance: match, down-rank the result
+    kRejectStale,  ///< lag beyond tolerance: RejectReason::kStale
+    kSidelined,    ///< quarantined/disabled: skipped unconditionally
+  };
+
+  /// The prefilter decision for one candidate, combining the sidelined
+  /// screen with the staleness gate; performs the opportunistic
+  /// FRESH -> STALE transition when a lag is observed. Safe under the
+  /// service's shared lock from any number of probe threads.
+  ProbeGate GateForProbe(ViewId id, uint64_t lag, uint64_t tolerance);
+
   /// Records a soundness-checker rejection. With `quarantine_threshold`
   /// > 0, a streak of that many rejections moves FRESH/STALE ->
   /// QUARANTINED; with `disable_threshold` > 0, a streak of that many

@@ -1,0 +1,219 @@
+// Multi-threaded stress for the parallel match stage: many concurrent
+// FindSubstitutes probes sharing ONE ThreadPool while AddView proceeds,
+// with every concurrent answer cross-checked against a serial reference.
+// The interesting interleavings are pool workers from different probes
+// draining the same queue while the catalog grows underneath the shared
+// lock. Run under MVOPT_SANITIZE=thread in CI.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/query_context.h"
+#include "common/thread_pool.h"
+#include "index/matching_service.h"
+#include "tpch/schema.h"
+#include "tpch/workload.h"
+
+namespace mvopt {
+namespace {
+
+constexpr int kNumViews = 60;
+constexpr int kInitialViews = 20;
+constexpr int kNumQueries = 20;
+constexpr int kNumProbers = 4;
+constexpr int kPoolWorkers = 4;
+
+class PipelineStressTest : public ::testing::Test {
+ protected:
+  PipelineStressTest() : schema_(tpch::BuildSchema(&catalog_, 0.5)) {
+    tpch::WorkloadGenerator view_gen(&catalog_, 21);
+    for (int i = 0; i < kNumViews; ++i) {
+      view_defs_.push_back(view_gen.GenerateView());
+    }
+    tpch::WorkloadGenerator query_gen(&catalog_, 21 + 555);
+    for (int i = 0; i < kNumQueries; ++i) {
+      queries_.push_back(query_gen.GenerateQuery());
+    }
+  }
+
+  static MatchingService::Options NoFilterTree() {
+    // Filter tree off => every registered view is a candidate, so the
+    // match stage always clears min_parallel_candidates and genuinely
+    // fans out onto the pool.
+    MatchingService::Options options;
+    options.use_filter_tree = false;
+    return options;
+  }
+
+  void AddViewRange(MatchingService* service, int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      std::string error;
+      ASSERT_NE(
+          service->AddView("v" + std::to_string(i), view_defs_[i], &error),
+          nullptr)
+          << error;
+    }
+  }
+
+  /// Sorted substituted view ids per query — the cross-check signature.
+  std::vector<ViewId> Signature(const std::vector<Substitute>& subs) {
+    std::vector<ViewId> ids;
+    for (const Substitute& s : subs) ids.push_back(s.view_id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  std::vector<std::vector<ViewId>> ReferenceSignatures() {
+    MatchingService reference(&catalog_, NoFilterTree());
+    AddViewRange(&reference, 0, kNumViews);
+    std::vector<std::vector<ViewId>> out;
+    for (const SpjgQuery& q : queries_) {
+      out.push_back(Signature(reference.FindSubstitutes(q)));
+    }
+    return out;
+  }
+
+  Catalog catalog_;
+  tpch::Schema schema_;
+  std::vector<SpjgQuery> view_defs_;
+  std::vector<SpjgQuery> queries_;
+};
+
+TEST_F(PipelineStressTest, ParallelProbesSharingOnePoolDuringAddView) {
+  MatchingService service(&catalog_, NoFilterTree());
+  AddViewRange(&service, 0, kInitialViews);
+  ThreadPool pool(kPoolWorkers);
+
+  // Phase 1: one writer registers the remaining views while prober
+  // threads — each with its own QueryContext but all borrowing the SAME
+  // pool — hammer every query. Bounded rounds with yields so a
+  // reader-preferring shared_mutex cannot starve the writer.
+  std::atomic<int64_t> probes{0};
+  std::thread writer([&] { AddViewRange(&service, kInitialViews, kNumViews); });
+  std::vector<std::thread> probers;
+  for (int t = 0; t < kNumProbers; ++t) {
+    probers.emplace_back([&, t] {
+      for (int round = 0; round < 10; ++round) {
+        for (size_t q = t; q < queries_.size(); q += kNumProbers) {
+          QueryContext ctx;
+          ctx.set_match_pool(&pool);
+          std::vector<Substitute> subs =
+              service.FindSubstitutes(queries_[q], ctx);
+          for (const Substitute& s : subs) {
+            EXPECT_NE(s.view_id, kInvalidViewId);
+          }
+          probes.fetch_add(1);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& p : probers) p.join();
+  EXPECT_GT(probes.load(), 0);
+  EXPECT_EQ(service.views().num_views(), kNumViews);
+
+  // Phase 2: quiescent catalog — concurrent pooled answers must equal
+  // the serial single-threaded reference exactly (the determinism
+  // contract holds under sharing, not just in isolation).
+  std::vector<std::vector<ViewId>> expected = ReferenceSignatures();
+  std::vector<std::vector<ViewId>> actual(queries_.size());
+  std::vector<std::thread> checkers;
+  for (int t = 0; t < kNumProbers; ++t) {
+    checkers.emplace_back([&, t] {
+      for (size_t q = t; q < queries_.size(); q += kNumProbers) {
+        QueryContext ctx;
+        ctx.set_match_pool(&pool);
+        actual[q] = Signature(service.FindSubstitutes(queries_[q], ctx));
+      }
+    });
+  }
+  for (std::thread& c : checkers) c.join();
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    EXPECT_EQ(actual[q], expected[q]) << "query " << q;
+  }
+}
+
+TEST_F(PipelineStressTest, PooledProbeStatsMatchSerialReferenceExactly) {
+  // Stats are accounted in the serial compensate stage, so the totals
+  // after N concurrent pooled passes must equal N serial passes — the
+  // pool must not shift a single counter.
+  MatchingService service(&catalog_, NoFilterTree());
+  AddViewRange(&service, 0, kNumViews);
+  ThreadPool pool(kPoolWorkers);
+
+  constexpr int kRounds = 8;
+  std::vector<std::thread> probers;
+  for (int t = 0; t < kNumProbers; ++t) {
+    probers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = t; q < queries_.size(); q += kNumProbers) {
+          QueryContext ctx;
+          ctx.set_match_pool(&pool);
+          (void)service.FindSubstitutes(queries_[q], ctx);
+        }
+      }
+    });
+  }
+  for (std::thread& p : probers) p.join();
+
+  MatchingService reference(&catalog_, NoFilterTree());
+  AddViewRange(&reference, 0, kNumViews);
+  for (const SpjgQuery& q : queries_) (void)reference.FindSubstitutes(q);
+  const MatchingStats expected = reference.stats();
+  const MatchingStats got = service.stats();
+  EXPECT_EQ(got.invocations, expected.invocations * kRounds);
+  EXPECT_EQ(got.candidates, expected.candidates * kRounds);
+  EXPECT_EQ(got.full_tests, expected.full_tests * kRounds);
+  EXPECT_EQ(got.substitutes, expected.substitutes * kRounds);
+  for (size_t i = 0; i < got.rejects.size(); ++i) {
+    EXPECT_EQ(got.rejects[i], expected.rejects[i] * kRounds) << "reason " << i;
+  }
+}
+
+TEST_F(PipelineStressTest, DeadlinesUnderSharedPoolStayIsolatedPerQuery) {
+  // Some probers run with an already-expired deadline, others ungoverned,
+  // all sharing one pool: the expired ones must come back empty and
+  // exhausted, the ungoverned ones must still get full answers — a
+  // worker observing one query's deadline must never poison another's
+  // budget.
+  MatchingService service(&catalog_, NoFilterTree());
+  AddViewRange(&service, 0, kNumViews);
+  ThreadPool pool(kPoolWorkers);
+  std::vector<std::vector<ViewId>> expected = ReferenceSignatures();
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kNumProbers; ++t) {
+    const bool expired = (t % 2 == 0);
+    threads.emplace_back([&, t, expired] {
+      for (int round = 0; round < 6; ++round) {
+        for (size_t q = t; q < queries_.size(); q += kNumProbers) {
+          QueryContext ctx;
+          ctx.set_match_pool(&pool);
+          if (expired) {
+            ctx.EmplaceBudget().set_deadline(QueryBudget::Clock::now() -
+                                             std::chrono::milliseconds(1));
+          }
+          std::vector<Substitute> subs =
+              service.FindSubstitutes(queries_[q], ctx);
+          if (expired) {
+            EXPECT_TRUE(subs.empty());
+            EXPECT_TRUE(ctx.exhausted());
+          } else {
+            EXPECT_EQ(Signature(subs), expected[q]) << "query " << q;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace mvopt

@@ -39,13 +39,16 @@ run_thread() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMVOPT_SANITIZE=thread >/dev/null
   echo "=== thread: build ==="
-  cmake --build "${build_dir}" --target concurrency_stress_test -j "${jobs}"
+  cmake --build "${build_dir}" \
+    --target concurrency_stress_test pipeline_stress_test -j "${jobs}"
   echo "=== thread: test ==="
-  # TSan only pays off on the multi-threaded suite; the rest of the
-  # tests are single-threaded and already covered by ASan/UBSan above.
+  # TSan only pays off on the multi-threaded suites (the `stress` ctest
+  # label): catalog concurrency and the parallel match-stage pipeline
+  # (probes sharing one ThreadPool while AddView proceeds). The rest of
+  # the tests are single-threaded and already covered by ASan/UBSan.
   TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
     ctest --test-dir "${build_dir}" --output-on-failure \
-    -R 'ConcurrencyStress' -j "${jobs}"
+    -L 'stress' -j "${jobs}"
 }
 
 run_metrics_smoke() {

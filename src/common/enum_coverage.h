@@ -1,0 +1,36 @@
+// Compile-time exhaustiveness checking for enum/name-table pairs.
+//
+// The repo's convention for a reportable enum is a `kNum<Enum>s`
+// constant (for reason-indexed count arrays) plus a `<Enum>Name`
+// function built on a default-less switch. Two static_asserts guard
+// each pair:
+//
+//   static_assert(static_cast<int>(Enum::kLast) + 1 == kNumEnums, ...);
+//   static_assert(AllEnumeratorsNamed<Enum, EnumName>(kNumEnums), ...);
+//
+// The first catches a new enumerator that the count (and every array
+// indexed by it) missed; the second walks every value through the name
+// function at compile time and fails if any falls through to the "?"
+// fallback — so adding an enumerator without naming it breaks the build
+// even where -Wswitch is demoted. Requires the name function to be
+// constexpr.
+
+#ifndef MVOPT_COMMON_ENUM_COVERAGE_H_
+#define MVOPT_COMMON_ENUM_COVERAGE_H_
+
+namespace mvopt {
+
+/// True when NameFn maps every enumerator in [0, n) to a real name
+/// (non-null, not the "?" fallback).
+template <typename Enum, auto NameFn>
+constexpr bool AllEnumeratorsNamed(int n) {
+  for (int i = 0; i < n; ++i) {
+    const char* name = NameFn(static_cast<Enum>(i));
+    if (name == nullptr || name[0] == '?') return false;
+  }
+  return true;
+}
+
+}  // namespace mvopt
+
+#endif  // MVOPT_COMMON_ENUM_COVERAGE_H_

@@ -6,9 +6,11 @@
 // global updates it is behind.
 //
 // Thread-safety: Advance is serialized by the engine's write path; reads
-// (OfTable / LatestOf / now) may run concurrently from probe threads and
-// use acquire loads. Table storage grows on first Advance of a new id;
-// growth never invalidates concurrently-read entries (deque).
+// (OfTable / LatestOf / now) may run concurrently from probe threads.
+// The table-slot deque is guarded by mu_ (growth on first Advance of a
+// new id would otherwise race concurrent lookups); the per-slot values
+// and the global counter are atomics, so the epoch loads themselves are
+// lock-free once the slot address is in hand.
 
 #ifndef MVOPT_COMMON_EPOCH_H_
 #define MVOPT_COMMON_EPOCH_H_
@@ -16,8 +18,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mvopt {
 
@@ -28,7 +32,7 @@ class TableEpochClock {
   TableEpochClock& operator=(const TableEpochClock&) = delete;
 
   /// Records a mutation of `table`; returns the new global epoch.
-  uint64_t Advance(int32_t table) {
+  uint64_t Advance(int32_t table) MVOPT_EXCLUDES(mu_) {
     std::atomic<uint64_t>* slot = SlotFor(table);
     uint64_t epoch = global_.fetch_add(1, std::memory_order_acq_rel) + 1;
     slot->store(epoch, std::memory_order_release);
@@ -36,16 +40,17 @@ class TableEpochClock {
   }
 
   /// Epoch of `table`'s latest mutation (0 = never mutated).
-  uint64_t OfTable(int32_t table) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t OfTable(int32_t table) const MVOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (table < 0 || static_cast<size_t>(table) >= epochs_.size()) return 0;
     return epochs_[table].load(std::memory_order_acquire);
   }
 
   /// Latest mutation epoch across `tables` (0 = none mutated).
-  uint64_t LatestOf(const std::vector<int32_t>& tables) const {
+  uint64_t LatestOf(const std::vector<int32_t>& tables) const
+      MVOPT_EXCLUDES(mu_) {
     uint64_t latest = 0;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (int32_t t : tables) {
       if (t < 0 || static_cast<size_t>(t) >= epochs_.size()) continue;
       uint64_t e = epochs_[t].load(std::memory_order_acquire);
@@ -58,8 +63,11 @@ class TableEpochClock {
   uint64_t now() const { return global_.load(std::memory_order_acquire); }
 
  private:
-  std::atomic<uint64_t>* SlotFor(int32_t table) {
-    std::lock_guard<std::mutex> lock(mu_);
+  /// Returns the (stable) slot for `table`, growing the deque on first
+  /// use. The returned pointer outlives the lock: deque growth never
+  /// moves existing atomics, and the slot value itself is atomic.
+  std::atomic<uint64_t>* SlotFor(int32_t table) MVOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     while (epochs_.size() <= static_cast<size_t>(table)) {
       epochs_.emplace_back(0);
     }
@@ -67,9 +75,9 @@ class TableEpochClock {
   }
 
   std::atomic<uint64_t> global_{0};
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Deque: growth never moves existing atomics.
-  std::deque<std::atomic<uint64_t>> epochs_;
+  std::deque<std::atomic<uint64_t>> epochs_ MVOPT_GUARDED_BY(mu_);
 };
 
 }  // namespace mvopt

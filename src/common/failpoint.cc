@@ -9,7 +9,7 @@ FailpointRegistry& FailpointRegistry::Instance() {
 
 void FailpointRegistry::Enable(const std::string& name,
                                FailpointConfig config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Point& p = points_[name];
   p.config = config;
   p.hits = 0;
@@ -20,21 +20,21 @@ void FailpointRegistry::Enable(const std::string& name,
 }
 
 void FailpointRegistry::Disable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.erase(name);
   num_enabled_.store(static_cast<int>(points_.size()),
                      std::memory_order_relaxed);
 }
 
 void FailpointRegistry::DisableAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.clear();
   num_enabled_.store(0, std::memory_order_relaxed);
 }
 
 bool FailpointRegistry::ShouldFail(const char* name) {
   if (num_enabled_.load(std::memory_order_relaxed) == 0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(name);
   if (it == points_.end()) return false;
   Point& p = it->second;
@@ -56,19 +56,19 @@ bool FailpointRegistry::ShouldFail(const char* name) {
 }
 
 int64_t FailpointRegistry::HitCount(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 int64_t FailpointRegistry::FireCount(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.fired;
 }
 
 std::vector<std::string> FailpointRegistry::EnabledNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(points_.size());
   for (const auto& [name, point] : points_) out.push_back(name);

@@ -25,11 +25,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mvopt {
 
@@ -60,18 +62,19 @@ class FailpointRegistry {
  public:
   static FailpointRegistry& Instance();
 
-  void Enable(const std::string& name, FailpointConfig config = {});
-  void Disable(const std::string& name);
-  void DisableAll();
+  void Enable(const std::string& name, FailpointConfig config = {})
+      MVOPT_EXCLUDES(mu_);
+  void Disable(const std::string& name) MVOPT_EXCLUDES(mu_);
+  void DisableAll() MVOPT_EXCLUDES(mu_);
 
   /// Site-side check: records a hit on an enabled site and decides
   /// whether it fires. Disabled/unknown names never fire.
-  bool ShouldFail(const char* name);
+  bool ShouldFail(const char* name) MVOPT_EXCLUDES(mu_);
 
   /// Hits / firings observed since Enable (0 for disabled names).
-  int64_t HitCount(const std::string& name) const;
-  int64_t FireCount(const std::string& name) const;
-  std::vector<std::string> EnabledNames() const;
+  int64_t HitCount(const std::string& name) const MVOPT_EXCLUDES(mu_);
+  int64_t FireCount(const std::string& name) const MVOPT_EXCLUDES(mu_);
+  std::vector<std::string> EnabledNames() const MVOPT_EXCLUDES(mu_);
 
  private:
   FailpointRegistry() = default;
@@ -83,8 +86,11 @@ class FailpointRegistry {
     uint64_t rng = 0;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Point> points_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Point> points_ MVOPT_GUARDED_BY(mu_);
+  /// Disarmed fast path: number of enabled sites, mirrored from
+  /// points_.size() on every mutation so ShouldFail can bail without
+  /// the lock.
   std::atomic<int> num_enabled_{0};
 };
 

@@ -1,0 +1,129 @@
+// Annotated mutex types: thin wrappers over std::mutex /
+// std::shared_mutex carrying the Clang Thread Safety Analysis
+// capability attributes (common/thread_annotations.h), so that
+// MVOPT_GUARDED_BY declarations on shared state are actually enforced —
+// the std types are invisible to the analysis.
+//
+// The wrappers add no state and no behavior beyond the std primitives;
+// a release build compiles them away entirely. Condition-variable waits
+// go through CondVar, whose Wait takes the scoped MutexLock so the wait
+// is only expressible with the lock held. Predicate waits are written
+// as explicit `while (!cond) cv.Wait(lock);` loops in the caller — the
+// analysis cannot see through a predicate lambda, and the loop keeps
+// every guarded access inside the annotated function body.
+//
+// Lock-ordering rules for the repo's mutexes are documented in
+// DESIGN.md §12 and, where two locks are owned by one class, declared
+// with MVOPT_ACQUIRED_BEFORE so the gate enforces them.
+
+#ifndef MVOPT_COMMON_MUTEX_H_
+#define MVOPT_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace mvopt {
+
+class CondVar;
+
+/// Plain exclusive mutex (annotated std::mutex).
+class MVOPT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MVOPT_ACQUIRE() { mu_.lock(); }
+  void Unlock() MVOPT_RELEASE() { mu_.unlock(); }
+  bool TryLock() MVOPT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Reader-writer mutex (annotated std::shared_mutex).
+class MVOPT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() MVOPT_ACQUIRE() { mu_.lock(); }
+  void Unlock() MVOPT_RELEASE() { mu_.unlock(); }
+  void LockShared() MVOPT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() MVOPT_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class ReaderLock;
+  friend class WriterLock;
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over a Mutex (the std::lock_guard analogue;
+/// also the handle CondVar::Wait requires).
+class MVOPT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MVOPT_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() MVOPT_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Scoped shared (reader) lock over a SharedMutex.
+class MVOPT_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) MVOPT_ACQUIRE_SHARED(mu)
+      : lock_(mu.mu_) {}
+  ~ReaderLock() MVOPT_RELEASE() = default;
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// Scoped exclusive (writer) lock over a SharedMutex.
+class MVOPT_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) MVOPT_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~WriterLock() MVOPT_RELEASE() = default;
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+/// Condition variable bound to Mutex/MutexLock. Wait releases the lock
+/// while blocked and reacquires it before returning, so from the
+/// analysis' point of view the capability is held across the call —
+/// which is exactly the contract the caller's `while` loop relies on.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_COMMON_MUTEX_H_

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/enum_coverage.h"
+
 namespace mvopt {
 
 /// Why an optimization was degraded (first limit that tripped).
@@ -35,8 +37,15 @@ enum class DegradationReason {
 };
 
 inline constexpr int kNumDegradationReasons = 6;
+static_assert(static_cast<int>(DegradationReason::kStaleViewsOnly) + 1 ==
+                  kNumDegradationReasons,
+              "kNumDegradationReasons must cover every DegradationReason");
 
-inline const char* DegradationReasonName(DegradationReason reason) {
+/// Exhaustive (switch-based, no default): a new DegradationReason
+/// without a name is a -Wswitch error, and the static_assert below
+/// proves every value maps to a real name even where that warning is
+/// demoted.
+constexpr const char* DegradationReasonName(DegradationReason reason) {
   switch (reason) {
     case DegradationReason::kNone:
       return "none";
@@ -53,6 +62,10 @@ inline const char* DegradationReasonName(DegradationReason reason) {
   }
   return "?";
 }
+
+static_assert(AllEnumeratorsNamed<DegradationReason, DegradationReasonName>(
+                  kNumDegradationReasons),
+              "every DegradationReason needs a DegradationReasonName entry");
 
 class QueryBudget {
  public:

@@ -11,9 +11,15 @@
 //      tracks its own completion, and the calling thread participates
 //      in its own batch (so a pool with zero workers still makes
 //      progress and degenerates to serial execution).
-//   3. No surprises under sanitizers: all cross-thread communication is
-//      mutex/condition-variable/atomic based; tasks must not throw
-//      (wrap fallible work, as the match stage does per candidate).
+//   3. No surprises under sanitizers or the thread-safety gate: all
+//      cross-thread communication is annotated-mutex / condition-
+//      variable / atomic based (every guarded member carries its
+//      MVOPT_GUARDED_BY); tasks must not throw (wrap fallible work, as
+//      the match stage does per candidate).
+//
+// Lock order: the pool-wide mu_ and a batch's Batch::mu are never held
+// together — queue operations take mu_, completion accounting takes the
+// batch's own lock after mu_ is dropped.
 //
 // The pool is intentionally minimal — no futures, no stealing, no
 // priorities. It exists to be the seam `QueryContext::match_pool` plugs
@@ -23,13 +29,14 @@
 #define MVOPT_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mvopt {
 
@@ -50,10 +57,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (std::thread& w : workers_) w.join();
   }
 
@@ -62,22 +69,22 @@ class ThreadPool {
   /// Runs every task across the workers and the calling thread; returns
   /// when all of them have completed. Tasks must not throw. Safe to call
   /// from multiple threads concurrently.
-  void RunBatch(const std::vector<std::function<void()>>& tasks) {
+  void RunBatch(const std::vector<std::function<void()>>& tasks)
+      MVOPT_EXCLUDES(mu_) {
     if (tasks.empty()) return;
     auto batch = std::make_shared<Batch>();
     batch->tasks = &tasks;
     batch->size = tasks.size();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       batches_.push_back(batch);
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     // The caller participates: claim and run tasks until none are left.
     DrainBatch(*batch);
     RetireBatch(batch);
-    std::unique_lock<std::mutex> lock(batch->mu);
-    batch->done_cv.wait(lock,
-                        [&] { return batch->completed == batch->size; });
+    MutexLock lock(batch->mu);
+    while (batch->completed != batch->size) batch->done_cv.Wait(lock);
   }
 
  private:
@@ -85,29 +92,31 @@ class ThreadPool {
     const std::vector<std::function<void()>>* tasks = nullptr;
     size_t size = 0;
     std::atomic<size_t> next{0};
-    std::mutex mu;
-    std::condition_variable done_cv;
-    size_t completed = 0;  // guarded by mu
+    Mutex mu;
+    CondVar done_cv;
+    size_t completed MVOPT_GUARDED_BY(mu) = 0;
   };
 
   /// Claims and runs tasks from `batch` until every index is taken.
-  void DrainBatch(Batch& batch) {
+  /// Runs the closures unlocked; only the completion count takes the
+  /// batch lock.
+  void DrainBatch(Batch& batch) MVOPT_EXCLUDES(mu_) {
     for (;;) {
       const size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch.size) return;
       (*batch.tasks)[i]();
       bool all_done = false;
       {
-        std::lock_guard<std::mutex> lock(batch.mu);
+        MutexLock lock(batch.mu);
         all_done = ++batch.completed == batch.size;
       }
-      if (all_done) batch.done_cv.notify_all();
+      if (all_done) batch.done_cv.NotifyAll();
     }
   }
 
   /// Removes a fully claimed batch from the shared queue (idempotent).
-  void RetireBatch(const std::shared_ptr<Batch>& batch) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void RetireBatch(const std::shared_ptr<Batch>& batch) MVOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     for (auto it = batches_.begin(); it != batches_.end(); ++it) {
       if (*it == batch) {
         batches_.erase(it);
@@ -116,12 +125,12 @@ class ThreadPool {
     }
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() MVOPT_EXCLUDES(mu_) {
     for (;;) {
       std::shared_ptr<Batch> batch;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [&] { return stop_ || !batches_.empty(); });
+        MutexLock lock(mu_);
+        while (!stop_ && batches_.empty()) cv_.Wait(lock);
         if (batches_.empty()) {
           if (stop_) return;
           continue;
@@ -139,10 +148,12 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Batch>> batches_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<Batch>> batches_ MVOPT_GUARDED_BY(mu_);
+  bool stop_ MVOPT_GUARDED_BY(mu_) = false;
+  /// Started in the constructor, joined in the destructor, immutable in
+  /// between — no guard needed (num_workers() reads only the size).
   std::vector<std::thread> workers_;
 };
 

@@ -63,10 +63,12 @@ Value MergeSum(const Value& current, const Value& delta, bool subtract) {
 void ViewMaintainer::RegisterView(ViewDefinition* view) {
   assert(view->materialized_table() != kInvalidTableId &&
          "materialize the view before registering it for maintenance");
+  MutexLock lock(mu_);
   views_.push_back(view);
 }
 
 void ViewMaintainer::Insert(TableId table, std::vector<Row> rows) {
+  MutexLock lock(mu_);
   // Incremental deltas are computed against the pre-change state (the
   // delta join substitutes the new rows for the changed table, so the
   // other tables' current contents are exactly what it needs). Views that
@@ -87,6 +89,7 @@ void ViewMaintainer::Insert(TableId table, std::vector<Row> rows) {
 }
 
 void ViewMaintainer::Delete(TableId table, const std::vector<Row>& rows) {
+  MutexLock lock(mu_);
   std::vector<ViewDefinition*> recompute;
   for (ViewDefinition* view : views_) {
     if (!Maintain(view, table, rows, DeltaKind::kDelete)) {
@@ -122,6 +125,7 @@ void ViewMaintainer::PublishRefreshAll() {
 }
 
 bool ViewMaintainer::Validate(const ViewDefinition& view) const {
+  MutexLock lock(mu_);
   const TableData* data = db_->table(view.materialized_table());
   if (data == nullptr) return false;
   std::vector<Row> expected = db_->ExecuteSpjg(view.query());
@@ -131,6 +135,7 @@ bool ViewMaintainer::Validate(const ViewDefinition& view) const {
 }
 
 void ViewMaintainer::Repair(ViewDefinition* view) {
+  MutexLock lock(mu_);
   Recompute(view);
   if (lifecycle_ == nullptr) return;
   const ViewId id = view->id();

@@ -13,6 +13,15 @@
 // Limitations (documented): views referencing the changed table more than
 // once (self-joins) and deletions against MIN/MAX views fall back to full
 // recomputation — the classic non-incremental cases.
+//
+// Thread-safety: the maintainer serializes its own passes on an internal
+// mutex, so Insert / Delete / Repair / RegisterView may be issued from
+// different threads (e.g. a loader thread and a revalidation thread)
+// without external locking. The Database it maintains is mutated only
+// under that mutex; callers that read the Database directly while a
+// maintainer is live must coordinate with the maintenance passes
+// themselves (the engine's usual arrangement: probes read views through
+// the matching side, not the raw tables).
 
 #ifndef MVOPT_ENGINE_MAINTENANCE_H_
 #define MVOPT_ENGINE_MAINTENANCE_H_
@@ -20,6 +29,8 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/database.h"
 #include "observe/metrics.h"
 #include "rewrite/view_lifecycle.h"
@@ -31,37 +42,50 @@ class ViewMaintainer {
   explicit ViewMaintainer(Database* db) : db_(db) {}
 
   /// Registers a materialized view for maintenance.
-  void RegisterView(ViewDefinition* view);
+  void RegisterView(ViewDefinition* view) MVOPT_EXCLUDES(mu_);
 
   /// Wires the base-table epoch clock: Insert/Delete advance the mutated
   /// table's epoch, and maintained views are stamped with the resulting
   /// global epoch (the staleness source the matching side reads).
-  void set_epoch_clock(TableEpochClock* clock) { epochs_ = clock; }
+  void set_epoch_clock(TableEpochClock* clock) MVOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    epochs_ = clock;
+  }
   /// Wires the view-lifecycle registry: after every maintenance pass the
   /// registered views are marked FRESH at the current epoch and their
   /// content checksums republished.
-  void set_lifecycle(ViewLifecycleRegistry* lifecycle) {
+  void set_lifecycle(ViewLifecycleRegistry* lifecycle) MVOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     lifecycle_ = lifecycle;
   }
 
   /// Recomputes `view`'s definition and compares its checksum against the
   /// stored contents — the revalidation probe for the circuit breaker.
-  bool Validate(const ViewDefinition& view) const;
+  /// Takes the maintenance mutex: the recomputation must not interleave
+  /// with a pass mutating the tables it reads.
+  bool Validate(const ViewDefinition& view) const MVOPT_EXCLUDES(mu_);
 
   /// Self-healing: recomputes `view` from its definition and republishes
   /// its lifecycle entry (FRESH at the current epoch, new checksum).
-  void Repair(ViewDefinition* view);
+  void Repair(ViewDefinition* view) MVOPT_EXCLUDES(mu_);
 
   /// Inserts `rows` into `table` and maintains every registered view.
-  void Insert(TableId table, std::vector<Row> rows);
+  void Insert(TableId table, std::vector<Row> rows) MVOPT_EXCLUDES(mu_);
 
   /// Deletes rows from `table` (each must equal an existing row; one
   /// occurrence is removed per delta row) and maintains every view.
-  void Delete(TableId table, const std::vector<Row>& rows);
+  void Delete(TableId table, const std::vector<Row>& rows)
+      MVOPT_EXCLUDES(mu_);
 
   /// Statistics for tests/benches.
-  int64_t incremental_updates() const { return incremental_updates_; }
-  int64_t full_recomputations() const { return full_recomputations_; }
+  int64_t incremental_updates() const MVOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return incremental_updates_;
+  }
+  int64_t full_recomputations() const MVOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return full_recomputations_;
+  }
 
   /// Observability hooks (nullptr slots are skipped): refreshes counts
   /// per-view FRESH publications after a maintenance pass; the other two
@@ -71,7 +95,8 @@ class ViewMaintainer {
     Counter* incremental_updates = nullptr;
     Counter* full_recomputations = nullptr;
   };
-  void set_counters(const MaintenanceCounters& counters) {
+  void set_counters(const MaintenanceCounters& counters) MVOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     counters_ = counters;
   }
 
@@ -81,23 +106,30 @@ class ViewMaintainer {
   /// Returns false if the view needs full recomputation after the base
   /// change is applied (self-join on the changed table; MIN/MAX delete).
   bool Maintain(ViewDefinition* view, TableId table,
-                const std::vector<Row>& delta_rows, DeltaKind kind);
+                const std::vector<Row>& delta_rows, DeltaKind kind)
+      MVOPT_REQUIRES(mu_);
   void MaintainSpj(ViewDefinition* view, const std::vector<Row>& delta_out,
-                   DeltaKind kind);
+                   DeltaKind kind) MVOPT_REQUIRES(mu_);
   void MaintainAggregate(ViewDefinition* view,
-                         const std::vector<Row>& delta_out, DeltaKind kind);
-  void Recompute(ViewDefinition* view);
+                         const std::vector<Row>& delta_out, DeltaKind kind)
+      MVOPT_REQUIRES(mu_);
+  void Recompute(ViewDefinition* view) MVOPT_REQUIRES(mu_);
   /// Marks every registered view FRESH at the current epoch with its
   /// current content checksum (no-op without a lifecycle registry).
-  void PublishRefreshAll();
+  void PublishRefreshAll() MVOPT_REQUIRES(mu_);
 
+  /// Serializes maintenance passes and guards the registration list,
+  /// wiring pointers and statistics. Acquired before nothing: the
+  /// lifecycle registry and epoch clock called under it are internally
+  /// synchronized and never call back in.
+  mutable Mutex mu_;
   Database* db_;
-  std::vector<ViewDefinition*> views_;
-  TableEpochClock* epochs_ = nullptr;
-  ViewLifecycleRegistry* lifecycle_ = nullptr;
-  int64_t incremental_updates_ = 0;
-  int64_t full_recomputations_ = 0;
-  MaintenanceCounters counters_;
+  std::vector<ViewDefinition*> views_ MVOPT_GUARDED_BY(mu_);
+  TableEpochClock* epochs_ MVOPT_GUARDED_BY(mu_) = nullptr;
+  ViewLifecycleRegistry* lifecycle_ MVOPT_GUARDED_BY(mu_) = nullptr;
+  int64_t incremental_updates_ MVOPT_GUARDED_BY(mu_) = 0;
+  int64_t full_recomputations_ MVOPT_GUARDED_BY(mu_) = 0;
+  MaintenanceCounters counters_ MVOPT_GUARDED_BY(mu_);
 };
 
 }  // namespace mvopt

@@ -12,6 +12,14 @@
 // Level order follows §4.3: hubs, source tables, output expressions,
 // output columns, residual constraints, range constraints, and (for
 // aggregation views) grouping expressions and grouping columns.
+//
+// Thread-safety: externally synchronized. The tree has no internal
+// locking; MatchingService owns the only concurrent instance and guards
+// it with its structure lock (FindCandidates under the shared lock,
+// AddView/RemoveView under the exclusive one) — expressed there as
+// MVOPT_GUARDED_BY on the filter_tree_ member, which is what the
+// thread-safety analysis checks. Standalone instances (tests, benches)
+// are single-threaded.
 
 #ifndef MVOPT_INDEX_FILTER_TREE_H_
 #define MVOPT_INDEX_FILTER_TREE_H_

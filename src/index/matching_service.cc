@@ -60,10 +60,11 @@ MatchingService::MatchingService(const Catalog* catalog)
 MatchingService::MatchingService(const Catalog* catalog, Options options)
     : catalog_(catalog),
       options_(options),
+      matcher_(catalog, options.match),
+      checker_(catalog, options.verify),
       view_catalog_(catalog),
       filter_tree_(&view_catalog_.descriptions()),
-      matcher_(catalog, options.match),
-      checker_(catalog, options.verify) {
+      verify_mode_(options.verify_mode) {
   filter_tree_.set_assume_backjoins(options_.match.enable_backjoins);
   RegisterMetrics();
 }
@@ -152,7 +153,7 @@ void MatchingService::WireStoreCountersLocked() {
 void MatchingService::CommitProbe(const ProbeDelta& delta,
                                   const FilterSearchStats* fstats) {
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    MutexLock stats_lock(stats_mu_);
     stats_.MergeFrom(delta.stats);
     verify_counters_.MergeFrom(delta.verify);
     for (const std::string& t : delta.rejection_traces) {
@@ -248,7 +249,7 @@ void MatchingService::LogViewEventLocked(ViewId id) {
 ViewDefinition* MatchingService::AddView(const std::string& name,
                                          SpjgQuery definition,
                                          std::string* error) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   ViewDefinition* view = nullptr;
   bool indexed = false;
   try {
@@ -307,7 +308,7 @@ uint64_t MatchingService::StalenessLagLocked(ViewId id) const {
 }
 
 uint64_t MatchingService::StalenessLag(ViewId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return StalenessLagLocked(id);
 }
 
@@ -425,12 +426,19 @@ std::vector<MatchingService::MatchOutcome> MatchingService::StageMatch(
   const size_t drainers = static_cast<size_t>(pool->num_workers()) + 1;
   const size_t num_chunks = std::min(gated.size(), drainers * 4);
   const size_t chunk = (gated.size() + num_chunks - 1) / num_chunks;
+  // The references are bound here, while this thread holds mu_ shared,
+  // and stay valid for the batch because RunBatch joins before the lock
+  // is released; capturing them (rather than `this`) keeps the guarded
+  // members out of the workers, where the analysis could not see the
+  // caller's lock.
+  const ViewCatalog& catalog_snapshot = view_catalog_;
+  const ViewMatcher& matcher = matcher_;
   std::vector<std::function<void()>> tasks;
   tasks.reserve(num_chunks);
   for (size_t begin = 0; begin < gated.size(); begin += chunk) {
     const size_t end = std::min(begin + chunk, gated.size());
-    tasks.emplace_back([this, &query, &gated, &outcomes, &stop, has_deadline,
-                        deadline, begin, end] {
+    tasks.emplace_back([&catalog_snapshot, &matcher, &query, &gated, &outcomes,
+                        &stop, has_deadline, deadline, begin, end] {
       for (size_t i = begin; i < end; ++i) {
         if (stop.load(std::memory_order_relaxed)) return;  // slots stay
                                                            // kSkipped
@@ -441,7 +449,8 @@ std::vector<MatchingService::MatchOutcome> MatchingService::StageMatch(
         MatchOutcome& o = outcomes[i];
         try {
           MVOPT_FAILPOINT("matcher.match");
-          o.result = matcher_.Match(query, view_catalog_.view(gated[i].id));
+          o.result =
+              matcher.Match(query, catalog_snapshot.view(gated[i].id));
           o.kind = MatchOutcome::Kind::kDone;
         } catch (const std::exception&) {
           o.kind = MatchOutcome::Kind::kError;
@@ -461,11 +470,12 @@ std::vector<MatchingService::MatchOutcome> MatchingService::StageMatch(
 
 void MatchingService::StageCompensate(
     const SpjgQuery& query, const std::vector<GatedCandidate>& gated,
-    std::vector<MatchOutcome>* outcomes, QueryContext& ctx, ProbeDelta* delta,
-    std::vector<Substitute>* fresh, std::vector<Substitute>* stale) {
+    std::vector<MatchOutcome>* outcomes, QueryContext& ctx, VerifyMode mode,
+    ProbeDelta* delta, std::vector<Substitute>* fresh,
+    std::vector<Substitute>* stale) {
   QueryTrace* trace = ctx.trace();
-  const bool quarantine_active = options_.quarantine_threshold > 0 &&
-                                 options_.verify_mode == VerifyMode::kEnforce;
+  const bool quarantine_active =
+      options_.quarantine_threshold > 0 && mode == VerifyMode::kEnforce;
   for (size_t i = 0; i < gated.size(); ++i) {
     const GatedCandidate& g = gated[i];
     MatchOutcome& o = (*outcomes)[i];
@@ -489,7 +499,7 @@ void MatchingService::StageCompensate(
       continue;
     }
     Substitute sub = std::move(*result.substitute);
-    if (options_.verify_mode != VerifyMode::kOff) {
+    if (mode != VerifyMode::kOff) {
       delta->verify.checked += 1;
       Verdict verdict;
       if (MVOPT_FAILPOINT_HIT("rewrite_checker.check")) {
@@ -502,8 +512,8 @@ void MatchingService::StageCompensate(
         delta->verify.proven += 1;
         if (quarantine_active) lifecycle_.ReportVerifySuccess(g.id);
       } else {
-        RecordVerifyRejection(g.id, verdict, delta);
-        if (options_.verify_mode == VerifyMode::kEnforce) {
+        RecordVerifyRejection(g.id, verdict, mode, delta);
+        if (mode == VerifyMode::kEnforce) {
           if (trace != nullptr) {
             trace->RecordVerdict(
                 view_catalog_.view(g.id).name(), "rejected",
@@ -530,8 +540,11 @@ void MatchingService::StageCompensate(
 
 std::vector<Substitute> MatchingService::FindSubstitutes(
     const SpjgQuery& query, QueryContext& ctx) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   MVOPT_FAILPOINT("matching_service.find_substitutes");
+  // One verify-mode snapshot per probe: a concurrent set_verify_mode
+  // flip applies to whole probes, never to half of one.
+  const VerifyMode vmode = verify_mode();
   // In kOff mode (no registered metrics, no trace, no stage hook) the
   // instrumentation below reduces to null/flag checks: no clock reads,
   // no FilterSearchStats collection, no trace recording. bench/
@@ -581,7 +594,8 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
   // Stage 4 (compensate): verification + accounting, candidate order.
   std::vector<Substitute> out;
   std::vector<Substitute> stale_out;  // tolerated-stale: ranked after fresh
-  StageCompensate(query, gated, &outcomes, ctx, &delta, &out, &stale_out);
+  StageCompensate(query, gated, &outcomes, ctx, vmode, &delta, &out,
+                  &stale_out);
   if (observing) {
     const double s = timer.Lap();
     total_seconds += s;
@@ -633,6 +647,7 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
 }
 
 void MatchingService::RecordVerifyRejection(ViewId id, const Verdict& verdict,
+                                            VerifyMode mode,
                                             ProbeDelta* delta) {
   delta->verify.rejected += 1;
   delta->verify.by_code[static_cast<size_t>(verdict.code)] += 1;
@@ -641,8 +656,7 @@ void MatchingService::RecordVerifyRejection(ViewId id, const Verdict& verdict,
                                       CheckCodeName(verdict.code) + ": " +
                                       verdict.detail);
   }
-  if (options_.quarantine_threshold > 0 &&
-      options_.verify_mode == VerifyMode::kEnforce) {
+  if (options_.quarantine_threshold > 0 && mode == VerifyMode::kEnforce) {
     lifecycle_.ReportVerifyFailure(id, options_.quarantine_threshold,
                                    options_.disable_threshold);
   }
@@ -651,14 +665,14 @@ void MatchingService::RecordVerifyRejection(ViewId id, const Verdict& verdict,
 // --- durability -----------------------------------------------------------
 
 void MatchingService::AttachStore(CatalogStore* store) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   store->OpenForAppend();
   store_ = store;
   WireStoreCountersLocked();
 }
 
 RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   assert(view_catalog_.num_views() == 0 &&
          "recovery must target an empty service");
   CatalogStore::RecoveredState recovered = store->Recover();
@@ -708,7 +722,7 @@ RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
 }
 
 void MatchingService::Checkpoint() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   assert(store_ != nullptr && "Checkpoint requires an attached store");
   std::vector<PersistedView> images;
   images.reserve(static_cast<size_t>(view_catalog_.num_views()));
@@ -721,7 +735,7 @@ void MatchingService::Checkpoint() {
 // --- lifecycle ------------------------------------------------------------
 
 bool MatchingService::ReportChecksumMismatch(ViewId id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (!lifecycle_.ReportChecksumMismatch(id)) return false;
   if (static_cast<size_t>(id) < in_tree_.size() && in_tree_[id]) {
     filter_tree_.RemoveView(id);
@@ -733,7 +747,7 @@ bool MatchingService::ReportChecksumMismatch(ViewId id) {
 
 int MatchingService::RevalidationTick(
     const std::function<bool(const ViewDefinition&)>& validate) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   const int64_t tick = ++revalidation_tick_;
   GrowBookkeepingLocked();
   int readmitted = 0;
@@ -776,7 +790,7 @@ int MatchingService::RevalidationTick(
 }
 
 bool MatchingService::ReadmitView(ViewId id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   GrowBookkeepingLocked();
   if (!lifecycle_.Readmit(id, epochs_ != nullptr ? epochs_->now() : 0)) {
     return false;
@@ -798,7 +812,7 @@ bool MatchingService::IsQuarantined(ViewId id) const {
 }
 
 std::vector<std::string> MatchingService::QuarantinedViews() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   std::vector<std::string> out;
   for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
     if (lifecycle_.IsSidelined(id)) {
@@ -809,7 +823,7 @@ std::vector<std::string> MatchingService::QuarantinedViews() const {
 }
 
 MatchingStats MatchingService::stats() const {
-  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  MutexLock stats_lock(stats_mu_);
   return stats_;
 }
 
@@ -817,7 +831,7 @@ VerifyStats MatchingService::verify_stats() const {
   VerifyStats snapshot;
   snapshot.quarantined_views =
       static_cast<int64_t>(lifecycle_.num_sidelined());
-  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  MutexLock stats_lock(stats_mu_);
   snapshot.checked = verify_counters_.checked;
   snapshot.proven = verify_counters_.proven;
   snapshot.rejected = verify_counters_.rejected;
@@ -830,7 +844,7 @@ MatchingStats MatchingService::ResetStats() {
   // Swap under the same lock probes commit under: every in-flight probe
   // lands entirely in the returned snapshot or entirely after the reset;
   // no increment is ever lost.
-  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  MutexLock stats_lock(stats_mu_);
   MatchingStats previous = stats_;
   stats_ = MatchingStats{};
   return previous;
@@ -840,7 +854,7 @@ VerifyStats MatchingService::ResetVerifyStats() {
   VerifyStats previous;
   previous.quarantined_views =
       static_cast<int64_t>(lifecycle_.num_sidelined());
-  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  MutexLock stats_lock(stats_mu_);
   previous.checked = verify_counters_.checked;
   previous.proven = verify_counters_.proven;
   previous.rejected = verify_counters_.rejected;
@@ -853,7 +867,7 @@ VerifyStats MatchingService::ResetVerifyStats() {
 
 std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
     const SpjgQuery& query, QueryContext& ctx) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   QueryTrace* trace = ctx.trace();
   const bool observing = trace != nullptr || ctx.has_stage_hook();
   StageTimer timer(observing);

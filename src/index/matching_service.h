@@ -51,12 +51,12 @@
 #include <array>
 #include <atomic>
 #include <functional>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/query_budget.h"
 #include "common/query_context.h"
 #include "index/filter_tree.h"
@@ -146,7 +146,7 @@ class MatchingService {
   /// commit (StoreIoError::durable()): the WAL record is already on
   /// stable storage, so the registration stands.
   ViewDefinition* AddView(const std::string& name, SpjgQuery definition,
-                          std::string* error = nullptr);
+                          std::string* error = nullptr) MVOPT_EXCLUDES(mu_);
 
   /// The view-matching rule body: all substitutes for `query`, computed
   /// by an explicit staged pipeline
@@ -168,12 +168,14 @@ class MatchingService {
   /// show through. The context (and its trace) must not be shared across
   /// concurrent probes; the pool may be.
   std::vector<Substitute> FindSubstitutes(const SpjgQuery& query,
-                                          QueryContext& ctx);
+                                          QueryContext& ctx)
+      MVOPT_EXCLUDES(mu_);
 
   /// Back-compat loose-parameter form: forwards through a local context.
   std::vector<Substitute> FindSubstitutes(const SpjgQuery& query,
                                           QueryBudget* budget = nullptr,
-                                          QueryTrace* trace = nullptr);
+                                          QueryTrace* trace = nullptr)
+      MVOPT_EXCLUDES(mu_);
 
   /// §7 extension: a union substitute assembled from several
   /// range-partitioned views (SPJ queries only). Tries the views that
@@ -183,85 +185,116 @@ class MatchingService {
   /// views lagging at most ctx.max_staleness() epochs, and records a
   /// "union-match" span into the trace / stage hook.
   std::optional<UnionSubstitute> FindUnionSubstitute(const SpjgQuery& query,
-                                                     QueryContext& ctx);
+                                                     QueryContext& ctx)
+      MVOPT_EXCLUDES(mu_);
 
   /// Back-compat form: default context (no deadline, fresh views only).
-  std::optional<UnionSubstitute> FindUnionSubstitute(const SpjgQuery& query);
+  std::optional<UnionSubstitute> FindUnionSubstitute(const SpjgQuery& query)
+      MVOPT_EXCLUDES(mu_);
 
   // --- durability ---------------------------------------------------------
 
   /// Attaches `store` (opened on demand) so subsequent AddView calls and
   /// lifecycle events are logged. The store must outlive the service.
-  void AttachStore(CatalogStore* store);
+  void AttachStore(CatalogStore* store) MVOPT_EXCLUDES(mu_);
 
   /// Startup recovery: replays `store`'s snapshot + WAL into this (empty)
   /// service, rebuilding the filter tree and lattices through the normal
   /// registration path. Entries whose SQL no longer parses or validates
   /// are quarantined in the report, never fatal. Attaches the store.
-  RecoveryReport RecoverFrom(CatalogStore* store);
+  RecoveryReport RecoverFrom(CatalogStore* store) MVOPT_EXCLUDES(mu_);
 
   /// Writes a full snapshot of the catalog + lifecycle states and resets
   /// the WAL. Requires an attached store.
-  void Checkpoint();
+  void Checkpoint() MVOPT_EXCLUDES(mu_);
 
   // --- lifecycle ----------------------------------------------------------
 
   /// Wires base-table update epochs (owned by the engine side); without
   /// a clock every view is considered fresh. The clock must outlive the
-  /// service.
-  void set_epoch_clock(const TableEpochClock* clock) { epochs_ = clock; }
-  const TableEpochClock* epoch_clock() const { return epochs_; }
+  /// service. Takes the exclusive lock: concurrent probes read the
+  /// pointer under the shared lock in StalenessLagLocked, so an
+  /// unguarded store here would be a data race (this was exactly the
+  /// kind of bug the annotation sweep exists to make uncompilable).
+  void set_epoch_clock(const TableEpochClock* clock) MVOPT_EXCLUDES(mu_) {
+    WriterLock lock(mu_);
+    epochs_ = clock;
+  }
+  const TableEpochClock* epoch_clock() const MVOPT_EXCLUDES(mu_) {
+    ReaderLock lock(mu_);
+    return epochs_;
+  }
 
   /// The lifecycle registry (engine-side maintenance reports refreshes
-  /// and checksums through this).
+  /// and checksums through this). Internally synchronized: safe from any
+  /// thread without the service lock.
   ViewLifecycleRegistry& lifecycle() { return lifecycle_; }
   const ViewLifecycleRegistry& lifecycle() const { return lifecycle_; }
 
+  /// Lock-free (the lifecycle registry is internally synchronized).
   ViewState view_state(ViewId id) const { return lifecycle_.state(id); }
 
   /// How many update epochs `id` lags its base tables (0 = fresh).
-  uint64_t StalenessLag(ViewId id) const;
+  uint64_t StalenessLag(ViewId id) const MVOPT_EXCLUDES(mu_);
 
   /// Trips the circuit breaker for `id` (content checksum mismatch):
   /// DISABLED, removed from the filter tree, event logged. Returns true
   /// if the state changed.
-  bool ReportChecksumMismatch(ViewId id);
+  bool ReportChecksumMismatch(ViewId id) MVOPT_EXCLUDES(mu_);
 
   /// One background-revalidation tick: sidelined views are compacted out
   /// of the filter tree; those due for a retry (exponential backoff) are
   /// handed to `validate`, and on success re-inserted into the filter
   /// tree and returned to FRESH. Returns the number readmitted.
   int RevalidationTick(
-      const std::function<bool(const ViewDefinition&)>& validate);
+      const std::function<bool(const ViewDefinition&)>& validate)
+      MVOPT_EXCLUDES(mu_);
 
   /// Forces `id` back into rotation (FRESH + re-indexed). Returns false
   /// if the view was not sidelined.
-  bool ReadmitView(ViewId id);
+  bool ReadmitView(ViewId id) MVOPT_EXCLUDES(mu_);
 
-  /// Structure accessors. Safe to use freely in single-threaded code;
-  /// while concurrent AddView calls are possible they must not be
-  /// retained across them.
-  const ViewCatalog& views() const { return view_catalog_; }
-  ViewCatalog& mutable_views() { return view_catalog_; }
+  /// Structure accessors. Single-threaded use only: they hand out
+  /// references to lock-guarded structure without holding the lock, so
+  /// they must not run (and the references must not be retained)
+  /// concurrently with AddView / recovery / revalidation. The analysis
+  /// exemption below is that documented contract, not an oversight.
+  const ViewCatalog& views() const MVOPT_NO_THREAD_SAFETY_ANALYSIS {
+    return view_catalog_;
+  }
+  ViewCatalog& mutable_views() MVOPT_NO_THREAD_SAFETY_ANALYSIS {
+    return view_catalog_;
+  }
   const Catalog& catalog() const { return *catalog_; }
-  const FilterTree& filter_tree() const { return filter_tree_; }
+  const FilterTree& filter_tree() const MVOPT_NO_THREAD_SAFETY_ANALYSIS {
+    return filter_tree_;
+  }
   const ViewMatcher& matcher() const { return matcher_; }
 
   /// Internally consistent value snapshots (probe-atomic: no probe is
   /// ever half-reflected).
-  MatchingStats stats() const;
-  VerifyStats verify_stats() const;
+  MatchingStats stats() const MVOPT_EXCLUDES(stats_mu_);
+  VerifyStats verify_stats() const MVOPT_EXCLUDES(stats_mu_);
   /// Reset and return the pre-reset snapshot in one critical section, so
   /// no probe's increments are lost even when resets race probes.
-  MatchingStats ResetStats();
-  VerifyStats ResetVerifyStats();
+  MatchingStats ResetStats() MVOPT_EXCLUDES(stats_mu_);
+  VerifyStats ResetVerifyStats() MVOPT_EXCLUDES(stats_mu_);
 
-  VerifyMode verify_mode() const { return options_.verify_mode; }
-  void set_verify_mode(VerifyMode mode) { options_.verify_mode = mode; }
+  /// The verify mode is an atomic, not part of the lock-guarded options:
+  /// operators flip it at runtime (log -> enforce) while probes are in
+  /// flight, and each probe snapshots it once so a flip never lands
+  /// half-way through one probe's accounting.
+  VerifyMode verify_mode() const {
+    return verify_mode_.load(std::memory_order_relaxed);
+  }
+  void set_verify_mode(VerifyMode mode) {
+    verify_mode_.store(mode, std::memory_order_relaxed);
+  }
   const RewriteChecker& checker() const { return checker_; }
 
   /// Names of sidelined (quarantined or disabled) views, in id order.
-  std::vector<std::string> QuarantinedViews() const;
+  std::vector<std::string> QuarantinedViews() const MVOPT_EXCLUDES(mu_);
+  /// Lock-free (the lifecycle registry is internally synchronized).
   bool IsQuarantined(ViewId id) const;
 
  private:
@@ -341,13 +374,15 @@ class MatchingService {
   /// Stage 1 (probe): filter-tree candidate enumeration (or the full id
   /// range when the tree is off).
   std::vector<ViewId> StageProbe(const SpjgQuery& query, QueryContext& ctx,
-                                 FilterSearchStats* fstats);
+                                 FilterSearchStats* fstats)
+      MVOPT_REQUIRES_SHARED(mu_);
   /// Stage 2 (prefilter): sidelined screen + staleness gate via
   /// ViewLifecycleRegistry::GateForProbe; ticks the deadline per
   /// candidate. Sets *truncated when the budget cut the walk short.
   std::vector<GatedCandidate> StagePrefilter(
       const std::vector<ViewId>& candidates, QueryContext& ctx,
-      ProbeDelta* delta, int64_t* stale_rejects, bool* truncated);
+      ProbeDelta* delta, int64_t* stale_rejects, bool* truncated)
+      MVOPT_REQUIRES_SHARED(mu_);
   /// Stage 3 (match): runs the matcher over the gated candidates —
   /// serially, or in one ThreadPool batch when the context attached a
   /// pool and the candidate set is large enough. Workers never touch the
@@ -355,65 +390,81 @@ class MatchingService {
   /// shared stop flag; the charge is applied after the join.
   std::vector<MatchOutcome> StageMatch(const SpjgQuery& query,
                                        const std::vector<GatedCandidate>& gated,
-                                       QueryContext& ctx, bool* truncated);
+                                       QueryContext& ctx, bool* truncated)
+      MVOPT_REQUIRES_SHARED(mu_);
   /// Stage 4 (compensate): serial, candidate-order walk of the outcome
   /// slots — verification (soundness checker / quarantine bookkeeping),
   /// stats accounting and trace verdicts all happen here, so the stats
-  /// delta is identical however the match stage was scheduled.
+  /// delta is identical however the match stage was scheduled. `mode` is
+  /// the probe's verify-mode snapshot (taken once, see verify_mode_).
   void StageCompensate(const SpjgQuery& query,
                        const std::vector<GatedCandidate>& gated,
                        std::vector<MatchOutcome>* outcomes, QueryContext& ctx,
-                       ProbeDelta* delta, std::vector<Substitute>* fresh,
-                       std::vector<Substitute>* stale);
+                       VerifyMode mode, ProbeDelta* delta,
+                       std::vector<Substitute>* fresh,
+                       std::vector<Substitute>* stale)
+      MVOPT_REQUIRES_SHARED(mu_);
 
   /// Registers this service's metric families (ctor, counters on).
   void RegisterMetrics();
-  /// Wires the attached store's WAL counters (requires mu_ exclusive).
-  void WireStoreCountersLocked();
+  /// Wires the attached store's WAL counters.
+  void WireStoreCountersLocked() MVOPT_REQUIRES(mu_);
   /// Commits one probe's delta into the authoritative stats (one
   /// critical section) and mirrors it into the registry counters.
   /// `fstats` carries the filter-tree counters when they were collected.
-  void CommitProbe(const ProbeDelta& delta, const FilterSearchStats* fstats);
+  void CommitProbe(const ProbeDelta& delta, const FilterSearchStats* fstats)
+      MVOPT_EXCLUDES(stats_mu_);
   void RecordVerifyRejection(ViewId id, const Verdict& verdict,
-                             ProbeDelta* delta);
-  /// Staleness lag of `id` (requires mu_ held, shared or exclusive).
-  uint64_t StalenessLagLocked(ViewId id) const;
-  /// Persisted image of view `id` (requires mu_ held).
-  PersistedView PersistedImageLocked(ViewId id) const;
-  /// Best-effort lifecycle event append (requires mu_ held exclusively).
-  void LogViewEventLocked(ViewId id);
-  /// Grows lifecycle + tree-membership bookkeeping to the catalog size
-  /// (requires mu_ held exclusively).
-  void GrowBookkeepingLocked();
+                             VerifyMode mode, ProbeDelta* delta)
+      MVOPT_REQUIRES_SHARED(mu_);
+  /// Staleness lag of `id` (shared suffices; exclusive also satisfies).
+  uint64_t StalenessLagLocked(ViewId id) const MVOPT_REQUIRES_SHARED(mu_);
+  /// Persisted image of view `id`.
+  PersistedView PersistedImageLocked(ViewId id) const
+      MVOPT_REQUIRES_SHARED(mu_);
+  /// Best-effort lifecycle event append.
+  void LogViewEventLocked(ViewId id) MVOPT_REQUIRES(mu_);
+  /// Grows lifecycle + tree-membership bookkeeping to the catalog size.
+  void GrowBookkeepingLocked() MVOPT_REQUIRES(mu_);
 
   const Catalog* catalog_;
+  /// Immutable after construction except verify_mode (see verify_mode_,
+  /// which supersedes options_.verify_mode after the ctor).
   Options options_;
-  ViewCatalog view_catalog_;
-  FilterTree filter_tree_;
-  ViewMatcher matcher_;
-  RewriteChecker checker_;
+  ViewMatcher matcher_;      ///< stateless per-call; Match() is const
+  RewriteChecker checker_;   ///< stateless per-call; Check() is const
 
   /// Guards catalog + filter tree structure: shared for probes,
-  /// exclusive for AddView / recovery / revalidation.
-  mutable std::shared_mutex mu_;
+  /// exclusive for AddView / recovery / revalidation. Always acquired
+  /// before stats_mu_ (CommitProbe runs under the shared lock) and
+  /// before the attached store's internal mutex.
+  mutable SharedMutex mu_ MVOPT_ACQUIRED_BEFORE(stats_mu_);
   /// Guards the probe-atomic stats below: probes take it once per probe
   /// (to commit their delta), snapshots and resets take it for the whole
   /// read-or-swap. Never held together with mu_ waits.
-  mutable std::mutex stats_mu_;
+  mutable Mutex stats_mu_;
 
-  MatchingStats stats_;
-  VerifyCounters verify_counters_;
-  std::vector<std::string> rejection_traces_;
+  ViewCatalog view_catalog_ MVOPT_GUARDED_BY(mu_);
+  FilterTree filter_tree_ MVOPT_GUARDED_BY(mu_);
+
+  MatchingStats stats_ MVOPT_GUARDED_BY(stats_mu_);
+  VerifyCounters verify_counters_ MVOPT_GUARDED_BY(stats_mu_);
+  std::vector<std::string> rejection_traces_ MVOPT_GUARDED_BY(stats_mu_);
+  /// Written once in RegisterMetrics (ctor); immutable afterwards, and
+  /// the instruments it points at are internally atomic.
   ProbeMetrics metrics_;
 
+  /// Runtime-flippable soundness-checking mode (see verify_mode()).
+  std::atomic<VerifyMode> verify_mode_;
+
+  /// Internally synchronized (lock-free entry access); not guarded.
   ViewLifecycleRegistry lifecycle_;
-  const TableEpochClock* epochs_ = nullptr;
-  CatalogStore* store_ = nullptr;
+  const TableEpochClock* epochs_ MVOPT_GUARDED_BY(mu_) = nullptr;
+  CatalogStore* store_ MVOPT_GUARDED_BY(mu_) = nullptr;
   /// Whether each view currently lives in the filter tree (sidelined
-  /// views are compacted out by RevalidationTick). Mutated only under
-  /// the exclusive lock.
-  std::vector<char> in_tree_;
-  int64_t revalidation_tick_ = 0;
+  /// views are compacted out by RevalidationTick).
+  std::vector<char> in_tree_ MVOPT_GUARDED_BY(mu_);
+  int64_t revalidation_tick_ MVOPT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mvopt

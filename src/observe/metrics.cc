@@ -73,7 +73,7 @@ void Histogram::Observe(double seconds) {
 Counter* MetricsRegistry::FindOrCreateCounter(const std::string& name,
                                               const std::string& help,
                                               MetricLabels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (CounterEntry& e : counters_) {
     if (e.name == name && e.labels == labels) return &e.counter;
   }
@@ -88,7 +88,7 @@ Counter* MetricsRegistry::FindOrCreateCounter(const std::string& name,
 Histogram* MetricsRegistry::FindOrCreateHistogram(const std::string& name,
                                                   const std::string& help,
                                                   MetricLabels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (HistogramEntry& e : histograms_) {
     if (e.name == name && e.labels == labels) return &e.histogram;
   }
@@ -102,7 +102,7 @@ Histogram* MetricsRegistry::FindOrCreateHistogram(const std::string& name,
 
 std::optional<int64_t> MetricsRegistry::CounterValue(
     const std::string& name, const MetricLabels& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const CounterEntry& e : counters_) {
     if (e.name == name && e.labels == labels) return e.counter.value();
   }
@@ -110,7 +110,7 @@ std::optional<int64_t> MetricsRegistry::CounterValue(
 }
 
 int64_t MetricsRegistry::SumFamily(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t sum = 0;
   for (const CounterEntry& e : counters_) {
     if (e.name == name) sum += e.counter.value();
@@ -119,12 +119,12 @@ int64_t MetricsRegistry::SumFamily(const std::string& name) const {
 }
 
 size_t MetricsRegistry::num_counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_.size();
 }
 
 size_t MetricsRegistry::num_histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return histograms_.size();
 }
 
@@ -140,7 +140,7 @@ std::string FormatLabels(const MetricLabels& labels) {
 }
 
 std::string MetricsRegistry::WritePrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   // One HELP/TYPE block per family, samples in registration order within
   // it. Registration order is deterministic, so the exposition is too.
@@ -221,7 +221,7 @@ std::string JsonEscape(const std::string& s) {
 }
 
 std::string MetricsRegistry::WriteJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"counters\":[";
   bool first = true;
   for (const CounterEntry& e : counters_) {

@@ -25,11 +25,13 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mvopt {
 
@@ -90,24 +92,26 @@ class MetricsRegistry {
   /// lifetime; call sites should cache it. `help` is recorded on first
   /// registration of the family.
   Counter* FindOrCreateCounter(const std::string& name, const std::string& help,
-                               MetricLabels labels = {});
+                               MetricLabels labels = {}) MVOPT_EXCLUDES(mu_);
   Histogram* FindOrCreateHistogram(const std::string& name,
                                    const std::string& help,
-                                   MetricLabels labels = {});
+                                   MetricLabels labels = {})
+      MVOPT_EXCLUDES(mu_);
 
   /// Value of one counter, or nullopt if never registered.
   std::optional<int64_t> CounterValue(const std::string& name,
-                                      const MetricLabels& labels = {}) const;
+                                      const MetricLabels& labels = {}) const
+      MVOPT_EXCLUDES(mu_);
   /// Sum over every labeled instrument of a counter family (0 if none).
-  int64_t SumFamily(const std::string& name) const;
+  int64_t SumFamily(const std::string& name) const MVOPT_EXCLUDES(mu_);
 
   /// Prometheus text exposition format (one HELP/TYPE block per family).
-  std::string WritePrometheus() const;
+  std::string WritePrometheus() const MVOPT_EXCLUDES(mu_);
   /// JSON dump: {"counters": [...], "histograms": [...]}.
-  std::string WriteJson() const;
+  std::string WriteJson() const MVOPT_EXCLUDES(mu_);
 
-  size_t num_counters() const;
-  size_t num_histograms() const;
+  size_t num_counters() const MVOPT_EXCLUDES(mu_);
+  size_t num_histograms() const MVOPT_EXCLUDES(mu_);
 
  private:
   struct CounterEntry {
@@ -123,10 +127,13 @@ class MetricsRegistry {
     Histogram histogram;
   };
 
-  mutable std::mutex mu_;
-  /// Deques: growth never moves an instrument.
-  std::deque<CounterEntry> counters_;
-  std::deque<HistogramEntry> histograms_;
+  mutable Mutex mu_;
+  /// Deques: growth never moves an instrument, so cached Counter* /
+  /// Histogram* stay valid and the hot-path atomics are touched without
+  /// the registration lock. The deques themselves (structure: growth,
+  /// iteration for snapshots) are guarded.
+  std::deque<CounterEntry> counters_ MVOPT_GUARDED_BY(mu_);
+  std::deque<HistogramEntry> histograms_ MVOPT_GUARDED_BY(mu_);
 };
 
 /// Renders `labels` as {k="v",...}, empty string for no labels. Values

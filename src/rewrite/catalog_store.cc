@@ -205,6 +205,7 @@ std::string RecoveryReport::ToJson() const {
 CatalogStore::~CatalogStore() { Close(); }
 
 void CatalogStore::Close() {
+  MutexLock lock(mu_);
   if (wal_fd_ >= 0) {
     ::close(wal_fd_);
     wal_fd_ = -1;
@@ -315,7 +316,8 @@ CatalogStore::RecoveredState CatalogStore::Recover() const {
 }
 
 void CatalogStore::OpenForAppend() {
-  if (is_open()) return;
+  MutexLock lock(mu_);
+  if (wal_fd_ >= 0) return;
   if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
     throw StoreIoError("mkdir " + dir_ + ": " + std::strerror(errno), false);
   }
@@ -396,7 +398,7 @@ void CatalogStore::TryRepairNow() noexcept {
 }
 
 void CatalogStore::AppendRecord(uint8_t type, const std::string& payload) {
-  if (!is_open()) {
+  if (wal_fd_ < 0) {
     throw StoreIoError("catalog store is not open for appends", false);
   }
   RepairTornTail();
@@ -440,16 +442,19 @@ void CatalogStore::AppendRecord(uint8_t type, const std::string& payload) {
 }
 
 void CatalogStore::AppendAddView(const PersistedView& view) {
+  MutexLock lock(mu_);
   AppendRecord(kRecordAddView, EncodeAddView(view));
 }
 
 void CatalogStore::AppendViewEvent(const std::string& name, ViewState state,
                                    uint64_t epoch, uint64_t checksum) {
+  MutexLock lock(mu_);
   AppendRecord(kRecordViewEvent, EncodeViewEvent(name, state, epoch, checksum));
 }
 
 void CatalogStore::WriteSnapshot(const std::vector<PersistedView>& views) {
-  if (!is_open()) {
+  MutexLock lock(mu_);
+  if (wal_fd_ < 0) {
     throw StoreIoError("catalog store is not open for appends", false);
   }
   const std::string tmp = dir_ + "/catalog.snapshot.tmp";

@@ -43,6 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "observe/metrics.h"
 #include "rewrite/view_lifecycle.h"
 
@@ -117,23 +119,30 @@ class CatalogStore {
   /// Prepares the store for appends: creates the directory and files on
   /// first use and physically truncates any torn WAL tail. Throws
   /// StoreIoError on I/O failure.
-  void OpenForAppend();
-  bool is_open() const { return wal_fd_ >= 0; }
-  void Close();
+  void OpenForAppend() MVOPT_EXCLUDES(mu_);
+  bool is_open() const MVOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return wal_fd_ >= 0;
+  }
+  void Close() MVOPT_EXCLUDES(mu_);
 
   /// Appends + fsyncs one record (commit point). Throws StoreIoError;
   /// durable() tells whether the record was already committed.
-  void AppendAddView(const PersistedView& view);
+  void AppendAddView(const PersistedView& view) MVOPT_EXCLUDES(mu_);
   void AppendViewEvent(const std::string& name, ViewState state,
-                       uint64_t epoch, uint64_t checksum);
+                       uint64_t epoch, uint64_t checksum) MVOPT_EXCLUDES(mu_);
 
   /// Atomically installs a new snapshot and resets the WAL.
-  void WriteSnapshot(const std::vector<PersistedView>& views);
+  void WriteSnapshot(const std::vector<PersistedView>& views)
+      MVOPT_EXCLUDES(mu_);
 
   const std::string& dir() const { return dir_; }
   std::string wal_path() const { return dir_ + "/catalog.wal"; }
   std::string snapshot_path() const { return dir_ + "/catalog.snapshot"; }
-  int64_t wal_bytes() const { return wal_offset_; }
+  int64_t wal_bytes() const MVOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return wal_offset_;
+  }
 
   /// Observability hooks (nullptr slots are skipped). Appends count
   /// frames handed to write(2); fsyncs count successful commit-point
@@ -144,24 +153,34 @@ class CatalogStore {
     Counter* wal_append_failures = nullptr;
     Counter* snapshot_writes = nullptr;
   };
-  void set_counters(const StoreCounters& counters) { counters_ = counters; }
+  void set_counters(const StoreCounters& counters) MVOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    counters_ = counters;
+  }
 
  private:
-  void AppendRecord(uint8_t type, const std::string& payload);
-  void RepairTornTail();
+  void AppendRecord(uint8_t type, const std::string& payload)
+      MVOPT_REQUIRES(mu_);
+  void RepairTornTail() MVOPT_REQUIRES(mu_);
   /// Best-effort immediate tail repair after a failed append (never
   /// throws; on failure the repair stays pending for the next append).
-  void TryRepairNow() noexcept;
+  void TryRepairNow() noexcept MVOPT_REQUIRES(mu_);
 
   std::string dir_;
-  int wal_fd_ = -1;
+  /// Serializes append/snapshot/close against each other and against
+  /// wal_bytes()/is_open() readers. Historically the owning
+  /// MatchingService's exclusive lock was the only serialization; the
+  /// store now enforces its own discipline so bench/driver threads can
+  /// poll it safely. Acquired after the service lock, never before it.
+  mutable Mutex mu_;
+  int wal_fd_ MVOPT_GUARDED_BY(mu_) = -1;
   /// End of the last committed record (append position after repair).
-  int64_t wal_offset_ = 0;
+  int64_t wal_offset_ MVOPT_GUARDED_BY(mu_) = 0;
   /// A failed append may have left a torn frame past wal_offset_; the
   /// next append truncates it first (a crash before then leaves the tear
   /// for recovery to cut, which is equally safe).
-  bool needs_repair_ = false;
-  StoreCounters counters_;
+  bool needs_repair_ MVOPT_GUARDED_BY(mu_) = false;
+  StoreCounters counters_ MVOPT_GUARDED_BY(mu_);
 };
 
 }  // namespace mvopt

@@ -13,36 +13,6 @@
 
 namespace mvopt {
 
-const char* RejectReasonName(RejectReason reason) {
-  switch (reason) {
-    case RejectReason::kNone:
-      return "none";
-    case RejectReason::kSourceTables:
-      return "source-tables";
-    case RejectReason::kExtraTableElimination:
-      return "extra-table-elimination";
-    case RejectReason::kEquijoinSubsumption:
-      return "equijoin-subsumption";
-    case RejectReason::kRangeSubsumption:
-      return "range-subsumption";
-    case RejectReason::kResidualSubsumption:
-      return "residual-subsumption";
-    case RejectReason::kCompensationNotComputable:
-      return "compensation-not-computable";
-    case RejectReason::kOutputNotComputable:
-      return "output-not-computable";
-    case RejectReason::kViewMoreAggregated:
-      return "view-more-aggregated";
-    case RejectReason::kGroupingMismatch:
-      return "grouping-mismatch";
-    case RejectReason::kAggregateNotComputable:
-      return "aggregate-not-computable";
-    case RejectReason::kStale:
-      return "stale-view";
-  }
-  return "?";
-}
-
 namespace {
 
 MatchResult Reject(RejectReason reason) {

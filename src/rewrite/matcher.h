@@ -23,6 +23,7 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "common/enum_coverage.h"
 #include "query/spjg.h"
 #include "query/substitute.h"
 #include "query/view_def.h"
@@ -70,7 +71,42 @@ static_assert(static_cast<int>(RejectReason::kStale) + 1 ==
                   kNumRejectReasons,
               "kNumRejectReasons must cover every RejectReason");
 
-const char* RejectReasonName(RejectReason reason);
+/// Exhaustive (switch-based, no default): a new RejectReason without a
+/// name is a -Wswitch error, and the static_assert below proves every
+/// value maps to a real name even where that warning is demoted.
+constexpr const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kSourceTables:
+      return "source-tables";
+    case RejectReason::kExtraTableElimination:
+      return "extra-table-elimination";
+    case RejectReason::kEquijoinSubsumption:
+      return "equijoin-subsumption";
+    case RejectReason::kRangeSubsumption:
+      return "range-subsumption";
+    case RejectReason::kResidualSubsumption:
+      return "residual-subsumption";
+    case RejectReason::kCompensationNotComputable:
+      return "compensation-not-computable";
+    case RejectReason::kOutputNotComputable:
+      return "output-not-computable";
+    case RejectReason::kViewMoreAggregated:
+      return "view-more-aggregated";
+    case RejectReason::kGroupingMismatch:
+      return "grouping-mismatch";
+    case RejectReason::kAggregateNotComputable:
+      return "aggregate-not-computable";
+    case RejectReason::kStale:
+      return "stale-view";
+  }
+  return "?";
+}
+
+static_assert(
+    AllEnumeratorsNamed<RejectReason, RejectReasonName>(kNumRejectReasons),
+    "every RejectReason needs a RejectReasonName entry");
 
 struct MatchResult {
   std::optional<Substitute> substitute;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace mvopt {
 
@@ -9,34 +10,58 @@ namespace {
 constexpr auto kRelaxed = std::memory_order_relaxed;
 }  // namespace
 
-const char* ViewStateName(ViewState state) {
-  switch (state) {
-    case ViewState::kFresh:
-      return "fresh";
-    case ViewState::kStale:
-      return "stale";
-    case ViewState::kQuarantined:
-      return "quarantined";
-    case ViewState::kDisabled:
-      return "disabled";
+ViewLifecycleRegistry::~ViewLifecycleRegistry() {
+  for (std::atomic<Chunk*>& slot : chunks_) {
+    delete slot.load(kRelaxed);
   }
-  return "?";
+}
+
+ViewLifecycleRegistry::Entry* ViewLifecycleRegistry::FindEntry(
+    ViewId id) const {
+  if (id < 0) return nullptr;
+  const size_t index = static_cast<size_t>(id);
+  if (index >= size_.load(std::memory_order_acquire)) return nullptr;
+  Chunk* chunk = chunks_[index >> kChunkShift].load(std::memory_order_acquire);
+  assert(chunk != nullptr);  // publication order: chunk before size
+  return &chunk->entries[index & (kChunkSize - 1)];
 }
 
 void ViewLifecycleRegistry::EnsureSize(size_t n) {
-  while (entries_.size() < n) {
-    entries_.emplace_back();
-    state_counts_[static_cast<size_t>(ViewState::kFresh)].fetch_add(1,
-                                                                    kRelaxed);
+  if (n > kMaxViews) {
+    throw std::length_error("ViewLifecycleRegistry: capacity exceeded");
   }
+  MutexLock lock(growth_mu_);
+  const size_t old_size = size_.load(kRelaxed);
+  if (n <= old_size) return;
+  // Install every chunk needed to back [0, n) before publishing the new
+  // size; a reader that acquires the size is then guaranteed to acquire
+  // a fully-constructed chunk.
+  const size_t last_chunk = (n - 1) >> kChunkShift;
+  for (size_t c = old_size >> kChunkShift; c <= last_chunk; ++c) {
+    if (chunks_[c].load(kRelaxed) == nullptr) {
+      chunks_[c].store(new Chunk(), std::memory_order_release);
+    }
+  }
+  size_.store(n, std::memory_order_release);
+  state_counts_[static_cast<size_t>(ViewState::kFresh)].fetch_add(
+      static_cast<int64_t>(n - old_size), kRelaxed);
 }
 
 int64_t ViewLifecycleRegistry::CountState(ViewState state) const {
-  int64_t n = 0;
-  for (const Entry& e : entries_) {
-    if (static_cast<ViewState>(e.state.load(kRelaxed)) == state) ++n;
+  const size_t n = size_.load(std::memory_order_acquire);
+  int64_t count = 0;
+  for (size_t i = 0; i < n; i += kChunkSize) {
+    const Chunk* chunk =
+        chunks_[i >> kChunkShift].load(std::memory_order_acquire);
+    const size_t limit = std::min(kChunkSize, n - i);
+    for (size_t j = 0; j < limit; ++j) {
+      if (static_cast<ViewState>(chunk->entries[j].state.load(kRelaxed)) ==
+          state) {
+        ++count;
+      }
+    }
   }
-  return n;
+  return count;
 }
 
 bool ViewLifecycleRegistry::AuditCounters() {
@@ -53,8 +78,9 @@ bool ViewLifecycleRegistry::AuditCounters() {
 }
 
 ViewState ViewLifecycleRegistry::state(ViewId id) const {
-  if (static_cast<size_t>(id) >= entries_.size()) return ViewState::kFresh;
-  return static_cast<ViewState>(entries_[id].state.load(kRelaxed));
+  const Entry* e = FindEntry(id);
+  if (e == nullptr) return ViewState::kFresh;
+  return static_cast<ViewState>(e->state.load(kRelaxed));
 }
 
 bool ViewLifecycleRegistry::IsSidelined(ViewId id) const {
@@ -63,26 +89,26 @@ bool ViewLifecycleRegistry::IsSidelined(ViewId id) const {
 }
 
 uint64_t ViewLifecycleRegistry::epoch(ViewId id) const {
-  if (static_cast<size_t>(id) >= entries_.size()) return 0;
-  return entries_[id].epoch.load(kRelaxed);
+  const Entry* e = FindEntry(id);
+  return e == nullptr ? 0 : e->epoch.load(kRelaxed);
 }
 
 uint64_t ViewLifecycleRegistry::checksum(ViewId id) const {
-  if (static_cast<size_t>(id) >= entries_.size()) return 0;
-  return entries_[id].checksum.load(kRelaxed);
+  const Entry* e = FindEntry(id);
+  return e == nullptr ? 0 : e->checksum.load(kRelaxed);
 }
 
 ViewLifecycleRegistry::Snapshot ViewLifecycleRegistry::snapshot(
     ViewId id) const {
   Snapshot s;
-  if (static_cast<size_t>(id) >= entries_.size()) return s;
-  const Entry& e = entries_[id];
-  s.state = static_cast<ViewState>(e.state.load(kRelaxed));
-  s.epoch = e.epoch.load(kRelaxed);
-  s.content_checksum = e.checksum.load(kRelaxed);
-  s.failure_streak = e.failure_streak.load(kRelaxed);
-  s.next_retry_tick = e.next_retry_tick.load(kRelaxed);
-  s.retry_backoff = e.retry_backoff.load(kRelaxed);
+  const Entry* e = FindEntry(id);
+  if (e == nullptr) return s;
+  s.state = static_cast<ViewState>(e->state.load(kRelaxed));
+  s.epoch = e->epoch.load(kRelaxed);
+  s.content_checksum = e->checksum.load(kRelaxed);
+  s.failure_streak = e->failure_streak.load(kRelaxed);
+  s.next_retry_tick = e->next_retry_tick.load(kRelaxed);
+  s.retry_backoff = e->retry_backoff.load(kRelaxed);
   return s;
 }
 
@@ -106,21 +132,25 @@ bool ViewLifecycleRegistry::Transition(Entry& e, ViewState from,
 }
 
 void ViewLifecycleRegistry::MarkFresh(ViewId id, uint64_t epoch) {
-  assert(static_cast<size_t>(id) < entries_.size());
-  Entry& e = entries_[id];
-  e.epoch.store(epoch, kRelaxed);
-  e.failure_streak.store(0, kRelaxed);
-  Transition(e, ViewState::kStale, ViewState::kFresh);
+  Entry* e = FindEntry(id);
+  assert(e != nullptr);
+  if (e == nullptr) return;
+  e->epoch.store(epoch, kRelaxed);
+  e->failure_streak.store(0, kRelaxed);
+  Transition(*e, ViewState::kStale, ViewState::kFresh);
 }
 
 void ViewLifecycleRegistry::SetChecksum(ViewId id, uint64_t checksum) {
-  assert(static_cast<size_t>(id) < entries_.size());
-  entries_[id].checksum.store(checksum, kRelaxed);
+  Entry* e = FindEntry(id);
+  assert(e != nullptr);
+  if (e == nullptr) return;
+  e->checksum.store(checksum, kRelaxed);
 }
 
 void ViewLifecycleRegistry::MarkStale(ViewId id) {
-  if (static_cast<size_t>(id) >= entries_.size()) return;
-  Transition(entries_[id], ViewState::kFresh, ViewState::kStale);
+  Entry* e = FindEntry(id);
+  if (e == nullptr) return;
+  Transition(*e, ViewState::kFresh, ViewState::kStale);
 }
 
 ViewLifecycleRegistry::ProbeGate ViewLifecycleRegistry::GateForProbe(
@@ -134,31 +164,32 @@ ViewLifecycleRegistry::ProbeGate ViewLifecycleRegistry::GateForProbe(
 bool ViewLifecycleRegistry::ReportVerifyFailure(ViewId id,
                                                 int quarantine_threshold,
                                                 int disable_threshold) {
-  if (static_cast<size_t>(id) >= entries_.size()) return false;
-  Entry& e = entries_[id];
-  const int32_t streak = e.failure_streak.fetch_add(1, kRelaxed) + 1;
+  Entry* e = FindEntry(id);
+  if (e == nullptr) return false;
+  const int32_t streak = e->failure_streak.fetch_add(1, kRelaxed) + 1;
   bool changed = false;
   if (quarantine_threshold > 0 && streak >= quarantine_threshold) {
-    changed |= Transition(e, ViewState::kFresh, ViewState::kQuarantined);
-    changed |= Transition(e, ViewState::kStale, ViewState::kQuarantined);
+    changed |= Transition(*e, ViewState::kFresh, ViewState::kQuarantined);
+    changed |= Transition(*e, ViewState::kStale, ViewState::kQuarantined);
   }
   if (disable_threshold > 0 && streak >= disable_threshold) {
     // Reachable from QUARANTINED (escalation) or directly from
     // FRESH/STALE when quarantine is configured off.
-    changed |= Transition(e, ViewState::kQuarantined, ViewState::kDisabled);
-    changed |= Transition(e, ViewState::kFresh, ViewState::kDisabled);
-    changed |= Transition(e, ViewState::kStale, ViewState::kDisabled);
+    changed |= Transition(*e, ViewState::kQuarantined, ViewState::kDisabled);
+    changed |= Transition(*e, ViewState::kFresh, ViewState::kDisabled);
+    changed |= Transition(*e, ViewState::kStale, ViewState::kDisabled);
   }
   if (changed) {
-    e.next_retry_tick.store(0, kRelaxed);
-    e.retry_backoff.store(1, kRelaxed);
+    e->next_retry_tick.store(0, kRelaxed);
+    e->retry_backoff.store(1, kRelaxed);
   }
   return changed;
 }
 
 void ViewLifecycleRegistry::ReportVerifySuccess(ViewId id) {
-  if (static_cast<size_t>(id) >= entries_.size()) return;
-  entries_[id].failure_streak.store(0, kRelaxed);
+  Entry* e = FindEntry(id);
+  if (e == nullptr) return;
+  e->failure_streak.store(0, kRelaxed);
 }
 
 bool ViewLifecycleRegistry::ReportChecksumMismatch(ViewId id) {
@@ -166,59 +197,61 @@ bool ViewLifecycleRegistry::ReportChecksumMismatch(ViewId id) {
 }
 
 bool ViewLifecycleRegistry::Disable(ViewId id) {
-  if (static_cast<size_t>(id) >= entries_.size()) return false;
-  Entry& e = entries_[id];
-  bool changed = Transition(e, ViewState::kFresh, ViewState::kDisabled) ||
-                 Transition(e, ViewState::kStale, ViewState::kDisabled) ||
-                 Transition(e, ViewState::kQuarantined, ViewState::kDisabled);
+  Entry* e = FindEntry(id);
+  if (e == nullptr) return false;
+  bool changed = Transition(*e, ViewState::kFresh, ViewState::kDisabled) ||
+                 Transition(*e, ViewState::kStale, ViewState::kDisabled) ||
+                 Transition(*e, ViewState::kQuarantined, ViewState::kDisabled);
   if (changed) {
-    e.next_retry_tick.store(0, kRelaxed);
-    e.retry_backoff.store(1, kRelaxed);
+    e->next_retry_tick.store(0, kRelaxed);
+    e->retry_backoff.store(1, kRelaxed);
   }
   return changed;
 }
 
 bool ViewLifecycleRegistry::Readmit(ViewId id, uint64_t epoch) {
-  if (static_cast<size_t>(id) >= entries_.size()) return false;
-  Entry& e = entries_[id];
-  bool changed = Transition(e, ViewState::kQuarantined, ViewState::kFresh) ||
-                 Transition(e, ViewState::kDisabled, ViewState::kFresh);
+  Entry* e = FindEntry(id);
+  if (e == nullptr) return false;
+  bool changed = Transition(*e, ViewState::kQuarantined, ViewState::kFresh) ||
+                 Transition(*e, ViewState::kDisabled, ViewState::kFresh);
   if (changed) {
-    e.epoch.store(epoch, kRelaxed);
-    e.failure_streak.store(0, kRelaxed);
-    e.next_retry_tick.store(0, kRelaxed);
-    e.retry_backoff.store(1, kRelaxed);
+    e->epoch.store(epoch, kRelaxed);
+    e->failure_streak.store(0, kRelaxed);
+    e->next_retry_tick.store(0, kRelaxed);
+    e->retry_backoff.store(1, kRelaxed);
   }
   return changed;
 }
 
 void ViewLifecycleRegistry::Restore(ViewId id, const Snapshot& snapshot) {
-  assert(static_cast<size_t>(id) < entries_.size());
-  Entry& e = entries_[id];
+  Entry* e = FindEntry(id);
+  assert(e != nullptr);
+  if (e == nullptr) return;
   // Exchange, not load-then-store: the gauge delta must be computed from
   // the state this store actually replaced, or a transition racing the
   // restore would leave the gauges permanently wrong.
   ViewState before = static_cast<ViewState>(
-      e.state.exchange(static_cast<uint8_t>(snapshot.state), kRelaxed));
+      e->state.exchange(static_cast<uint8_t>(snapshot.state), kRelaxed));
   AdjustCounters(before, snapshot.state);
-  e.epoch.store(snapshot.epoch, kRelaxed);
-  e.checksum.store(snapshot.content_checksum, kRelaxed);
-  e.failure_streak.store(snapshot.failure_streak, kRelaxed);
-  e.next_retry_tick.store(snapshot.next_retry_tick, kRelaxed);
-  e.retry_backoff.store(snapshot.retry_backoff, kRelaxed);
+  e->epoch.store(snapshot.epoch, kRelaxed);
+  e->checksum.store(snapshot.content_checksum, kRelaxed);
+  e->failure_streak.store(snapshot.failure_streak, kRelaxed);
+  e->next_retry_tick.store(snapshot.next_retry_tick, kRelaxed);
+  e->retry_backoff.store(snapshot.retry_backoff, kRelaxed);
 }
 
 bool ViewLifecycleRegistry::DueForRetry(ViewId id, int64_t tick) const {
-  if (static_cast<size_t>(id) >= entries_.size()) return false;
-  return entries_[id].next_retry_tick.load(kRelaxed) <= tick;
+  const Entry* e = FindEntry(id);
+  if (e == nullptr) return false;
+  return e->next_retry_tick.load(kRelaxed) <= tick;
 }
 
 void ViewLifecycleRegistry::RecordRetryFailure(ViewId id, int64_t tick) {
-  if (static_cast<size_t>(id) >= entries_.size()) return;
-  Entry& e = entries_[id];
-  int64_t backoff = e.retry_backoff.load(kRelaxed);
-  e.next_retry_tick.store(tick + backoff, kRelaxed);
-  e.retry_backoff.store(std::min<int64_t>(backoff * 2, kMaxBackoff),
+  Entry* e = FindEntry(id);
+  if (e == nullptr) return;
+  int64_t backoff = e->retry_backoff.load(kRelaxed);
+  e->next_retry_tick.store(tick + backoff, kRelaxed);
+  e->retry_backoff.store(std::min<int64_t>(backoff * 2, kMaxBackoff),
                         kRelaxed);
 }
 

@@ -19,10 +19,18 @@
 // which case their substitutes are down-ranked behind fresh ones.
 // QUARANTINED and DISABLED views never match until readmitted.
 //
-// Thread-safety mirrors MatchingService: entries are atomics in a deque
-// (growth only under the service's exclusive lock), so probe threads may
-// read and record failures under a shared lock. Readmission, disabling
-// and the revalidation pass run under the exclusive lock.
+// Thread-safety: the registry is *internally* synchronized. Entries are
+// fixed-size chunks of atomics published through acquire/release chunk
+// pointers, so every per-view read or CAS transition is lock-free and
+// may run from any thread — probe threads under the service's shared
+// lock, the engine-side ViewMaintainer with no service lock at all.
+// Growth (EnsureSize) takes the registry's own growth mutex and
+// publishes the new size last, so a concurrent reader either sees a
+// fully-constructed entry or treats the id as out of range; it never
+// observes a half-built chunk. (The previous design kept entries in a
+// deque grown under the owning service's exclusive lock, which made
+// every maintenance-side call a growth/read race — the kind of
+// convention the thread-safety annotations now refuse to compile.)
 
 #ifndef MVOPT_REWRITE_VIEW_LIFECYCLE_H_
 #define MVOPT_REWRITE_VIEW_LIFECYCLE_H_
@@ -30,8 +38,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
 
+#include "common/enum_coverage.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "observe/metrics.h"
 #include "query/view_def.h"
 
@@ -45,8 +56,28 @@ enum class ViewState : uint8_t {
 };
 
 inline constexpr int kNumViewStates = 4;
+static_assert(static_cast<int>(ViewState::kDisabled) + 1 == kNumViewStates,
+              "kNumViewStates must cover every ViewState");
 
-const char* ViewStateName(ViewState state);
+/// Exhaustive (switch-based, no default) so a new ViewState without a
+/// name is a -Wswitch error; the static_assert below proves every value
+/// maps to a real name even in builds that demote the warning.
+constexpr const char* ViewStateName(ViewState state) {
+  switch (state) {
+    case ViewState::kFresh:
+      return "fresh";
+    case ViewState::kStale:
+      return "stale";
+    case ViewState::kQuarantined:
+      return "quarantined";
+    case ViewState::kDisabled:
+      return "disabled";
+  }
+  return "?";
+}
+
+static_assert(AllEnumeratorsNamed<ViewState, ViewStateName>(kNumViewStates),
+              "every ViewState needs a ViewStateName entry");
 
 class ViewLifecycleRegistry {
  public:
@@ -61,12 +92,19 @@ class ViewLifecycleRegistry {
   };
 
   ViewLifecycleRegistry() = default;
+  ~ViewLifecycleRegistry();
   ViewLifecycleRegistry(const ViewLifecycleRegistry&) = delete;
   ViewLifecycleRegistry& operator=(const ViewLifecycleRegistry&) = delete;
 
-  /// Grows the registry to cover `n` views (exclusive lock only).
-  void EnsureSize(size_t n);
-  size_t size() const { return entries_.size(); }
+  /// Grows the registry to cover `n` views. Safe to call concurrently
+  /// with readers and with other EnsureSize calls (growth serializes on
+  /// the registry's own mutex); never shrinks.
+  void EnsureSize(size_t n) MVOPT_EXCLUDES(growth_mu_);
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Hard capacity (chunk directory is a fixed array so lookups stay
+  /// lock-free); EnsureSize beyond this throws std::length_error.
+  static constexpr size_t kMaxViews = size_t{1} << 20;
 
   ViewState state(ViewId id) const;
   /// Matchable without any staleness tolerance.
@@ -151,9 +189,9 @@ class ViewLifecycleRegistry {
     return num_quarantined() + num_disabled();
   }
 
-  /// Authoritative count derived from the per-entry states. Requires
-  /// external synchronization against EnsureSize (the service's
-  /// exclusive lock).
+  /// Authoritative count derived from the per-entry states. Safe from
+  /// any thread, but only a point-in-time figure unless the caller has
+  /// quiesced transitions.
   int64_t CountState(ViewState state) const;
 
   /// Reconciles the incremental gauges against the authoritative state
@@ -182,13 +220,33 @@ class ViewLifecycleRegistry {
   };
   static constexpr int64_t kMaxBackoff = 64;
 
+  /// Entries live in fixed-size chunks so their atomics never move and a
+  /// reader can reach any live entry with two acquire loads (size, then
+  /// chunk pointer) and no lock.
+  static constexpr size_t kChunkShift = 8;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;  // 256
+  static constexpr size_t kMaxChunks = kMaxViews / kChunkSize;
+
+  struct Chunk {
+    std::array<Entry, kChunkSize> entries{};
+  };
+
+  /// The live entry for `id`, or nullptr when id is out of range. The
+  /// publication order in EnsureSize (chunk pointer with release, then
+  /// size with release) guarantees that any id below the acquired size
+  /// has a fully-constructed chunk behind it.
+  Entry* FindEntry(ViewId id) const;
+
   /// CAS transition keeping the state gauges consistent; returns true
   /// when `id` moved from `from` to `to`.
   bool Transition(Entry& e, ViewState from, ViewState to);
   void AdjustCounters(ViewState from, ViewState to);
 
-  /// Deque: growth never invalidates entries, atomics never move.
-  std::deque<Entry> entries_;
+  /// Serializes growth (chunk allocation + size publication) only; no
+  /// reader or transition path ever takes it.
+  Mutex growth_mu_;
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  std::atomic<size_t> size_{0};
   /// Live entries per state (new entries are born FRESH).
   std::array<std::atomic<int64_t>, kNumViewStates> state_counts_{};
   std::array<Counter*, kNumViewStates> transition_counters_{};

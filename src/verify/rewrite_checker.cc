@@ -9,46 +9,6 @@
 
 namespace mvopt {
 
-const char* VerifyModeName(VerifyMode mode) {
-  switch (mode) {
-    case VerifyMode::kOff:
-      return "off";
-    case VerifyMode::kLog:
-      return "log";
-    case VerifyMode::kEnforce:
-      return "enforce";
-  }
-  return "?";
-}
-
-const char* CheckCodeName(CheckCode code) {
-  switch (code) {
-    case CheckCode::kProven:
-      return "proven";
-    case CheckCode::kMalformedSubstitute:
-      return "malformed-substitute";
-    case CheckCode::kViewNotWellFormed:
-      return "view-not-well-formed";
-    case CheckCode::kNoValidTableMapping:
-      return "no-valid-table-mapping";
-    case CheckCode::kBackjoinNotJustified:
-      return "backjoin-not-justified";
-    case CheckCode::kEqualityNotEquivalent:
-      return "equality-not-equivalent";
-    case CheckCode::kRangeNotEquivalent:
-      return "range-not-equivalent";
-    case CheckCode::kResidualNotEquivalent:
-      return "residual-not-equivalent";
-    case CheckCode::kGroupingNotEquivalent:
-      return "grouping-not-equivalent";
-    case CheckCode::kOutputNotEquivalent:
-      return "output-not-equivalent";
-    case CheckCode::kAggregateRewriteUnsound:
-      return "aggregate-rewrite-unsound";
-  }
-  return "?";
-}
-
 namespace {
 
 std::string RefName(ColumnRefId c) {

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "common/enum_coverage.h"
 #include "common/query_context.h"
 #include "query/spjg.h"
 #include "query/substitute.h"
@@ -43,7 +44,24 @@ enum class VerifyMode {
   kEnforce,  ///< run it and discard substitutes that cannot be proven
 };
 
-const char* VerifyModeName(VerifyMode mode);
+inline constexpr int kNumVerifyModes = 3;
+static_assert(static_cast<int>(VerifyMode::kEnforce) + 1 == kNumVerifyModes,
+              "kNumVerifyModes must cover every VerifyMode");
+
+constexpr const char* VerifyModeName(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kOff:
+      return "off";
+    case VerifyMode::kLog:
+      return "log";
+    case VerifyMode::kEnforce:
+      return "enforce";
+  }
+  return "?";
+}
+
+static_assert(AllEnumeratorsNamed<VerifyMode, VerifyModeName>(kNumVerifyModes),
+              "every VerifyMode needs a VerifyModeName entry");
 
 /// Machine-readable outcome classes, ordered roughly by how far the proof
 /// progressed before failing.
@@ -62,8 +80,43 @@ enum class CheckCode {
 };
 
 inline constexpr int kNumCheckCodes = 11;
+static_assert(static_cast<int>(CheckCode::kAggregateRewriteUnsound) + 1 ==
+                  kNumCheckCodes,
+              "kNumCheckCodes must cover every CheckCode");
 
-const char* CheckCodeName(CheckCode code);
+/// Exhaustive (switch-based, no default): a new CheckCode without a
+/// name is a -Wswitch error, and the static_assert below proves every
+/// value maps to a real name even where that warning is demoted.
+constexpr const char* CheckCodeName(CheckCode code) {
+  switch (code) {
+    case CheckCode::kProven:
+      return "proven";
+    case CheckCode::kMalformedSubstitute:
+      return "malformed-substitute";
+    case CheckCode::kViewNotWellFormed:
+      return "view-not-well-formed";
+    case CheckCode::kNoValidTableMapping:
+      return "no-valid-table-mapping";
+    case CheckCode::kBackjoinNotJustified:
+      return "backjoin-not-justified";
+    case CheckCode::kEqualityNotEquivalent:
+      return "equality-not-equivalent";
+    case CheckCode::kRangeNotEquivalent:
+      return "range-not-equivalent";
+    case CheckCode::kResidualNotEquivalent:
+      return "residual-not-equivalent";
+    case CheckCode::kGroupingNotEquivalent:
+      return "grouping-not-equivalent";
+    case CheckCode::kOutputNotEquivalent:
+      return "output-not-equivalent";
+    case CheckCode::kAggregateRewriteUnsound:
+      return "aggregate-rewrite-unsound";
+  }
+  return "?";
+}
+
+static_assert(AllEnumeratorsNamed<CheckCode, CheckCodeName>(kNumCheckCodes),
+              "every CheckCode needs a CheckCodeName entry");
 
 /// The checker's structured answer.
 struct Verdict {

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -14,7 +15,11 @@
 #include <gtest/gtest.h>
 
 #include "common/failpoint.h"
+#include "engine/maintenance.h"
 #include "index/matching_service.h"
+#include "rewrite/catalog_store.h"
+#include "rewrite/view_lifecycle.h"
+#include "tpch/datagen.h"
 #include "tpch/schema.h"
 #include "tpch/workload.h"
 #include "verify/invariant_auditor.h"
@@ -402,6 +407,217 @@ TEST_F(ConcurrencyStressTest, QuarantineReadmissionUnderConcurrentProbes) {
   for (size_t q = 0; q < queries_.size(); ++q) {
     EXPECT_EQ(Signature(&service, queries_[q]), expected[q]) << "query " << q;
   }
+}
+
+TEST_F(ConcurrencyStressTest, VerifyModeFlipsNeverTearProbeAccounting) {
+  // Regression for the verify-mode race: set_verify_mode used to write a
+  // plain options field that in-flight probes read without any lock. The
+  // mode is now an atomic snapshotted once per probe, so flipping it
+  // mid-load can neither tear nor split one probe's verify accounting
+  // across two modes: checked == proven + rejected holds in every
+  // mid-flight snapshot, not just at quiescence.
+  MatchingService::Options opts;
+  opts.verify_mode = VerifyMode::kLog;
+  MatchingService service(&catalog_, opts);
+  AddViewRange(&service, 0, kNumViews);
+
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    static constexpr VerifyMode kModes[] = {VerifyMode::kOff, VerifyMode::kLog,
+                                            VerifyMode::kEnforce};
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      service.set_verify_mode(kModes[i++ % 3]);
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  });
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      VerifyStats v = service.verify_stats();
+      EXPECT_EQ(v.checked, v.proven + v.rejected);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kNumReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int round = 0; round < 12; ++round) {
+        for (size_t q = t; q < queries_.size(); q += kNumReaders) {
+          (void)service.FindSubstitutes(queries_[q]);
+        }
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  stop.store(true);
+  toggler.join();
+  observer.join();
+  const VerifyStats v = service.verify_stats();
+  EXPECT_EQ(v.checked, v.proven + v.rejected);
+
+  // Pinned back to enforce, quiescent answers must equal a service that
+  // ran enforce from birth — the flips left no residue.
+  service.set_verify_mode(VerifyMode::kEnforce);
+  MatchingService::Options ref_opts;
+  ref_opts.verify_mode = VerifyMode::kEnforce;
+  MatchingService reference(&catalog_, ref_opts);
+  AddViewRange(&reference, 0, kNumViews);
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    EXPECT_EQ(Signature(&service, queries_[q]),
+              Signature(&reference, queries_[q]))
+        << "query " << q;
+  }
+}
+
+TEST_F(ConcurrencyStressTest, LifecycleGrowthNeverBreaksLockFreeReaders) {
+  // Regression for the registry growth race: EnsureSize used to grow the
+  // entry container while lock-free readers (probe gating, maintenance
+  // refresh) walked it — undefined behavior on growth. The chunked
+  // registry publishes fully constructed chunks with release stores and
+  // the size last, so a reader racing growth sees either "absent"
+  // (default answer) or a complete entry, never a partial one.
+  ViewLifecycleRegistry registry;
+  constexpr int kMaxId = 4096;  // crosses several chunk boundaries
+  std::atomic<bool> done{false};
+  std::thread grower([&] {
+    for (int n = 1; n <= kMaxId; n += 37) registry.EnsureSize(n);
+    registry.EnsureSize(kMaxId);
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kNumReaders; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t epoch = 1;
+      while (!done.load(std::memory_order_acquire)) {
+        const size_t size = registry.size();
+        for (ViewId id = t; static_cast<size_t>(id) < size;
+             id += kNumReaders) {
+          const ViewState s = registry.state(id);
+          EXPECT_NE(ViewStateName(s)[0], '?');
+          registry.MarkFresh(id, epoch);
+          registry.SetChecksum(id, 0xabc0 + static_cast<uint64_t>(id));
+        }
+        // Past-the-end ids answer with defaults, never a crash.
+        EXPECT_EQ(registry.state(static_cast<ViewId>(size + 10)),
+                  ViewState::kFresh);
+        ++epoch;
+      }
+    });
+  }
+  grower.join();
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(registry.size(), static_cast<size_t>(kMaxId));
+  EXPECT_EQ(registry.CountState(ViewState::kFresh), kMaxId);
+}
+
+TEST_F(ConcurrencyStressTest, MaintenancePassesSerializeAcrossThreads) {
+  // Regression for unserialized maintenance: Insert/Delete/Validate used
+  // to mutate the maintainer's bookkeeping and the Database with no lock
+  // at all, so a loader thread racing a revalidation thread could
+  // interleave half-applied deltas. Passes now serialize on the
+  // maintainer's internal mutex: every Validate — including those issued
+  // mid-load — sees a (table, view) pair from between passes.
+  Database db(&catalog_);
+  tpch::DataGenOptions dg;
+  dg.scale_factor = 0.0005;
+  tpch::GenerateData(&db, schema_, dg);
+  ViewMaintainer maintainer(&db);
+
+  SpjgBuilder b(&catalog_);
+  int l = b.AddTable("lineitem");
+  b.Output(b.Col(l, "l_suppkey"));
+  b.Output(Expr::MakeAggregate(AggKind::kCountStar, nullptr), "cnt");
+  b.Output(Expr::MakeAggregate(AggKind::kSum, b.Col(l, "l_quantity")),
+           "sumq");
+  b.GroupBy(b.Col(l, "l_suppkey"));
+  SpjgQuery def = b.Build();
+  ASSERT_FALSE(ViewDefinition::Validate(def).has_value());
+  ViewDefinition view(0, "stress_agg", std::move(def));
+  db.MaterializeView(&view);
+  maintainer.RegisterView(&view);
+
+  auto make_lineitem = [](int64_t linenumber, int64_t quantity) -> Row {
+    return {Value::Int64(1),          Value::Int64(1),
+            Value::Int64(1),          Value::Int64(linenumber),
+            Value::Int64(quantity),   Value::Double(quantity * 1000.0),
+            Value::Double(0.05),      Value::Double(0.02),
+            Value::String("N"),       Value::String("O"),
+            Value::Date(9000),        Value::Date(9010),
+            Value::Date(9020),        Value::String("NONE"),
+            Value::String("AIR"),     Value::String("stress row")};
+  };
+
+  constexpr int kLoaders = 3;
+  constexpr int kOpsPerThread = 8;
+  std::vector<std::thread> loaders;
+  for (int t = 0; t < kLoaders; ++t) {
+    loaders.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        maintainer.Insert(
+            schema_.lineitem,
+            {make_lineitem(1000 + t * kOpsPerThread + i, 10 + i)});
+      }
+    });
+  }
+  std::thread validator([&] {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(maintainer.Validate(view));
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& r : loaders) r.join();
+  validator.join();
+  EXPECT_TRUE(maintainer.Validate(view));
+  // Every pass landed exactly once (aggregate inserts are incremental).
+  EXPECT_EQ(maintainer.incremental_updates(), kLoaders * kOpsPerThread);
+  EXPECT_EQ(maintainer.full_recomputations(), 0);
+}
+
+TEST_F(ConcurrencyStressTest, StorePollersStaySafeDuringConcurrentAppends) {
+  // Regression for the unguarded store fields: wal_bytes()/is_open()
+  // used to read state the append path mutated, relying on the owning
+  // service's lock that poller threads never held. The store now
+  // serializes internally, so polling mid-append is safe and wal_bytes
+  // is monotone.
+  char tmpl[] = "/tmp/mvopt_stress_store_XXXXXX";
+  std::string dir = ::mkdtemp(tmpl);
+  {
+    CatalogStore store(dir);
+    store.OpenForAppend();
+    std::atomic<bool> stop{false};
+    std::thread poller([&] {
+      int64_t last = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        EXPECT_TRUE(store.is_open());
+        const int64_t bytes = store.wal_bytes();
+        EXPECT_GE(bytes, last);
+        last = bytes;
+        std::this_thread::yield();
+      }
+    });
+    constexpr int kAppenders = 2;
+    constexpr int kAppendsPerThread = 40;
+    std::vector<std::thread> appenders;
+    for (int t = 0; t < kAppenders; ++t) {
+      appenders.emplace_back([&, t] {
+        for (int i = 0; i < kAppendsPerThread; ++i) {
+          PersistedView v;
+          v.name = "w" + std::to_string(t) + "_" + std::to_string(i);
+          v.sql = "SELECT l_orderkey FROM lineitem";
+          store.AppendAddView(v);
+        }
+      });
+    }
+    for (std::thread& a : appenders) a.join();
+    stop.store(true);
+    poller.join();
+    CatalogStore::RecoveredState state = store.Recover();
+    EXPECT_TRUE(state.report.clean()) << state.report.ToJson();
+    EXPECT_EQ(state.views.size(),
+              static_cast<size_t>(kAppenders * kAppendsPerThread));
+  }
+  const std::string cmd = "rm -rf " + dir;
+  (void)::system(cmd.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Negative-compile harness for the thread-safety annotations
+# (src/common/thread_annotations.h). Each violation case must
+#
+#   (a) FAIL to compile under Clang with the thread-safety gate, and
+#   (b) compile cleanly WITHOUT the gate
+#
+# so a pass proves the rejection comes from the analysis, not from a
+# plain C++ error. The control case must compile both ways. Without a
+# Clang compiler (the annotations fold to no-ops elsewhere) the cases
+# are still syntax-checked with the available compiler and the analysis
+# assertions are reported as SKIP — never as failures — so the harness
+# is runnable on any toolchain.
+#
+# Usage: tools/ci/check_negative_compile.sh [clang++-binary]
+# Output: one "negative_compile <case> PASS|FAIL|SKIP (<detail>)" line
+# per assertion; exit 1 if any line is FAIL.
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+cases_dir="${repo_root}/tools/ci/negative_compile"
+
+clangxx="${1:-}"
+if [[ -z "${clangxx}" ]]; then
+  clangxx="$(command -v clang++ || true)"
+fi
+
+base_flags=(-std=c++20 -fsyntax-only -I "${repo_root}/src")
+# -Wthread-safety-beta: lock-order (ACQUIRED_BEFORE/AFTER) checking.
+gate_flags=(-Wthread-safety -Wthread-safety-beta
+            -Werror=thread-safety -Werror=thread-safety-beta)
+
+violations=(unlocked_read missing_unlock lock_order_inversion)
+failed=0
+
+report() {  # case status detail
+  echo "negative_compile $1 $2 ($3)"
+  [[ "$2" == FAIL ]] && failed=1
+}
+
+if [[ -z "${clangxx}" ]]; then
+  # No Clang: the analysis cannot run. Prove the cases are well-formed
+  # C++ with whatever compiler exists so rot is still caught.
+  fallback="${CXX:-$(command -v c++ || command -v g++ || true)}"
+  if [[ -z "${fallback}" ]]; then
+    report toolchain SKIP "no C++ compiler found"
+    exit "${failed}"
+  fi
+  for c in control_ok "${violations[@]}"; do
+    if "${fallback}" "${base_flags[@]}" "${cases_dir}/${c}.cc" 2>/dev/null; then
+      report "${c}" SKIP "well-formed under $(basename "${fallback}"); analysis needs clang"
+    else
+      report "${c}" FAIL "does not compile as plain C++ under $(basename "${fallback}")"
+    fi
+  done
+  exit "${failed}"
+fi
+
+# Control: must compile WITH the gate.
+if "${clangxx}" "${base_flags[@]}" "${gate_flags[@]}" \
+     "${cases_dir}/control_ok.cc" 2>/dev/null; then
+  report control_ok PASS "compiles with gate"
+else
+  report control_ok FAIL "disciplined code rejected by the gate"
+fi
+
+for c in "${violations[@]}"; do
+  src="${cases_dir}/${c}.cc"
+  if ! "${clangxx}" "${base_flags[@]}" "${src}" 2>/dev/null; then
+    report "${c}" FAIL "does not compile even without the gate"
+    continue
+  fi
+  if "${clangxx}" "${base_flags[@]}" "${gate_flags[@]}" "${src}" 2>/dev/null
+  then
+    report "${c}" FAIL "violation not rejected by the analysis"
+  else
+    report "${c}" PASS "rejected with gate, accepted without"
+  fi
+done
+
+exit "${failed}"

@@ -1,0 +1,36 @@
+// Negative-compile control: disciplined locking that must compile both
+// with and without the thread-safety gate. If this file fails, the
+// harness flags are broken — the violation cases' failures would prove
+// nothing.
+
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int64_t amount) MVOPT_EXCLUDES(mu_) {
+    mvopt::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int64_t balance() const MVOPT_EXCLUDES(mu_) {
+    mvopt::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable mvopt::Mutex mu_;
+  int64_t balance_ MVOPT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

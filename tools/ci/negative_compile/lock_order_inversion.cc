@@ -1,0 +1,38 @@
+// Negative-compile case: acquiring two mutexes against their declared
+// MVOPT_ACQUIRED_BEFORE order — the discipline that keeps the
+// service-lock -> stats-lock hierarchy deadlock-free in the real tree.
+// Ordering violations are diagnosed under -Wthread-safety-beta, which
+// the harness enables alongside the regular gate; the file must compile
+// without the analysis.
+
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Ledger {
+ public:
+  void Reconcile() MVOPT_EXCLUDES(first_, second_) {
+    // BAD: takes second_ before first_, inverting the declared order.
+    mvopt::MutexLock second_lock(second_);
+    mvopt::MutexLock first_lock(first_);
+    total_ += pending_;
+    pending_ = 0;
+  }
+
+ private:
+  mvopt::Mutex first_ MVOPT_ACQUIRED_BEFORE(second_);
+  mvopt::Mutex second_;
+  int64_t total_ MVOPT_GUARDED_BY(first_) = 0;
+  int64_t pending_ MVOPT_GUARDED_BY(second_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  ledger.Reconcile();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Negative-compile case: a path that acquires a mutex and returns with
+// it still held (no RAII scope, no Unlock). Must be rejected by Clang's
+// thread-safety analysis and accepted without it.
+
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int64_t amount) MVOPT_EXCLUDES(mu_) {
+    mu_.Lock();
+    balance_ += amount;
+    // BAD: early return leaks the lock on the zero-amount path.
+    if (amount == 0) return;
+    mu_.Unlock();
+  }
+
+ private:
+  mvopt::Mutex mu_;
+  int64_t balance_ MVOPT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Negative-compile case: reading a MVOPT_GUARDED_BY member without its
+// mutex. Must be rejected by Clang's thread-safety analysis (the gate)
+// and accepted without it — the harness compiles this file both ways to
+// prove the rejection comes from the analysis, not from plain C++.
+
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int64_t amount) MVOPT_EXCLUDES(mu_) {
+    mvopt::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int64_t balance() const {
+    return balance_;  // BAD: guarded read, no lock held
+  }
+
+ private:
+  mutable mvopt::Mutex mu_;
+  int64_t balance_ MVOPT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

@@ -2,8 +2,9 @@
 # Builds and runs the full test suite under AddressSanitizer and
 # UndefinedBehaviorSanitizer, plus the concurrency stress suite under
 # ThreadSanitizer (see MVOPT_SANITIZE in the top-level CMakeLists.txt),
-# an observability smoke step (metrics_driver --selfcheck), and the
-# crash/recovery matrix.
+# an observability smoke step (metrics_driver --selfcheck), the
+# crash/recovery matrix, and the static-analysis pass (thread-safety
+# gate + clang-tidy + negative-compile harness; SKIPs without Clang).
 # Each sanitizer gets its own build tree so the instrumented objects
 # never mix with the regular build.
 #
@@ -77,9 +78,21 @@ run_crash_recovery() {
     "${repo_root}/tools/ci/run_crash_recovery.sh" "${build_dir}" 3
 }
 
+run_static_analysis() {
+  # Compile-time lock-discipline gate (see DESIGN.md §12): builds the
+  # tree under -Werror=thread-safety, runs clang-tidy, and asserts the
+  # negative-compile violations are rejected. Writes the machine-
+  # readable summary to results/static_analysis.txt; steps the local
+  # toolchain cannot run (no Clang) report SKIP and stay green.
+  echo "=== static analysis ==="
+  "${repo_root}/tools/ci/run_static_analysis.sh" \
+    "${build_root}/static-analysis"
+}
+
 run_one address
 run_one undefined
 run_thread
 run_metrics_smoke
 run_crash_recovery
+run_static_analysis
 echo "=== sanitizers clean ==="

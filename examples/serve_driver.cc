@@ -1,0 +1,211 @@
+// Serving front-end demo + CI smoke driver: stands a ServingService up
+// in front of the optimizer, drives it with several concurrent tenants
+// (each using the client RetryPolicy), and dumps
+//
+//   1. a per-outcome admission table (admitted / shed-* counts),
+//   2. the degradation-tier trajectory under the applied load,
+//   3. the Prometheus exposition of the mvopt_serve_* families.
+//
+// The default configuration is deliberately under-provisioned (small
+// queue, strict per-tenant quota) so every admission outcome is
+// exercised in a short run.
+//
+// Knobs:
+//   --views N       views to install            (default MVOPT_BENCH_VIEWS
+//                                                or 200)
+//   --queries N     submissions per tenant      (default MVOPT_BENCH_QUERIES
+//                                                or 200)
+//   --tenants N     concurrent tenant threads   (default 3)
+//   --workers N     serving worker threads      (default 2)
+//   --selfcheck     validate the accounting invariants and metric
+//                   exports; exit nonzero on any failure
+//   --quiet         suppress the Prometheus dump
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "observe/observe.h"
+#include "serve/serving_service.h"
+
+namespace {
+
+using namespace mvopt;
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "selfcheck FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mvopt;
+  using namespace mvopt::bench;
+
+  int num_views = EnvInt("MVOPT_BENCH_VIEWS", 200);
+  int queries_per_tenant = EnvInt("MVOPT_BENCH_QUERIES", 200);
+  int num_tenants = 3;
+  int num_workers = 2;
+  bool selfcheck = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--views") == 0 && i + 1 < argc) {
+      num_views = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries_per_tenant = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      num_tenants = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      num_workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--selfcheck") == 0) {
+      selfcheck = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--views N] [--queries N] [--tenants N] "
+                   "[--workers N] [--selfcheck] [--quiet]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (num_tenants < 1) num_tenants = 1;
+
+  Workload workload(num_views, /*num_queries=*/64);
+  auto matching = workload.MakeService(num_views, /*use_filter_tree=*/true);
+
+  MetricsRegistry registry;
+  ServingOptions options;
+  options.num_workers = num_workers;
+  options.queue_capacity = 8;
+  options.max_in_flight = 4 * num_workers;
+  options.default_quota = TokenBucketConfig{/*capacity=*/32,
+                                            /*refill_per_second=*/400};
+  options.observe.mode = ObserveMode::kCountersOnly;
+  options.observe.registry = &registry;
+  ServingService service(&workload.catalog(), matching.get(), options);
+
+  // Per-outcome tallies as observed by the clients; compared against the
+  // server's own books in --selfcheck.
+  std::atomic<int64_t> client_outcomes[kNumAdmissionOutcomes] = {};
+  std::atomic<int64_t> retries_spent{0};
+  std::atomic<int64_t> gave_up{0};
+  std::atomic<int64_t> plans{0};
+
+  std::vector<std::thread> tenants;
+  for (int t = 0; t < num_tenants; ++t) {
+    tenants.emplace_back([&, t] {
+      const std::string tenant = "tenant-" + std::to_string(t);
+      RetryPolicyConfig retry_config;
+      retry_config.max_attempts = 3;
+      retry_config.initial_backoff_seconds = 0.0005;
+      retry_config.max_backoff_seconds = 0.01;
+      retry_config.seed = 0x5e4 + static_cast<uint64_t>(t);
+      for (int i = 0; i < queries_per_tenant; ++i) {
+        RetryPolicy retry(retry_config);
+        for (;;) {
+          ServeRequest req;
+          req.query = workload.queries()[
+              static_cast<size_t>(i) % workload.queries().size()];
+          req.tenant = tenant;
+          const ServeResult& result = service.Submit(req)->Wait();
+          client_outcomes[static_cast<int>(result.outcome)]
+              .fetch_add(1, std::memory_order_relaxed);
+          if (result.has_plan) plans.fetch_add(1, std::memory_order_relaxed);
+          auto delay = retry.NextDelay(result.outcome, result.error_kind,
+                                       result.retry_after_seconds);
+          if (!delay.has_value()) {
+            if (result.outcome != AdmissionOutcome::kAdmitted ||
+                result.error_kind != ServeErrorKind::kNone) {
+              gave_up.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          retries_spent.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::duration<double>(*delay));
+        }
+      }
+    });
+  }
+  for (std::thread& t : tenants) t.join();
+  service.Drain();
+
+  const ServingStats stats = service.stats();
+  std::printf("# --- admission outcomes "
+              "------------------------------------------\n");
+  std::printf("%-18s %12s %12s\n", "outcome", "server", "client");
+  for (int i = 0; i < kNumAdmissionOutcomes; ++i) {
+    std::printf("%-18s %12lld %12lld\n",
+                AdmissionOutcomeName(static_cast<AdmissionOutcome>(i)),
+                static_cast<long long>(stats.outcomes[static_cast<size_t>(i)]),
+                static_cast<long long>(
+                    client_outcomes[i].load(std::memory_order_relaxed)));
+  }
+  std::printf("\nsubmitted=%lld plans=%lld retries=%lld gave_up=%lld "
+              "max_queue_depth=%lld final_tier=%s\n",
+              static_cast<long long>(stats.submitted),
+              static_cast<long long>(plans.load()),
+              static_cast<long long>(retries_spent.load()),
+              static_cast<long long>(gave_up.load()),
+              static_cast<long long>(stats.max_queue_depth),
+              ServingTierName(service.tier()));
+  std::printf("tier_escalations=%lld tier_recoveries=%lld "
+              "duplicate_publishes=%lld\n",
+              static_cast<long long>(stats.tier_escalations),
+              static_cast<long long>(stats.tier_recoveries),
+              static_cast<long long>(stats.duplicate_publishes));
+
+  if (!quiet) {
+    std::printf("\n# --- Prometheus exposition "
+                "---------------------------------------\n");
+    std::fputs(registry.WritePrometheus().c_str(), stdout);
+  }
+
+  if (selfcheck) {
+    std::string error;
+    const std::string prom = registry.WritePrometheus();
+    if (!ValidatePrometheusText(prom, &error)) {
+      return Fail("exposition does not parse: " + error);
+    }
+    if (!ValidateJson(registry.WriteJson(), &error)) {
+      return Fail("metrics JSON does not parse: " + error);
+    }
+    int64_t total_outcomes = 0;
+    for (int i = 0; i < kNumAdmissionOutcomes; ++i) {
+      const int64_t server = stats.outcomes[static_cast<size_t>(i)];
+      const int64_t client = client_outcomes[i].load();
+      if (server != client) {
+        return Fail(std::string("outcome ") +
+                    AdmissionOutcomeName(static_cast<AdmissionOutcome>(i)) +
+                    " server/client mismatch: " + std::to_string(server) +
+                    " vs " + std::to_string(client));
+      }
+      total_outcomes += server;
+    }
+    if (total_outcomes != stats.submitted) {
+      return Fail("outcome total " + std::to_string(total_outcomes) +
+                  " != submitted " + std::to_string(stats.submitted));
+    }
+    int64_t total_completions = 0;
+    for (int64_t c : stats.completions) total_completions += c;
+    if (total_completions !=
+        stats.outcomes[static_cast<size_t>(AdmissionOutcome::kAdmitted)]) {
+      return Fail("completions != admitted");
+    }
+    if (stats.duplicate_publishes != 0) {
+      return Fail("duplicate publishes observed");
+    }
+    if (stats.submitted == 0 || plans.load() == 0) {
+      return Fail("workload produced no plans");
+    }
+    std::printf("\nselfcheck OK: %lld submissions, %lld plans\n",
+                static_cast<long long>(stats.submitted),
+                static_cast<long long>(plans.load()));
+  }
+  return 0;
+}

@@ -115,6 +115,15 @@ inline constexpr const char* kFailpointSites[] = {
     "catalog_store.snapshot_write",       // partial snapshot tmp file
     "catalog_store.snapshot_rename",      // tmp durable, rename skipped
     "catalog_store.wal_truncate",         // snapshot installed, WAL kept
+    // Serving front-end sites (see serve/serving_service.h): one at
+    // every point a query could be lost or double-completed, so the
+    // chaos-soak suite can prove exactly-one-terminal-outcome delivery.
+    "serving.admit",                      // forces a shed-overload verdict
+    "serving.enqueue",                    // throws between admit and enqueue
+    "serving.dequeue",                    // throws after a worker pops
+    "serving.execute",                    // worker crash mid-query
+    "serving.result_publish",             // primary publish path fails
+    "serving.drain",                      // throws inside Drain
 };
 
 }  // namespace mvopt

@@ -81,6 +81,11 @@ class QueryBudget {
   void set_deadline(Clock::time_point deadline) {
     deadline_ = deadline;
     has_deadline_ = true;
+    // Re-arm the amortization stride: the first TickDeadline after a
+    // deadline is (re)set must read the clock, or an already-expired
+    // deadline installed mid-stride would coast for up to
+    // kDeadlineCheckStride-1 further ticks before tripping.
+    ticks_ = 0;
   }
   void set_deadline_after(Clock::duration d) { set_deadline(Clock::now() + d); }
   void set_candidate_cap(int64_t cap) { candidate_cap_ = cap; }
@@ -120,7 +125,11 @@ class QueryBudget {
   /// Clears the sticky degradation state and the per-query usage
   /// counters so one budget can govern a sequence of Optimize() calls
   /// (caps are per query; the wall-clock deadline, being absolute, is
-  /// kept). Called by the optimizer at optimization entry.
+  /// kept). Called by the optimizer at optimization entry. Resetting
+  /// ticks_ also re-arms the deadline-check stride, so the first tick of
+  /// the next query always reads the clock — an already-expired deadline
+  /// trips immediately instead of up to kDeadlineCheckStride-1 ticks
+  /// later (the deadline-overshoot regression in query_budget_test).
   void ResetForQuery() {
     reason_ = DegradationReason::kNone;
     advisory_ = DegradationReason::kNone;

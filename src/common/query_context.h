@@ -106,6 +106,14 @@ class QueryContext {
   /// for this query even if the service's counters are off.
   bool observing() const { return trace_ != nullptr || has_stage_hook(); }
 
+  /// Per-query trace suppression: when set, the optimizer must not
+  /// attach its own full-mode trace to this query (a caller-installed
+  /// trace still wins). The serving layer's degradation tiers use this
+  /// to shed tracing cost under overload without reconfiguring the
+  /// optimizer for every other query in flight.
+  void set_suppress_trace(bool suppress) { suppress_trace_ = suppress; }
+  bool suppress_trace() const { return suppress_trace_; }
+
   // --- staleness ----------------------------------------------------------
 
   /// Staleness tolerance in update epochs; the effective tolerance is
@@ -146,6 +154,7 @@ class QueryContext {
   DegradationReason advisory_ = DegradationReason::kNone;
   QueryTrace* trace_ = nullptr;
   StageHook stage_hook_;
+  bool suppress_trace_ = false;
   uint64_t max_staleness_ = 0;
   uint64_t rng_seed_ = 0x9e3779b97f4a7c15ull;
   ThreadPool* match_pool_ = nullptr;

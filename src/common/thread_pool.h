@@ -55,13 +55,37 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool() {
+  ~ThreadPool() { Shutdown(); }
+
+  /// Stops the workers and joins them. Idempotent and safe to call from
+  /// several threads (the first caller joins; later callers wait until
+  /// the join is done). Workers finish any batches already queued before
+  /// exiting, and RunBatch stays usable after shutdown: the caller
+  /// participates in its own batch, so every batch — including one
+  /// racing the stop — still completes, just on the submitting thread.
+  /// This is the property the serving layer's drain path leans on.
+  void Shutdown() MVOPT_EXCLUDES(mu_) {
+    bool do_join = false;
     {
       MutexLock lock(mu_);
       stop_ = true;
+      if (!join_started_) {
+        join_started_ = true;
+        do_join = true;
+      }
     }
     cv_.NotifyAll();
-    for (std::thread& w : workers_) w.join();
+    if (do_join) {
+      for (std::thread& w : workers_) w.join();
+      {
+        MutexLock lock(mu_);
+        join_done_ = true;
+      }
+      joined_cv_.NotifyAll();
+    } else {
+      MutexLock lock(mu_);
+      while (!join_done_) joined_cv_.Wait(lock);
+    }
   }
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
@@ -150,8 +174,13 @@ class ThreadPool {
 
   Mutex mu_;
   CondVar cv_;
+  CondVar joined_cv_;
   std::deque<std::shared_ptr<Batch>> batches_ MVOPT_GUARDED_BY(mu_);
   bool stop_ MVOPT_GUARDED_BY(mu_) = false;
+  /// Shutdown state: exactly one caller joins the workers; others wait
+  /// on joined_cv_ until the join completes.
+  bool join_started_ MVOPT_GUARDED_BY(mu_) = false;
+  bool join_done_ MVOPT_GUARDED_BY(mu_) = false;
   /// Started in the constructor, joined in the destructor, immutable in
   /// between — no guard needed (num_workers() reads only the size).
   std::vector<std::thread> workers_;

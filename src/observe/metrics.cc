@@ -100,6 +100,30 @@ Histogram* MetricsRegistry::FindOrCreateHistogram(const std::string& name,
   return &e.histogram;
 }
 
+Gauge* MetricsRegistry::FindOrCreateGauge(const std::string& name,
+                                          const std::string& help,
+                                          MetricLabels labels) {
+  MutexLock lock(mu_);
+  for (GaugeEntry& e : gauges_) {
+    if (e.name == name && e.labels == labels) return &e.gauge;
+  }
+  gauges_.emplace_back();
+  GaugeEntry& e = gauges_.back();
+  e.name = name;
+  e.help = help;
+  e.labels = std::move(labels);
+  return &e.gauge;
+}
+
+std::optional<int64_t> MetricsRegistry::GaugeValue(
+    const std::string& name, const MetricLabels& labels) const {
+  MutexLock lock(mu_);
+  for (const GaugeEntry& e : gauges_) {
+    if (e.name == name && e.labels == labels) return e.gauge.value();
+  }
+  return std::nullopt;
+}
+
 std::optional<int64_t> MetricsRegistry::CounterValue(
     const std::string& name, const MetricLabels& labels) const {
   MutexLock lock(mu_);
@@ -126,6 +150,11 @@ size_t MetricsRegistry::num_counters() const {
 size_t MetricsRegistry::num_histograms() const {
   MutexLock lock(mu_);
   return histograms_.size();
+}
+
+size_t MetricsRegistry::num_gauges() const {
+  MutexLock lock(mu_);
+  return gauges_.size();
 }
 
 std::string FormatLabels(const MetricLabels& labels) {
@@ -158,6 +187,17 @@ std::string MetricsRegistry::WritePrometheus() const {
       if (s.name != e.name) continue;
       out += s.name + FormatLabels(s.labels) + " " +
              FormatValue(s.counter.value()) + "\n";
+    }
+  }
+  for (const GaugeEntry& e : gauges_) {
+    if (family_done(e.name)) continue;
+    families_done.push_back(e.name);
+    out += "# HELP " + e.name + " " + e.help + "\n";
+    out += "# TYPE " + e.name + " gauge\n";
+    for (const GaugeEntry& s : gauges_) {
+      if (s.name != e.name) continue;
+      out += s.name + FormatLabels(s.labels) + " " +
+             FormatValue(s.gauge.value()) + "\n";
     }
   }
   for (const HistogramEntry& e : histograms_) {
@@ -234,6 +274,19 @@ std::string MetricsRegistry::WriteJson() const {
              JsonEscape(e.labels[i].second) + "\"";
     }
     out += "},\"value\":" + FormatValue(e.counter.value()) + "}";
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const GaugeEntry& e : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"labels\":{";
+    for (size_t i = 0; i < e.labels.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscape(e.labels[i].first) + "\":\"" +
+             JsonEscape(e.labels[i].second) + "\"";
+    }
+    out += "},\"value\":" + FormatValue(e.gauge.value()) + "}";
   }
   out += "],\"histograms\":[";
   first = true;

@@ -1,8 +1,10 @@
-// Low-overhead metrics for the query pipeline: named monotonic counters
-// and fixed-bucket latency histograms collected in a MetricsRegistry.
+// Low-overhead metrics for the query pipeline: named monotonic counters,
+// two-way gauges (instantaneous levels such as queue depth) and
+// fixed-bucket latency histograms collected in a MetricsRegistry.
 //
-// Hot path: Counter::Increment and Histogram::Observe are single relaxed
-// atomic adds — no locks, no allocation, safe from any thread. The
+// Hot path: Counter::Increment, Gauge::Set/Add and Histogram::Observe
+// are single relaxed atomic operations — no locks, no allocation, safe
+// from any thread. The
 // registry mutex guards only registration (FindOrCreate*) and snapshot
 // assembly; instruments live in deques so their addresses stay stable
 // for the lifetime of the registry and call sites can cache raw
@@ -41,6 +43,22 @@ class Counter {
   void Increment(int64_t n = 1) {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, serving tier, in-flight count):
+/// unlike a Counter it moves both ways and supports absolute Set. Same
+/// hot-path contract — single relaxed atomics, safe from any thread.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  void Decrement() { Add(-1); }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -97,10 +115,16 @@ class MetricsRegistry {
                                    const std::string& help,
                                    MetricLabels labels = {})
       MVOPT_EXCLUDES(mu_);
+  Gauge* FindOrCreateGauge(const std::string& name, const std::string& help,
+                           MetricLabels labels = {}) MVOPT_EXCLUDES(mu_);
 
   /// Value of one counter, or nullopt if never registered.
   std::optional<int64_t> CounterValue(const std::string& name,
                                       const MetricLabels& labels = {}) const
+      MVOPT_EXCLUDES(mu_);
+  /// Value of one gauge, or nullopt if never registered.
+  std::optional<int64_t> GaugeValue(const std::string& name,
+                                    const MetricLabels& labels = {}) const
       MVOPT_EXCLUDES(mu_);
   /// Sum over every labeled instrument of a counter family (0 if none).
   int64_t SumFamily(const std::string& name) const MVOPT_EXCLUDES(mu_);
@@ -112,6 +136,7 @@ class MetricsRegistry {
 
   size_t num_counters() const MVOPT_EXCLUDES(mu_);
   size_t num_histograms() const MVOPT_EXCLUDES(mu_);
+  size_t num_gauges() const MVOPT_EXCLUDES(mu_);
 
  private:
   struct CounterEntry {
@@ -126,6 +151,12 @@ class MetricsRegistry {
     MetricLabels labels;
     Histogram histogram;
   };
+  struct GaugeEntry {
+    std::string name;
+    std::string help;
+    MetricLabels labels;
+    Gauge gauge;
+  };
 
   mutable Mutex mu_;
   /// Deques: growth never moves an instrument, so cached Counter* /
@@ -134,6 +165,7 @@ class MetricsRegistry {
   /// iteration for snapshots) are guarded.
   std::deque<CounterEntry> counters_ MVOPT_GUARDED_BY(mu_);
   std::deque<HistogramEntry> histograms_ MVOPT_GUARDED_BY(mu_);
+  std::deque<GaugeEntry> gauges_ MVOPT_GUARDED_BY(mu_);
 };
 
 /// Renders `labels` as {k="v",...}, empty string for no labels. Values

@@ -826,12 +826,13 @@ OptimizationResult Optimizer::Optimize(const SpjgQuery& query,
   const bool counters = metrics_.optimizations != nullptr;
   // Tracing: a trace already on the context (caller-owned) wins;
   // otherwise full-trace mode attaches an optimizer-owned one for the
-  // duration of this call and hands it back in the result.
+  // duration of this call and hands it back in the result — unless the
+  // context suppresses tracing for this query (serving-tier degradation).
   QueryTrace* const caller_trace = qctx.trace();
   std::shared_ptr<QueryTrace> trace;
   if (caller_trace != nullptr) {
     ctx.trace = caller_trace;
-  } else if (options_.observe.trace_enabled()) {
+  } else if (options_.observe.trace_enabled() && !qctx.suppress_trace()) {
     trace = std::make_shared<QueryTrace>();
     trace->set_query(query.ToSql(*catalog_));
     ctx.trace = trace.get();

@@ -1,0 +1,246 @@
+// Admission-control primitives for the serving front end
+// (serve/serving_service.h): the machine-readable admission verdict, the
+// per-tenant token bucket, and the client-side retry policy.
+//
+// Layering: this header sits below serving_service.h and depends only on
+// common/. TokenBucket is deliberately not internally synchronized — the
+// ServingService guards its buckets with the admission lock, and tests
+// drive one directly with a manual clock. RetryPolicy is per-client
+// state (one instance per retry loop) and is not thread-safe either.
+
+#ifndef MVOPT_SERVE_ADMISSION_H_
+#define MVOPT_SERVE_ADMISSION_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "common/enum_coverage.h"
+#include "common/rng.h"
+
+namespace mvopt {
+
+/// Terminal admission verdict for one submitted query. Every Submit
+/// yields exactly one of these on its ticket; kAdmitted means the query
+/// was (or will be) executed and answered, every kShed* means it was
+/// rejected without execution, with `retry_after` guidance.
+enum class AdmissionOutcome {
+  kAdmitted = 0,      ///< executed; the ticket carries the result
+  kShedQueueFull,     ///< bounded admission queue at capacity
+  kShedQuota,         ///< tenant token bucket empty
+  kShedOverload,      ///< global in-flight limit / overload protection
+  kShedShutdown,      ///< draining or stopped; terminal, do not retry
+};
+
+inline constexpr int kNumAdmissionOutcomes = 5;
+static_assert(static_cast<int>(AdmissionOutcome::kShedShutdown) + 1 ==
+                  kNumAdmissionOutcomes,
+              "kNumAdmissionOutcomes must cover every AdmissionOutcome");
+
+constexpr const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kShedQueueFull:
+      return "shed-queue-full";
+    case AdmissionOutcome::kShedQuota:
+      return "shed-quota";
+    case AdmissionOutcome::kShedOverload:
+      return "shed-overload";
+    case AdmissionOutcome::kShedShutdown:
+      return "shed-shutdown";
+  }
+  return "?";
+}
+
+static_assert(AllEnumeratorsNamed<AdmissionOutcome, AdmissionOutcomeName>(
+                  kNumAdmissionOutcomes),
+              "every AdmissionOutcome needs an AdmissionOutcomeName entry");
+
+constexpr bool IsShed(AdmissionOutcome outcome) {
+  return outcome != AdmissionOutcome::kAdmitted;
+}
+
+/// Sheds a client may retry after backing off. Shutdown is terminal —
+/// the service will not come back for this process — and kAdmitted is
+/// already answered.
+constexpr bool IsRetryableOutcome(AdmissionOutcome outcome) {
+  return outcome == AdmissionOutcome::kShedQueueFull ||
+         outcome == AdmissionOutcome::kShedQuota ||
+         outcome == AdmissionOutcome::kShedOverload;
+}
+
+/// How an admitted query's execution ended (ServeResult::error_kind).
+enum class ServeErrorKind {
+  kNone = 0,        ///< executed cleanly
+  kTransient,       ///< worker crash / injected fault; safe to resubmit
+  kVerifyRejected,  ///< enforce-mode verification left no acceptable
+                    ///< answer; deterministic, never retried
+};
+
+inline constexpr int kNumServeErrorKinds = 3;
+static_assert(static_cast<int>(ServeErrorKind::kVerifyRejected) + 1 ==
+                  kNumServeErrorKinds,
+              "kNumServeErrorKinds must cover every ServeErrorKind");
+
+constexpr const char* ServeErrorKindName(ServeErrorKind kind) {
+  switch (kind) {
+    case ServeErrorKind::kNone:
+      return "none";
+    case ServeErrorKind::kTransient:
+      return "transient";
+    case ServeErrorKind::kVerifyRejected:
+      return "verify-rejected";
+  }
+  return "?";
+}
+
+static_assert(AllEnumeratorsNamed<ServeErrorKind, ServeErrorKindName>(
+                  kNumServeErrorKinds),
+              "every ServeErrorKind needs a ServeErrorKindName entry");
+
+// --- token bucket ----------------------------------------------------------
+
+struct TokenBucketConfig {
+  /// Maximum burst (tokens the bucket can hold). 0 admits nothing.
+  double capacity = 1;
+  /// Sustained refill rate in tokens per second. 0 = no refill: the
+  /// initial burst is all the tenant ever gets.
+  double refill_per_second = 1;
+};
+
+/// Classic token bucket with fractional accumulation. The caller passes
+/// `now` explicitly, so admission decisions are reproducible from a
+/// manual clock in tests and the bucket itself never reads a clock.
+/// NOT thread-safe; guard externally (the ServingService holds its
+/// admission lock across every call).
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TokenBucket(TokenBucketConfig config, Clock::time_point now)
+      : config_(config), tokens_(config.capacity), last_(now) {}
+
+  /// Takes one token if available. On refusal, sets *retry_after_seconds
+  /// (when non-null) to the time until the next whole token — infinity
+  /// when the bucket can never refill (callers clamp).
+  bool TryAcquire(Clock::time_point now, double* retry_after_seconds) {
+    Refill(now);
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    if (retry_after_seconds != nullptr) {
+      *retry_after_seconds =
+          config_.refill_per_second > 0
+              ? (1.0 - tokens_) / config_.refill_per_second
+              : std::numeric_limits<double>::infinity();
+    }
+    return false;
+  }
+
+  /// Returns one token (admission failed after the token was consumed —
+  /// e.g. an enqueue fault). Clamped to capacity.
+  void Refund() { tokens_ = std::min(config_.capacity, tokens_ + 1.0); }
+
+  /// Runtime quota flip: replaces the config, clamping the accumulated
+  /// tokens into the new capacity (a shrink takes effect immediately, a
+  /// grow only refills at the new rate — no free burst).
+  void Reconfigure(TokenBucketConfig config, Clock::time_point now) {
+    Refill(now);
+    config_ = config;
+    tokens_ = std::min(tokens_, config_.capacity);
+  }
+
+  /// Current level after refilling to `now` (tests / introspection).
+  double tokens(Clock::time_point now) {
+    Refill(now);
+    return tokens_;
+  }
+
+  const TokenBucketConfig& config() const { return config_; }
+
+ private:
+  void Refill(Clock::time_point now) {
+    if (now <= last_) return;  // manual clocks may repeat a reading
+    const double elapsed =
+        std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(config_.capacity,
+                       tokens_ + elapsed * config_.refill_per_second);
+  }
+
+  TokenBucketConfig config_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+// --- retry policy ----------------------------------------------------------
+
+struct RetryPolicyConfig {
+  /// Total attempts allowed, including the first submission. When the
+  /// budget is spent, NextDelay reports "stop" even for retryable sheds.
+  int max_attempts = 4;
+  double initial_backoff_seconds = 0.01;
+  double max_backoff_seconds = 2.0;
+  double backoff_multiplier = 2.0;
+  /// Jitter fraction f: each delay is drawn uniformly from
+  /// [backoff*(1-f), backoff*(1+f)) by a deterministic seeded stream.
+  double jitter = 0.25;
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// Client-side retry loop state: capped exponential backoff with
+/// deterministic seeded jitter (common/rng.h — same seed, same delays).
+/// Retries only retryable sheds and transient execution errors; never
+/// retries success, shutdown, or enforce-mode verification failures
+/// (those are deterministic — resubmitting cannot change the verdict).
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryPolicyConfig config = {})
+      : config_(config),
+        rng_(config.seed),
+        backoff_(config.initial_backoff_seconds) {}
+
+  /// Feed one attempt's terminal outcome. Returns the delay in seconds
+  /// to wait before the next attempt, or nullopt to stop (done, not
+  /// retryable, or retry budget exhausted). The server's retry_after
+  /// hint acts as a floor under the backoff.
+  std::optional<double> NextDelay(AdmissionOutcome outcome,
+                                  ServeErrorKind error_kind,
+                                  double retry_after_hint_seconds) {
+    ++attempts_;
+    const bool retryable =
+        IsRetryableOutcome(outcome) ||
+        (outcome == AdmissionOutcome::kAdmitted &&
+         error_kind == ServeErrorKind::kTransient);
+    if (!retryable) return std::nullopt;
+    if (attempts_ >= config_.max_attempts) return std::nullopt;
+    const double base = backoff_;
+    backoff_ = std::min(backoff_ * config_.backoff_multiplier,
+                        config_.max_backoff_seconds);
+    const double f = config_.jitter;
+    const double jittered = base * (1.0 - f + rng_.NextDouble() * 2.0 * f);
+    return std::max(jittered, retry_after_hint_seconds);
+  }
+
+  int attempts() const { return attempts_; }
+
+  void Reset() {
+    attempts_ = 0;
+    backoff_ = config_.initial_backoff_seconds;
+    rng_ = Rng(config_.seed);
+  }
+
+ private:
+  RetryPolicyConfig config_;
+  Rng rng_;
+  int attempts_ = 0;
+  double backoff_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_SERVE_ADMISSION_H_

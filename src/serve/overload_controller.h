@@ -1,0 +1,145 @@
+// Overload degradation-tier controller for the serving front end.
+//
+// Under sustained pressure the service steps through serving tiers,
+// each cheaper than the last, instead of shedding everything at a
+// cliff: full pipeline → counters-only tracing → reduced candidate
+// caps → filter-tree-only probes. Recovery is hysteretic: pressure
+// must stay below the low-water mark for `recover_after` consecutive
+// evaluations before the controller steps back one tier, so a brief
+// lull never flaps the tier (the same consecutive-tick convention the
+// budget's DegradationReason machinery uses for stickiness).
+//
+// The controller itself is a small pure state machine: Update() is
+// called under the service's admission lock with the current pressure
+// signals, and tier() is a lock-free atomic read so workers can pick
+// the tier for a query without touching the lock.
+
+#ifndef MVOPT_SERVE_OVERLOAD_CONTROLLER_H_
+#define MVOPT_SERVE_OVERLOAD_CONTROLLER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/enum_coverage.h"
+
+namespace mvopt {
+
+/// Degradation tier an admitted query executes at. Ordered: higher
+/// values do strictly less work per query.
+enum class ServingTier {
+  kFull = 0,           ///< full pipeline: tracing, full candidate caps
+  kCountersOnly,       ///< per-query traces suppressed; counters remain
+  kReducedCandidates,  ///< + candidate cap clamped to a small constant
+  kFilterProbeOnly,    ///< + cap 0: filter-tree probe, no match stage
+};
+
+inline constexpr int kNumServingTiers = 4;
+static_assert(static_cast<int>(ServingTier::kFilterProbeOnly) + 1 ==
+                  kNumServingTiers,
+              "kNumServingTiers must cover every ServingTier");
+
+constexpr const char* ServingTierName(ServingTier tier) {
+  switch (tier) {
+    case ServingTier::kFull:
+      return "full";
+    case ServingTier::kCountersOnly:
+      return "counters-only";
+    case ServingTier::kReducedCandidates:
+      return "reduced-candidates";
+    case ServingTier::kFilterProbeOnly:
+      return "filter-probe-only";
+  }
+  return "?";
+}
+
+static_assert(
+    AllEnumeratorsNamed<ServingTier, ServingTierName>(kNumServingTiers),
+    "every ServingTier needs a ServingTierName entry");
+
+struct OverloadControllerConfig {
+  /// Queue-depth ratio (depth / capacity) at or above which an
+  /// evaluation counts toward escalation.
+  double high_water = 0.75;
+  /// Ratio at or below which an evaluation counts toward recovery.
+  /// Between the marks both streaks reset (dead band).
+  double low_water = 0.25;
+  /// Queue-wait signal: an evaluation whose observed queue wait exceeds
+  /// this also counts toward escalation, even with a shallow queue
+  /// (slow-consumer overload). <= 0 disables the wait signal.
+  double queue_wait_high_seconds = 0.0;
+  /// Consecutive high evaluations before stepping one tier down the
+  /// degradation ladder.
+  int escalate_after = 3;
+  /// Consecutive low evaluations before stepping one tier back up.
+  int recover_after = 8;
+};
+
+/// Hysteretic tier state machine. Update() must be externally
+/// serialized (the service calls it under its admission lock); tier()
+/// is safe from any thread.
+class OverloadController {
+ public:
+  explicit OverloadController(OverloadControllerConfig config = {},
+                              ServingTier initial = ServingTier::kFull)
+      : config_(config), tier_(initial) {}
+
+  /// Feeds one pressure evaluation. `depth_ratio` is queue depth over
+  /// capacity (0 when the queue is unbounded-empty); `queue_wait_seconds`
+  /// is the queue wait of the most recently dequeued query. Returns the
+  /// tier in force after the evaluation.
+  ServingTier Update(double depth_ratio, double queue_wait_seconds) {
+    const bool high =
+        depth_ratio >= config_.high_water ||
+        (config_.queue_wait_high_seconds > 0 &&
+         queue_wait_seconds > config_.queue_wait_high_seconds);
+    const bool low = !high && depth_ratio <= config_.low_water;
+    ServingTier tier = tier_.load(std::memory_order_relaxed);
+    if (high) {
+      recover_streak_ = 0;
+      if (++escalate_streak_ >= config_.escalate_after &&
+          tier != ServingTier::kFilterProbeOnly) {
+        tier = static_cast<ServingTier>(static_cast<int>(tier) + 1);
+        tier_.store(tier, std::memory_order_relaxed);
+        ++escalations_;
+        escalate_streak_ = 0;
+      }
+    } else if (low) {
+      escalate_streak_ = 0;
+      if (++recover_streak_ >= config_.recover_after &&
+          tier != ServingTier::kFull) {
+        tier = static_cast<ServingTier>(static_cast<int>(tier) - 1);
+        tier_.store(tier, std::memory_order_relaxed);
+        ++recoveries_;
+        recover_streak_ = 0;
+      }
+    } else {
+      // Dead band: neither streak advances, and both restart — pressure
+      // must be *consecutively* high or low to move the tier.
+      escalate_streak_ = 0;
+      recover_streak_ = 0;
+    }
+    return tier;
+  }
+
+  /// Current tier; lock-free, any thread.
+  ServingTier tier() const { return tier_.load(std::memory_order_relaxed); }
+
+  int64_t escalations() const { return escalations_; }
+  int64_t recoveries() const { return recoveries_; }
+  const OverloadControllerConfig& config() const { return config_; }
+
+ private:
+  OverloadControllerConfig config_;
+  std::atomic<ServingTier> tier_;
+  // Streaks and totals are only touched inside Update() (externally
+  // serialized); totals are read from stats paths that hold the same
+  // lock the service calls Update() under.
+  int escalate_streak_ = 0;
+  int recover_streak_ = 0;
+  int64_t escalations_ = 0;
+  int64_t recoveries_ = 0;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_SERVE_OVERLOAD_CONTROLLER_H_

@@ -20,6 +20,45 @@ TEST(CounterTest, IncrementAndValue) {
   EXPECT_EQ(c.value(), 42);
 }
 
+TEST(GaugeTest, MovesBothWaysAndSupportsAbsoluteSet) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Increment();
+  g.Increment();
+  g.Decrement();
+  EXPECT_EQ(g.value(), 1);
+  g.Add(-5);
+  EXPECT_EQ(g.value(), -4);  // gauges may go negative, counters may not
+  g.Set(17);
+  EXPECT_EQ(g.value(), 17);
+}
+
+TEST(GaugeTest, RegistryLookupAndExport) {
+  MetricsRegistry r;
+  Gauge* depth = r.FindOrCreateGauge("queue_depth", "Queued items");
+  EXPECT_EQ(r.FindOrCreateGauge("queue_depth", "ignored"), depth);
+  Gauge* labeled =
+      r.FindOrCreateGauge("queue_depth", "Queued items", {{"pool", "a"}});
+  EXPECT_NE(depth, labeled);
+  EXPECT_EQ(r.num_gauges(), 2u);
+  depth->Set(3);
+  labeled->Set(9);
+  EXPECT_EQ(r.GaugeValue("queue_depth"), 3);
+  EXPECT_EQ(r.GaugeValue("queue_depth", {{"pool", "a"}}), 9);
+  EXPECT_EQ(r.GaugeValue("missing"), std::nullopt);
+
+  const std::string text = r.WritePrometheus();
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth{pool=\"a\"} 9"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error;
+
+  const std::string json = r.WriteJson();
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_TRUE(ValidateJson(json, &error)) << error;
+}
+
 TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
   Histogram h;
   h.Observe(0.5e-6);   // below the first bound (1µs) -> bucket 0

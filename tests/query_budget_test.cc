@@ -38,6 +38,61 @@ TEST(QueryBudgetTest, ExpiredDeadlineTripsOnFirstTick) {
   EXPECT_EQ(budget.reason(), DegradationReason::kDeadlineExceeded);
 }
 
+// Regression: set_deadline used to leave the amortized clock-check
+// stride wherever the previous ticks left it, so a deadline installed
+// mid-stride could coast for up to kDeadlineCheckStride-1 ticks before
+// the next clock read noticed it. It must re-arm the stride so the very
+// next tick reads the clock — worst-case overshoot is therefore zero
+// ticks for a deadline set mid-flight, bounded by the stride otherwise.
+TEST(QueryBudgetTest, DeadlineSetMidStrideTripsOnTheNextTick) {
+  QueryBudget budget;
+  budget.set_deadline(QueryBudget::Clock::now() + std::chrono::hours(1));
+  // Advance partway into a stride (tick 0 read the clock; 1..4 do not).
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(budget.TickDeadline());
+  // Re-setting to an already-expired deadline must trip immediately,
+  // not after the stride's remaining ticks elapse.
+  budget.set_deadline(QueryBudget::Clock::now() - milliseconds(1));
+  EXPECT_TRUE(budget.TickDeadline());
+  EXPECT_EQ(budget.reason(), DegradationReason::kDeadlineExceeded);
+}
+
+TEST(QueryBudgetTest, ResetForQueryReArmsTheDeadlineStride) {
+  QueryBudget budget;
+  budget.set_deadline(QueryBudget::Clock::now() + std::chrono::hours(1));
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(budget.TickDeadline());
+  // A new query starts on the same budget after its deadline passed
+  // (deadlines are absolute and survive ResetForQuery): the first tick
+  // of the new query must read the clock and trip at once.
+  budget.ResetForQuery();
+  budget.set_deadline(QueryBudget::Clock::now() - milliseconds(1));
+  budget.ResetForQuery();
+  EXPECT_TRUE(budget.TickDeadline());
+  EXPECT_EQ(budget.reason(), DegradationReason::kDeadlineExceeded);
+}
+
+// Bounds the worst-case overshoot of the amortized deadline check: once
+// the deadline has passed, detection takes at most kDeadlineCheckStride
+// ticks (the stride's clock read lands within every window of that
+// many calls).
+TEST(QueryBudgetTest, DeadlineOvershootIsBoundedByTheStride) {
+  QueryBudget budget;
+  budget.set_deadline(QueryBudget::Clock::now() + milliseconds(5));
+  // Consume the stride's clock-reading tick while the deadline is still
+  // in the future, so detection genuinely waits for the next stride
+  // boundary rather than the re-armed first tick.
+  EXPECT_FALSE(budget.TickDeadline());
+  while (QueryBudget::Clock::now() < budget.deadline() + milliseconds(1)) {
+    // burn real time past the deadline without ticking
+  }
+  int ticks_to_trip = 0;
+  while (!budget.TickDeadline()) {
+    ASSERT_LE(++ticks_to_trip,
+              static_cast<int>(QueryBudget::kDeadlineCheckStride))
+        << "expired deadline undetected for more than one full stride";
+  }
+  EXPECT_EQ(budget.reason(), DegradationReason::kDeadlineExceeded);
+}
+
 TEST(QueryBudgetTest, ExhaustionIsStickyAndKeepsFirstReason) {
   QueryBudget budget;
   budget.set_candidate_cap(1);

@@ -124,6 +124,15 @@ inline constexpr const char* kFailpointSites[] = {
     "serving.execute",                    // worker crash mid-query
     "serving.result_publish",             // primary publish path fails
     "serving.drain",                      // throws inside Drain
+    // Sharded-catalog sites (see shard/sharded_catalog_service.h): one
+    // per step of the shard lifecycle — parallel recovery, routed
+    // registration, fleet checkpoint, and the two-phase scrub/readmit
+    // protocol — so the crash matrix can kill the process inside each.
+    "catalog_shard.recover",              // per-shard recovery task entry
+    "catalog_shard.add_route",            // after routing, before delegation
+    "catalog_shard.checkpoint",           // per-shard checkpoint entry
+    "catalog_shard.scrub_swap",           // rebuilt shard, before the swap
+    "catalog_shard.scrub_checkpoint",     // readmitted, repair checkpoint
 };
 
 }  // namespace mvopt

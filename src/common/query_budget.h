@@ -24,9 +24,11 @@
 namespace mvopt {
 
 /// Why an optimization was degraded (first limit that tripped).
-/// kStaleViewsOnly is *advisory*: it never exhausts the budget, it only
-/// reports that every matching view was skipped for staleness, so the
-/// query ran on base tables although substitutes existed.
+/// kStaleViewsOnly and kPartialCatalog are *advisory*: they never
+/// exhaust the budget. kStaleViewsOnly reports that every matching view
+/// was skipped for staleness; kPartialCatalog reports that a catalog
+/// shard the query routed to was quarantined, so the answer — while
+/// correct — may be missing substitutes that shard would have offered.
 enum class DegradationReason {
   kNone = 0,
   kDeadlineExceeded,     ///< wall-clock deadline passed
@@ -34,10 +36,11 @@ enum class DegradationReason {
   kMemoGroupCapReached,  ///< memo group cap hit
   kMemoExprCapReached,   ///< memo expression cap hit
   kStaleViewsOnly,       ///< only stale view candidates existed
+  kPartialCatalog,       ///< a routed catalog shard was unavailable
 };
 
-inline constexpr int kNumDegradationReasons = 6;
-static_assert(static_cast<int>(DegradationReason::kStaleViewsOnly) + 1 ==
+inline constexpr int kNumDegradationReasons = 7;
+static_assert(static_cast<int>(DegradationReason::kPartialCatalog) + 1 ==
                   kNumDegradationReasons,
               "kNumDegradationReasons must cover every DegradationReason");
 
@@ -59,6 +62,8 @@ constexpr const char* DegradationReasonName(DegradationReason reason) {
       return "memo-expr-cap";
     case DegradationReason::kStaleViewsOnly:
       return "stale-views-only";
+    case DegradationReason::kPartialCatalog:
+      return "partial-catalog";
   }
   return "?";
 }
@@ -109,9 +114,18 @@ class QueryBudget {
   }
 
   /// Records an advisory degradation (reported by reason() when no hard
-  /// limit tripped) without exhausting the budget.
+  /// limit tripped) without exhausting the budget. First advisory wins,
+  /// with one priority exception: kPartialCatalog replaces any other
+  /// advisory, so "a routed shard was unavailable" is reported iff it
+  /// happened — even when a stale-views advisory landed first (the
+  /// partial-availability contract in shard/sharded_catalog_service.h
+  /// depends on this).
   void NoteDegradation(DegradationReason reason) {
-    if (advisory_ == DegradationReason::kNone) advisory_ = reason;
+    if (advisory_ == DegradationReason::kNone ||
+        (reason == DegradationReason::kPartialCatalog &&
+         advisory_ != DegradationReason::kPartialCatalog)) {
+      advisory_ = reason;
+    }
   }
 
   /// Hard-exhausts the budget with `reason` (first reason wins, like any

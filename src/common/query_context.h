@@ -77,11 +77,15 @@ class QueryContext {
 
   /// Records an advisory degradation. Routed into the budget when one is
   /// attached (so OptimizationResult::degradation reports it); kept
-  /// locally otherwise so ungoverned callers can still inspect it.
+  /// locally otherwise so ungoverned callers can still inspect it. The
+  /// local path mirrors the budget's priority rule: first advisory wins
+  /// except kPartialCatalog, which replaces any other advisory.
   void NoteDegradation(DegradationReason reason) {
     if (budget_ != nullptr) {
       budget_->NoteDegradation(reason);
-    } else if (advisory_ == DegradationReason::kNone) {
+    } else if (advisory_ == DegradationReason::kNone ||
+               (reason == DegradationReason::kPartialCatalog &&
+                advisory_ != DegradationReason::kPartialCatalog)) {
       advisory_ = reason;
     }
   }

@@ -684,14 +684,17 @@ RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
     // quarantined in the report instead of aborting recovery.
     if (static_cast<uint8_t>(image.state) >=
         static_cast<uint8_t>(kNumViewStates)) {
-      report.quarantined.push_back(
-          {image.name, "invalid lifecycle state in durable record"});
+      report.quarantined.push_back({image.name,
+                                    EntryQuarantineCause::kInvalidState,
+                                    "invalid lifecycle state in durable record"});
       continue;
     }
     std::string err;
     std::optional<SpjgQuery> parsed = ParseSpjg(*catalog_, image.sql, &err);
     if (!parsed.has_value()) {
-      report.quarantined.push_back({image.name, "unparsable SQL: " + err});
+      report.quarantined.push_back({image.name,
+                                    EntryQuarantineCause::kUnparsableSql,
+                                    "unparsable SQL: " + err});
       continue;
     }
     ViewDefinition* view = nullptr;
@@ -704,7 +707,8 @@ RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
       err = e.what();
     }
     if (view == nullptr) {
-      report.quarantined.push_back({image.name, err});
+      report.quarantined.push_back(
+          {image.name, EntryQuarantineCause::kIndexingFailed, err});
       continue;
     }
     GrowBookkeepingLocked();

@@ -65,6 +65,7 @@
 #include "query/substitute.h"
 #include "rewrite/catalog_store.h"
 #include "rewrite/matcher.h"
+#include "rewrite/substitute_source.h"
 #include "rewrite/union_matcher.h"
 #include "rewrite/view_catalog.h"
 #include "rewrite/view_lifecycle.h"
@@ -112,7 +113,7 @@ struct VerifyStats {
   std::vector<std::string> rejection_traces;
 };
 
-class MatchingService {
+class MatchingService : public SubstituteSource {
  public:
   struct Options {
     bool use_filter_tree = true;
@@ -168,7 +169,7 @@ class MatchingService {
   /// show through. The context (and its trace) must not be shared across
   /// concurrent probes; the pool may be.
   std::vector<Substitute> FindSubstitutes(const SpjgQuery& query,
-                                          QueryContext& ctx)
+                                          QueryContext& ctx) override
       MVOPT_EXCLUDES(mu_);
 
   /// Back-compat loose-parameter form: forwards through a local context.
@@ -184,13 +185,19 @@ class MatchingService {
   /// (cooperative ticks inside the partition sweep), admits legs from
   /// views lagging at most ctx.max_staleness() epochs, and records a
   /// "union-match" span into the trace / stage hook.
-  std::optional<UnionSubstitute> FindUnionSubstitute(const SpjgQuery& query,
-                                                     QueryContext& ctx)
-      MVOPT_EXCLUDES(mu_);
+  std::optional<UnionSubstitute> FindUnionSubstitute(
+      const SpjgQuery& query, QueryContext& ctx) override MVOPT_EXCLUDES(mu_);
 
   /// Back-compat form: default context (no deadline, fresh views only).
   std::optional<UnionSubstitute> FindUnionSubstitute(const SpjgQuery& query)
       MVOPT_EXCLUDES(mu_);
+
+  /// SubstituteSource: the definition behind one of this service's view
+  /// ids. Same single-threaded hand-out-a-reference contract as views().
+  const ViewDefinition& ResolveView(ViewId id) const override
+      MVOPT_NO_THREAD_SAFETY_ANALYSIS {
+    return view_catalog_.view(id);
+  }
 
   // --- durability ---------------------------------------------------------
 

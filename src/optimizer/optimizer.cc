@@ -75,7 +75,7 @@ struct Optimizer::Context {
   }
 };
 
-Optimizer::Optimizer(const Catalog* catalog, MatchingService* matching,
+Optimizer::Optimizer(const Catalog* catalog, SubstituteSource* matching,
                      OptimizerOptions options)
     : catalog_(catalog),
       matching_(matching),
@@ -631,7 +631,7 @@ std::vector<PhysPlanPtr> Optimizer::ImplementViewGet(
     Context* ctx, const Group& group, const LogicalExpr& expr) {
   std::vector<PhysPlanPtr> out;
   const Substitute& sub = expr.substitute;
-  const ViewDefinition& view = matching_->views().view(sub.view_id);
+  const ViewDefinition& view = matching_->ResolveView(sub.view_id);
 
   // View size: actual row count when materialized, estimated otherwise.
   double view_rows;
@@ -678,6 +678,7 @@ std::vector<PhysPlanPtr> Optimizer::ImplementViewGet(
   scan->kind = PhysKind::kViewScan;
   scan->table = vt;
   scan->view = sub.view_id;
+  scan->view_name = view.name();
   scan->substitute = sub;
   if (group.agg_spec < 0) {
     scan->provides = group.required_columns;

@@ -46,6 +46,10 @@ std::string PhysPlan::ToString(const Catalog& catalog, int indent) const {
     if (table >= 0 && table < catalog.num_tables()) {
       return catalog.table(table).name();
     }
+    // Prefer the registered name over the raw id: ids depend on the
+    // substitute source's id space (sharded catalogs use composite
+    // global ids), names do not.
+    if (!view_name.empty()) return view_name;
     if (view != kInvalidViewId) return "view#" + std::to_string(view);
     return "table#" + std::to_string(table);
   };

@@ -68,6 +68,12 @@ struct PhysPlan {
 
   // View scans.
   ViewId view = kInvalidViewId;
+  /// The view's registered name, preferred by ToString over the raw id:
+  /// ids are an implementation detail of the substitute source (the
+  /// sharded catalog hands out composite global ids), so rendering the
+  /// name keeps plan text comparable across id spaces — the property the
+  /// sharded-vs-unsharded byte-identity checks rely on.
+  std::string view_name;
   Substitute substitute;
   /// Global column reference provided by each substitute output position
   /// (empty when the node is a root producing final query outputs).

@@ -189,7 +189,8 @@ std::string RecoveryReport::ToJson() const {
   j += ",\"quarantined\":[";
   for (size_t i = 0; i < quarantined.size(); ++i) {
     if (i > 0) j += ",";
-    j += "{\"name\":\"" + JsonEscape(quarantined[i].name) + "\",\"reason\":\"" +
+    j += "{\"name\":\"" + JsonEscape(quarantined[i].name) + "\",\"cause\":\"" +
+         EntryQuarantineCauseName(quarantined[i].cause) + "\",\"reason\":\"" +
          JsonEscape(quarantined[i].reason) + "\"}";
   }
   j += "],\"anomalies\":[";
@@ -200,6 +201,48 @@ std::string RecoveryReport::ToJson() const {
   j += "],\"clean\":" + std::string(clean() ? "true" : "false");
   j += "}";
   return j;
+}
+
+bool ValidateRecoveryReportJson(const std::string& json, std::string* error) {
+  if (!ValidateJson(json, error)) return false;
+  static constexpr const char* kRequiredKeys[] = {
+      "\"snapshot_loaded\":", "\"snapshot_error\":",
+      "\"snapshot_views\":",  "\"wal_records_replayed\":",
+      "\"wal_tail_torn\":",   "\"wal_bytes_truncated\":",
+      "\"views_recovered\":", "\"quarantined\":",
+      "\"anomalies\":",       "\"clean\":",
+  };
+  for (const char* key : kRequiredKeys) {
+    if (json.find(key) == std::string::npos) {
+      if (error != nullptr) {
+        *error = std::string("missing mandatory key ") + key;
+      }
+      return false;
+    }
+  }
+  // Every quarantined entry must carry a cause from the known set (the
+  // machine-readable contract tests assert on).
+  size_t pos = 0;
+  while ((pos = json.find("\"cause\":\"", pos)) != std::string::npos) {
+    pos += 9;
+    const size_t end = json.find('"', pos);
+    if (end == std::string::npos) break;  // ValidateJson would have caught it
+    const std::string cause = json.substr(pos, end - pos);
+    bool known = false;
+    for (int i = 0; i < kNumEntryQuarantineCauses; ++i) {
+      if (cause ==
+          EntryQuarantineCauseName(static_cast<EntryQuarantineCause>(i))) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      if (error != nullptr) *error = "unknown quarantine cause: " + cause;
+      return false;
+    }
+    pos = end;
+  }
+  return true;
 }
 
 CatalogStore::~CatalogStore() { Close(); }

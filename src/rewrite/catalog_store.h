@@ -43,12 +43,44 @@
 #include <string>
 #include <vector>
 
+#include "common/enum_coverage.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "observe/metrics.h"
 #include "rewrite/view_lifecycle.h"
 
 namespace mvopt {
+
+/// Why a durable-but-unreplayable entry was kept out of the rebuilt
+/// catalog. Machine-readable so tooling and tests assert on the cause
+/// instead of string-matching the free-form detail.
+enum class EntryQuarantineCause {
+  kInvalidState = 0,  ///< lifecycle state byte out of range
+  kUnparsableSql,     ///< definition no longer parses against the schema
+  kIndexingFailed,    ///< registration / filter-tree insertion failed
+};
+
+inline constexpr int kNumEntryQuarantineCauses = 3;
+static_assert(static_cast<int>(EntryQuarantineCause::kIndexingFailed) + 1 ==
+                  kNumEntryQuarantineCauses,
+              "kNumEntryQuarantineCauses must cover every cause");
+
+constexpr const char* EntryQuarantineCauseName(EntryQuarantineCause cause) {
+  switch (cause) {
+    case EntryQuarantineCause::kInvalidState:
+      return "invalid-state";
+    case EntryQuarantineCause::kUnparsableSql:
+      return "unparsable-sql";
+    case EntryQuarantineCause::kIndexingFailed:
+      return "indexing-failed";
+  }
+  return "?";
+}
+
+static_assert(
+    AllEnumeratorsNamed<EntryQuarantineCause, EntryQuarantineCauseName>(
+        kNumEntryQuarantineCauses),
+    "every EntryQuarantineCause needs an EntryQuarantineCauseName entry");
 
 /// Append-path failure. `durable()` distinguishes an *ambiguous commit*:
 /// the record reached stable storage before the failure, so the caller
@@ -78,6 +110,8 @@ struct RecoveryReport {
   /// One durable-but-unreplayable entry, kept out of the catalog.
   struct QuarantinedEntry {
     std::string name;
+    /// Machine-readable cause; `reason` carries the human detail.
+    EntryQuarantineCause cause = EntryQuarantineCause::kIndexingFailed;
     std::string reason;
   };
 
@@ -100,6 +134,13 @@ struct RecoveryReport {
   }
   std::string ToJson() const;
 };
+
+/// Structural validation of a RecoveryReport::ToJson dump (mirrors the
+/// metrics-JSON pattern, observe/metrics.h): well-formed JSON with every
+/// mandatory key present, and each quarantined entry carrying a known
+/// machine-readable cause. Returns false and sets *error on the first
+/// violation.
+bool ValidateRecoveryReportJson(const std::string& json, std::string* error);
 
 class CatalogStore {
  public:

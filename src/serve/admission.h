@@ -27,15 +27,19 @@ namespace mvopt {
 /// was (or will be) executed and answered, every kShed* means it was
 /// rejected without execution, with `retry_after` guidance.
 enum class AdmissionOutcome {
-  kAdmitted = 0,      ///< executed; the ticket carries the result
-  kShedQueueFull,     ///< bounded admission queue at capacity
-  kShedQuota,         ///< tenant token bucket empty
-  kShedOverload,      ///< global in-flight limit / overload protection
-  kShedShutdown,      ///< draining or stopped; terminal, do not retry
+  kAdmitted = 0,        ///< executed; the ticket carries the result
+  kShedQueueFull,       ///< bounded admission queue at capacity
+  kShedQuota,           ///< tenant token bucket empty
+  kShedOverload,        ///< global in-flight limit / overload protection
+  kShedShutdown,        ///< draining or stopped; terminal, do not retry
+  kShedPartialCatalog,  ///< a catalog shard the query routes to is
+                        ///< quarantined and the service is configured to
+                        ///< shed rather than serve partial answers;
+                        ///< retryable — the scrubber may readmit it
 };
 
-inline constexpr int kNumAdmissionOutcomes = 5;
-static_assert(static_cast<int>(AdmissionOutcome::kShedShutdown) + 1 ==
+inline constexpr int kNumAdmissionOutcomes = 6;
+static_assert(static_cast<int>(AdmissionOutcome::kShedPartialCatalog) + 1 ==
                   kNumAdmissionOutcomes,
               "kNumAdmissionOutcomes must cover every AdmissionOutcome");
 
@@ -51,6 +55,8 @@ constexpr const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
       return "shed-overload";
     case AdmissionOutcome::kShedShutdown:
       return "shed-shutdown";
+    case AdmissionOutcome::kShedPartialCatalog:
+      return "shed-partial-catalog";
   }
   return "?";
 }
@@ -69,7 +75,8 @@ constexpr bool IsShed(AdmissionOutcome outcome) {
 constexpr bool IsRetryableOutcome(AdmissionOutcome outcome) {
   return outcome == AdmissionOutcome::kShedQueueFull ||
          outcome == AdmissionOutcome::kShedQuota ||
-         outcome == AdmissionOutcome::kShedOverload;
+         outcome == AdmissionOutcome::kShedOverload ||
+         outcome == AdmissionOutcome::kShedPartialCatalog;
 }
 
 /// How an admitted query's execution ended (ServeResult::error_kind).

@@ -25,7 +25,7 @@ double SecondsBetween(QueryBudget::Clock::time_point from,
 }  // namespace
 
 ServingService::ServingService(const Catalog* catalog,
-                               MatchingService* matching,
+                               SubstituteSource* matching,
                                ServingOptions options)
     : catalog_(catalog),
       matching_(matching),
@@ -122,6 +122,14 @@ std::shared_ptr<ServeTicket> ServingService::Submit(ServeRequest request) {
                in_flight_ >= options_.max_in_flight) {
       outcome = AdmissionOutcome::kShedOverload;
       retry_after = BacklogRetryAfterLocked(in_flight_);
+    } else if (options_.partial_catalog == PartialCatalogPolicy::kShed &&
+               options_.partial_catalog_probe &&
+               options_.partial_catalog_probe(req.query)) {
+      // A shard this query routes to is quarantined and the caller
+      // demands complete answers. Still before the bucket: the tenant
+      // pays no quota for an answer the catalog cannot give.
+      outcome = AdmissionOutcome::kShedPartialCatalog;
+      retry_after = options_.partial_catalog_retry_seconds;
     } else {
       TokenBucket* bucket = TenantBucketLocked(req.tenant);
       double quota_wait = 0;

@@ -48,6 +48,7 @@
 #include "observe/observe.h"
 #include "optimizer/optimizer.h"
 #include "query/spjg.h"
+#include "rewrite/substitute_source.h"
 #include "serve/admission.h"
 #include "serve/overload_controller.h"
 
@@ -134,6 +135,18 @@ class ServeTicket {
   ServeResult result_ MVOPT_GUARDED_BY(mu_);
 };
 
+/// What the front end does with a query that routes to a quarantined
+/// catalog shard (sharded catalogs only; see shard/ and DESIGN.md §14).
+enum class PartialCatalogPolicy {
+  /// Serve it: healthy shards answer, the result carries the sticky
+  /// kPartialCatalog degradation advisory. The default — partial
+  /// availability is the point of shard isolation.
+  kDegrade = 0,
+  /// Shed it with kShedPartialCatalog (retryable — the scrubber may
+  /// readmit the shard). For callers that require complete answers.
+  kShed,
+};
+
 struct ServingOptions {
   /// Worker threads executing admitted queries (clamped to >= 1; the
   /// queue needs an independent consumer for drain to terminate).
@@ -177,6 +190,16 @@ struct ServingOptions {
   /// Lets tests hold a worker mid-query (to fill the queue or race a
   /// drain deterministically). Runs with no service lock held.
   std::function<void(const ServeRequest&)> pre_execute_hook;
+  /// Shard-health probe: returns true when a catalog shard the query
+  /// routes to is unavailable (wire to
+  /// ShardedCatalogService::AnyRoutedUnhealthy). Null = never partial
+  /// (the single-store MatchingService). Called under the admission
+  /// lock — must be cheap and must not call back into the service.
+  std::function<bool(const SpjgQuery&)> partial_catalog_probe;
+  PartialCatalogPolicy partial_catalog = PartialCatalogPolicy::kDegrade;
+  /// retry_after hint on kShedPartialCatalog (scrub-backoff scale, not
+  /// backlog turnover — the queue is irrelevant to a quarantined shard).
+  double partial_catalog_retry_seconds = 0.05;
 };
 
 /// Monotonic totals since construction; snapshot via stats().
@@ -202,8 +225,9 @@ class ServingService {
  public:
   /// The catalog/matching pipeline is borrowed and must outlive the
   /// service. `matching` may be null (serving without materialized
-  /// views, as with the bare Optimizer).
-  ServingService(const Catalog* catalog, MatchingService* matching,
+  /// views, as with the bare Optimizer) or any SubstituteSource — the
+  /// single-store MatchingService or the sharded catalog.
+  ServingService(const Catalog* catalog, SubstituteSource* matching,
                  ServingOptions options = {});
   ~ServingService();
 
@@ -266,7 +290,7 @@ class ServingService {
   void RegisterMetrics();
 
   const Catalog* catalog_;
-  MatchingService* matching_;
+  SubstituteSource* matching_;
   ServingOptions options_;
   Optimizer optimizer_;
   OverloadController controller_;

@@ -1,0 +1,83 @@
+// Table-signature routing for the sharded catalog (DESIGN.md §14).
+//
+// Shard assignment exploits the filter tree's own necessary condition
+// (§4.2.2): a view can substitute into a query only if its hub — the
+// tables that cannot be eliminated by cardinality-preserving joins — is
+// a subset of the query's table set. So a view is owned by the shard of
+// its *anchor* table, min(hub), and a probe only needs to visit the
+// shards of the query's own tables: if hub(view) ⊆ tables(query) then
+// anchor(view) ∈ tables(query), so the owning shard is among the probed
+// ones. Views with an empty hub (every table eliminable) match queries
+// over arbitrary table sets, so they live in shard 0 — the *universal
+// shard* — which every probe visits unconditionally.
+//
+// The map from table to shard is a plain modulus: deterministic across
+// runs (recovery must route a replayed view to the shard whose WAL holds
+// it) and independent of catalog content. Routing never consults shard
+// health — the router answers "where would it live", the service decides
+// what to do about a quarantined owner.
+
+#ifndef MVOPT_SHARD_SHARD_ROUTER_H_
+#define MVOPT_SHARD_SHARD_ROUTER_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/spjg.h"
+#include "query/view_def.h"
+#include "rewrite/view_description.h"
+
+namespace mvopt {
+
+class ShardRouter {
+ public:
+  ShardRouter(const Catalog* catalog, int num_shards)
+      : catalog_(catalog), num_shards_(num_shards < 1 ? 1 : num_shards) {}
+
+  int num_shards() const { return num_shards_; }
+
+  /// Shard that owns views anchored at `table`.
+  int ShardOfTable(TableId table) const {
+    return static_cast<int>(static_cast<uint32_t>(table) %
+                            static_cast<uint32_t>(num_shards_));
+  }
+
+  /// Shard that owns a view with this definition: the shard of its
+  /// anchor table min(hub), or the universal shard 0 when the hub is
+  /// empty. Deterministic — the same definition always routes to the
+  /// same shard, which is what lets per-shard WALs replay independently.
+  int RouteView(const SpjgQuery& definition) const {
+    // DescribeView computes the §4.2.2 hub; the throwaway id/name do not
+    // influence it.
+    const ViewDefinition probe(kInvalidViewId, "", definition);
+    const ViewDescription desc = DescribeView(*catalog_, probe);
+    if (desc.hub.empty()) return 0;
+    // hub is sorted unique, so the anchor is its first element.
+    return ShardOfTable(desc.hub.front());
+  }
+
+  /// Shards a probe for `query` must visit: the shards of the query's
+  /// tables plus the universal shard, ascending and duplicate-free.
+  /// Sound by the routing invariant above; complete because no other
+  /// shard can hold a view whose hub is covered by this query.
+  std::vector<int> RouteQuery(const SpjgQuery& query) const {
+    std::vector<int> shards;
+    shards.reserve(query.tables.size() + 1);
+    shards.push_back(0);  // universal shard: empty-hub views
+    for (const TableRef& ref : query.tables) {
+      shards.push_back(ShardOfTable(ref.table));
+    }
+    std::sort(shards.begin(), shards.end());
+    shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+    return shards;
+  }
+
+ private:
+  const Catalog* catalog_;
+  int num_shards_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_SHARD_SHARD_ROUTER_H_

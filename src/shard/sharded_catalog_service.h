@@ -1,0 +1,391 @@
+// ShardedCatalogService: the catalog and matching state split into
+// independent failure domains (DESIGN.md §14). Each shard owns its own
+// MatchingService (filter-tree segment, lifecycle slice) and its own
+// CatalogStore (WAL + snapshot at <dir>/shard_<i>), routed by the
+// ShardRouter's table-signature rule, so
+//
+//   - crash recovery runs the shards in parallel (RecoverAll over a
+//     ThreadPool) and a shard that fails CRC / replay / invariant audit
+//     is QUARANTINED, not fatal: probes proceed over the healthy shards
+//     and carry the sticky DegradationReason::kPartialCatalog advisory,
+//   - a background scrubber (ScrubTick, exponential backoff) rebuilds
+//     quarantined shards from their stores and readmits them without a
+//     restart, and
+//   - the blast radius of one corrupt WAL or snapshot is one shard's
+//     views, never the whole catalog.
+//
+// Id space: a shard hands out dense local ids; the service exposes the
+// stable composite global id  global = local * num_shards + shard.
+// Decoding is arithmetic (shard = global % N, local = global / N), so
+// remapping needs no table, is race-free, and survives any interleaving
+// of per-shard registrations. Plan text is unaffected: the optimizer
+// renders view *names* (PhysPlan::view_name), which is what makes
+// sharded and unsharded plans byte-comparable.
+//
+// Merge determinism: FindSubstitutes visits the routed shards in
+// ascending shard order, reusing the caller's QueryContext serially (the
+// budget accumulates across shards exactly as it would across candidates
+// within one service), and concatenates fresh (staleness_lag == 0)
+// substitutes before tolerated-stale ones globally — the same order
+// contract a single MatchingService keeps.
+//
+// Lock protocol: each shard's `service` pointer is guarded by the
+// shard's own SharedMutex (readers: probes, AddView delegation, resolve;
+// writer: the recovery/scrub swap). Scrub-retired services are kept
+// alive on retired_ for the service's lifetime so ResolveView references
+// handed out before a swap stay valid. admin_mu_ guards the scrub /
+// quarantine bookkeeping and is never held across a shard-service call.
+//
+// Failpoint sites (common/failpoint.h; crash-killed at every one by
+// tools/ci/run_crash_recovery.sh):
+//   catalog_shard.recover          per-shard recovery task entry
+//   catalog_shard.add_route        after routing, before delegation
+//   catalog_shard.checkpoint       per-shard checkpoint entry
+//   catalog_shard.scrub_swap       shard rebuilt, before the swap
+//   catalog_shard.scrub_checkpoint readmitted, before the repair snapshot
+
+#ifndef MVOPT_SHARD_SHARDED_CATALOG_SERVICE_H_
+#define MVOPT_SHARD_SHARDED_CATALOG_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/enum_coverage.h"
+#include "common/epoch.h"
+#include "common/mutex.h"
+#include "common/query_context.h"
+#include "common/thread_annotations.h"
+#include "index/matching_service.h"
+#include "observe/observe.h"
+#include "rewrite/catalog_store.h"
+#include "rewrite/substitute_source.h"
+#include "shard/shard_router.h"
+
+namespace mvopt {
+
+class ThreadPool;
+
+enum class ShardHealth {
+  kHealthy = 0,     ///< serving probes and registrations
+  kQuarantined,     ///< sidelined; probes skip it, scrubber retries it
+};
+
+inline constexpr int kNumShardHealths = 2;
+static_assert(static_cast<int>(ShardHealth::kQuarantined) + 1 ==
+                  kNumShardHealths,
+              "kNumShardHealths must cover every ShardHealth");
+
+constexpr const char* ShardHealthName(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+static_assert(AllEnumeratorsNamed<ShardHealth, ShardHealthName>(
+                  kNumShardHealths),
+              "every ShardHealth needs a ShardHealthName entry");
+
+/// Why a shard was taken out of service. Machine-readable so recovery
+/// tooling asserts on the cause, never on free-form detail strings.
+enum class ShardQuarantineCause {
+  kNone = 0,         ///< healthy
+  kSnapshotCorrupt,  ///< snapshot failed its structural/CRC checks
+  kWalCorrupt,       ///< WAL truncation treated as corruption (opt-in)
+  kReplayFailed,     ///< durable entries could not be rebuilt
+  kAuditFailed,      ///< post-replay invariant audit found violations
+  kIoError,          ///< store I/O failure during recovery
+  kFailpoint,        ///< injected fault (chaos / crash tests)
+  kForced,           ///< administrative ForceQuarantine
+};
+
+inline constexpr int kNumShardQuarantineCauses = 8;
+static_assert(static_cast<int>(ShardQuarantineCause::kForced) + 1 ==
+                  kNumShardQuarantineCauses,
+              "kNumShardQuarantineCauses must cover every cause");
+
+constexpr const char* ShardQuarantineCauseName(ShardQuarantineCause cause) {
+  switch (cause) {
+    case ShardQuarantineCause::kNone:
+      return "none";
+    case ShardQuarantineCause::kSnapshotCorrupt:
+      return "snapshot-corrupt";
+    case ShardQuarantineCause::kWalCorrupt:
+      return "wal-corrupt";
+    case ShardQuarantineCause::kReplayFailed:
+      return "replay-failed";
+    case ShardQuarantineCause::kAuditFailed:
+      return "audit-failed";
+    case ShardQuarantineCause::kIoError:
+      return "io-error";
+    case ShardQuarantineCause::kFailpoint:
+      return "failpoint";
+    case ShardQuarantineCause::kForced:
+      return "forced";
+  }
+  return "?";
+}
+
+static_assert(
+    AllEnumeratorsNamed<ShardQuarantineCause, ShardQuarantineCauseName>(
+        kNumShardQuarantineCauses),
+    "every ShardQuarantineCause needs a ShardQuarantineCauseName entry");
+
+/// Machine-readable outcome of one RecoverAll pass: every shard's
+/// verdict plus its store-level RecoveryReport.
+struct ShardRecoveryReport {
+  struct ShardOutcome {
+    int shard = 0;
+    ShardHealth health = ShardHealth::kHealthy;
+    ShardQuarantineCause cause = ShardQuarantineCause::kNone;
+    std::string detail;          ///< human detail for a quarantine
+    double recovery_seconds = 0;  ///< wall clock of this shard's task
+    RecoveryReport report;        ///< per-shard store recovery outcome
+  };
+
+  std::vector<ShardOutcome> shards;
+
+  bool all_healthy() const {
+    for (const auto& s : shards) {
+      if (s.health != ShardHealth::kHealthy) return false;
+    }
+    return true;
+  }
+  int num_quarantined() const {
+    int n = 0;
+    for (const auto& s : shards) {
+      if (s.health == ShardHealth::kQuarantined) ++n;
+    }
+    return n;
+  }
+  std::string ToJson() const;
+};
+
+/// Structural validation of ShardRecoveryReport::ToJson (same pattern as
+/// ValidateRecoveryReportJson): well-formed JSON, every mandatory key
+/// present, and every health / cause value a known enumerator name.
+bool ValidateShardRecoveryReportJson(const std::string& json,
+                                     std::string* error);
+
+struct ShardedCatalogOptions {
+  /// Failure domains (clamped to >= 1; 1 degenerates to an unsharded
+  /// catalog behind the same interface).
+  int num_shards = 4;
+  /// Durability root: shard i persists at <dir>/shard_<i>. Empty = no
+  /// durability (in-memory shards; RecoverAll is then a no-op rebuild).
+  std::string dir;
+  /// Applied to every shard's MatchingService (verify mode, quarantine
+  /// thresholds, observe...).
+  MatchingService::Options service;
+  /// Run the InvariantAuditor over each shard's filter tree after
+  /// replay; violations quarantine the shard (kAuditFailed).
+  bool audit_after_recovery = true;
+  /// Treat a truncated torn WAL tail as shard-level corruption
+  /// (kWalCorrupt). Off by default: a torn tail is the *expected*
+  /// artifact of a crash mid-append and recovery repairs it; flip this
+  /// on when any truncation is suspicious (e.g. bit-rot scans).
+  bool quarantine_on_wal_truncation = false;
+  /// Scrub circuit breaker: a failed repair attempt doubles the wait
+  /// (in ScrubTick calls) before the next one, within this window.
+  int scrub_backoff_initial_ticks = 1;
+  int scrub_backoff_max_ticks = 64;
+  /// Shard-level observability (quarantine gauge, scrub counters,
+  /// per-shard recovery-latency histograms). Independent of
+  /// service.observe, which instruments the per-shard pipelines.
+  ObserveOptions observe;
+};
+
+class ShardedCatalogService : public SubstituteSource {
+ public:
+  ShardedCatalogService(const Catalog* catalog, ShardedCatalogOptions options);
+  ~ShardedCatalogService() override;
+
+  ShardedCatalogService(const ShardedCatalogService&) = delete;
+  ShardedCatalogService& operator=(const ShardedCatalogService&) = delete;
+
+  // --- registration -------------------------------------------------------
+
+  /// Validates, routes and registers a view on its owning shard; returns
+  /// the composite global id, or kInvalidViewId with *error set. Fails
+  /// (rather than silently rehoming) when the owning shard is
+  /// quarantined: a view registered elsewhere would violate the routing
+  /// invariant and become unreachable after readmission.
+  ViewId AddView(const std::string& name, SpjgQuery definition,
+                 std::string* error = nullptr);
+
+  // --- SubstituteSource ---------------------------------------------------
+
+  /// Probes the routed shards in ascending shard order with the caller's
+  /// context (serially — the budget accrues across shards), remaps local
+  /// ids to global, and keeps fresh substitutes ahead of tolerated-stale
+  /// ones globally. A routed-but-quarantined shard records the sticky
+  /// kPartialCatalog advisory and is skipped.
+  std::vector<Substitute> FindSubstitutes(const SpjgQuery& query,
+                                          QueryContext& ctx) override;
+
+  /// First union substitute found over the routed healthy shards, legs
+  /// remapped to global ids. Legs never span shards (each shard only
+  /// sees its own partitions) — a known sharding trade-off, documented
+  /// in DESIGN.md §14. Quarantined routed shards record kPartialCatalog.
+  std::optional<UnionSubstitute> FindUnionSubstitute(
+      const SpjgQuery& query, QueryContext& ctx) override;
+
+  /// Resolves a composite global id. References stay valid across scrub
+  /// swaps (replaced shard services are retired, not destroyed, for the
+  /// lifetime of this object).
+  const ViewDefinition& ResolveView(ViewId id) const override;
+
+  // --- recovery / durability ----------------------------------------------
+
+  /// Parallel startup recovery: one task per shard on `pool` (null =
+  /// serial), each replaying its own snapshot + WAL and auditing the
+  /// rebuilt filter tree. A shard that fails is quarantined with a
+  /// machine-readable cause; the rest come up and serve. Never throws.
+  ShardRecoveryReport RecoverAll(ThreadPool* pool = nullptr);
+
+  /// Checkpoints every healthy shard, isolating per-shard failures (the
+  /// per-shard snapshot protocol is atomic, so a shard whose checkpoint
+  /// faults keeps its WAL and stays healthy). Returns shards
+  /// checkpointed.
+  int CheckpointAll();
+
+  /// One scrubber pass: for each quarantined shard past its backoff,
+  /// rebuild a fresh service from the store, re-audit, and swap it in
+  /// under the shard's writer lock. Returns the number readmitted; a
+  /// failed attempt doubles the shard's backoff (circuit breaker).
+  int ScrubTick();
+
+  /// Administrative quarantine (operators, chaos tests, the crash
+  /// driver's scrub-site arming). Resets the scrub backoff so the next
+  /// ScrubTick retries immediately.
+  void ForceQuarantine(int shard, ShardQuarantineCause cause,
+                       const std::string& detail);
+
+  // --- routing / health ---------------------------------------------------
+
+  const ShardRouter& router() const { return router_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::vector<int> RouteShards(const SpjgQuery& query) const {
+    return router_.RouteQuery(query);
+  }
+  /// True when any shard this query routes to is quarantined — the
+  /// admission-layer hook behind PartialCatalogPolicy::kShed.
+  bool AnyRoutedUnhealthy(const SpjgQuery& query) const;
+
+  ShardHealth shard_health(int shard) const {
+    return shards_[static_cast<size_t>(shard)]->health.load(
+        std::memory_order_acquire);
+  }
+  ShardQuarantineCause shard_quarantine_cause(int shard) const;
+
+  // --- lifecycle forwarding -----------------------------------------------
+
+  /// Wires base-table epochs into every shard (and every future
+  /// scrub-rebuilt shard service). The clock must outlive the service.
+  void set_epoch_clock(const TableEpochClock* clock);
+
+  /// One revalidation tick across all healthy shards; returns the total
+  /// number of views readmitted.
+  int RevalidationTickAll(
+      const std::function<bool(const ViewDefinition&)>& validate);
+
+  /// Aggregated probe / verification statistics across shards.
+  MatchingStats stats() const;
+  VerifyStats verify_stats() const;
+
+  // --- id codec -----------------------------------------------------------
+
+  ViewId GlobalId(int shard, ViewId local) const {
+    return local * static_cast<ViewId>(shards_.size()) +
+           static_cast<ViewId>(shard);
+  }
+  int ShardOfId(ViewId global) const {
+    return static_cast<int>(global % static_cast<ViewId>(shards_.size()));
+  }
+  ViewId LocalId(ViewId global) const {
+    return global / static_cast<ViewId>(shards_.size());
+  }
+
+  // --- test accessors (single-threaded use only) --------------------------
+
+  /// The shard's live service / store. Hand-out-a-reference contract as
+  /// MatchingService::views(): not for use concurrently with recovery or
+  /// scrub swaps.
+  MatchingService& shard_service(int shard) MVOPT_NO_THREAD_SAFETY_ANALYSIS {
+    return *shards_[static_cast<size_t>(shard)]->service;
+  }
+  CatalogStore* shard_store(int shard) {
+    return shards_[static_cast<size_t>(shard)]->store.get();
+  }
+
+ private:
+  struct Shard {
+    /// Guards the service pointer against the recovery/scrub swap.
+    /// Probes and registrations hold it shared for the duration of the
+    /// delegated call; the swap holds it exclusive.
+    mutable SharedMutex mu;
+    std::unique_ptr<MatchingService> service MVOPT_GUARDED_BY(mu);
+    /// Stable address, internally synchronized; null when dir is empty.
+    std::unique_ptr<CatalogStore> store;
+    std::atomic<ShardHealth> health{ShardHealth::kHealthy};
+  };
+
+  /// Scrub / quarantine bookkeeping (guarded by admin_mu_, separate from
+  /// the per-shard service locks; admin_mu_ is never held across a
+  /// shard-service call).
+  struct ShardAdmin {
+    ShardQuarantineCause cause = ShardQuarantineCause::kNone;
+    std::string detail;
+    int backoff_remaining = 0;  ///< ScrubTicks to skip before retrying
+    int backoff_window = 0;     ///< current circuit-breaker window
+  };
+
+  /// Recovery of one shard: replay + audit into a fresh service, then
+  /// swap it in or quarantine. Never throws (tasks run on a pool).
+  void RecoverShard(int shard, ShardRecoveryReport::ShardOutcome* outcome);
+  /// Applies a quarantine verdict to shard bookkeeping + metrics.
+  void Quarantine(int shard, ShardQuarantineCause cause,
+                  const std::string& detail) MVOPT_EXCLUDES(admin_mu_);
+  /// Publishes a rebuilt service and marks the shard healthy.
+  void Readmit(int shard, std::unique_ptr<MatchingService> fresh)
+      MVOPT_EXCLUDES(admin_mu_);
+  /// Audits a rebuilt (not yet published) shard service; empty string =
+  /// pass.
+  std::string AuditShard(MatchingService& service) const;
+  void RegisterMetrics();
+  void UpdateQuarantineGauge();
+
+  const Catalog* catalog_;
+  ShardedCatalogOptions options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable Mutex admin_mu_;
+  std::vector<ShardAdmin> admin_ MVOPT_GUARDED_BY(admin_mu_);
+  /// Scrub-replaced services, kept alive so ResolveView references
+  /// handed out before a swap never dangle.
+  std::vector<std::unique_ptr<MatchingService>> retired_
+      MVOPT_GUARDED_BY(admin_mu_);
+  const TableEpochClock* epochs_ MVOPT_GUARDED_BY(admin_mu_) = nullptr;
+
+  /// Cached registry instruments; all null when counters are off.
+  struct ShardMetrics {
+    Gauge* quarantined = nullptr;
+    Counter* scrub_attempts = nullptr;
+    Counter* scrub_repairs = nullptr;
+    Counter* readmissions = nullptr;
+    Counter* partial_probes = nullptr;
+    std::vector<Histogram*> recovery_latency;  ///< one per shard
+  };
+  ShardMetrics metrics_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_SHARD_SHARDED_CATALOG_SERVICE_H_

@@ -8,6 +8,9 @@
 
 #include "observe/observe.h"
 #include "observe/trace.h"
+#include "shard/sharded_catalog_service.h"
+#include "tpch/schema.h"
+#include "tpch/workload.h"
 
 namespace mvopt {
 namespace {
@@ -322,6 +325,70 @@ TEST(QueryTraceTest, StageNamesAreDistinct) {
           QueryTrace::StageName(static_cast<QueryTrace::Stage>(j)));
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Shard metric families (src/shard): registered on construction when
+// counters are on, exported through both exposition formats, and the
+// per-shard recovery-latency histogram carries a shard label per shard.
+// ---------------------------------------------------------------------
+
+TEST(ShardMetricsTest, FamiliesRegisterAndExpose) {
+  Catalog catalog;
+  const tpch::Schema schema = tpch::BuildSchema(&catalog, 0.5);
+  (void)schema;
+
+  MetricsRegistry r;
+  ShardedCatalogOptions options;
+  options.num_shards = 3;  // in-memory: no dir, recovery is a rebuild
+  options.observe.mode = ObserveMode::kCountersOnly;
+  options.observe.registry = &r;
+  ShardedCatalogService service(&catalog, options);
+
+  // Gauge and counters exist from construction, all at zero.
+  EXPECT_EQ(r.GaugeValue("mvopt_shard_quarantined"),
+            std::optional<int64_t>(0));
+  EXPECT_EQ(r.CounterValue("mvopt_shard_scrub_attempts_total"),
+            std::optional<int64_t>(0));
+  EXPECT_EQ(r.CounterValue("mvopt_shard_readmissions_total"),
+            std::optional<int64_t>(0));
+  EXPECT_EQ(r.CounterValue("mvopt_shard_scrub_repairs_total"),
+            std::optional<int64_t>(0));
+  EXPECT_EQ(r.CounterValue("mvopt_shard_partial_probes_total"),
+            std::optional<int64_t>(0));
+
+  // One recovery pass samples every shard's latency histogram under its
+  // own {shard="i"} label.
+  ASSERT_TRUE(service.RecoverAll().all_healthy());
+  for (int s = 0; s < options.num_shards; ++s) {
+    Histogram* h = r.FindOrCreateHistogram(
+        "mvopt_shard_recovery_latency_seconds", "",
+        {{"shard", std::to_string(s)}});
+    EXPECT_EQ(h->count(), 1) << s;
+  }
+
+  // Quarantine moves the gauge up; readmission moves it back and bumps
+  // the scrub counters.
+  service.ForceQuarantine(2, ShardQuarantineCause::kForced, "test");
+  EXPECT_EQ(r.GaugeValue("mvopt_shard_quarantined"),
+            std::optional<int64_t>(1));
+  EXPECT_EQ(service.ScrubTick(), 1);
+  EXPECT_EQ(r.GaugeValue("mvopt_shard_quarantined"),
+            std::optional<int64_t>(0));
+  EXPECT_EQ(r.CounterValue("mvopt_shard_scrub_attempts_total"),
+            std::optional<int64_t>(1));
+  EXPECT_EQ(r.CounterValue("mvopt_shard_readmissions_total"),
+            std::optional<int64_t>(1));
+
+  // Both exposition formats validate with the shard families present.
+  const std::string text = r.WritePrometheus();
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error;
+  EXPECT_NE(text.find("mvopt_shard_quarantined"), std::string::npos);
+  EXPECT_NE(text.find("mvopt_shard_recovery_latency_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("shard=\"2\""), std::string::npos);
+  EXPECT_TRUE(ValidateJson(r.WriteJson(), &error)) << error;
 }
 
 }  // namespace

@@ -11,9 +11,20 @@
 #      every unacknowledged view absent, InvariantAuditor green, and all
 #      substitutes produced after recovery pass the RewriteChecker.
 #
+# A second, sharded matrix does the same over the sharded catalog:
+#   seed-sharded / crash-sharded / verify-sharded exercise the
+#   catalog_shard.* sites (plus the store sites, now hit through whichever
+#   shard the routed write lands on). verify-sharded additionally checks
+#   the ShardRecoveryReport JSON, per-shard audits, and that optimizer
+#   plans are byte-identical to an unsharded control catalog.
+#
 # The store directory is seeded once per site and reused across the
 # iterations, so WAL appends, checkpoints and torn tails compound the
 # way they would across real process lifetimes.
+#
+# Every site name below is validated against `recovery_driver
+# list-failpoints` before anything runs, so a typo'd or stale site name
+# fails the script loudly instead of silently testing nothing.
 #
 # Usage: tools/ci/run_crash_recovery.sh [build-dir] [iterations]
 #   build-dir   defaults to ./build (must contain examples/recovery_driver)
@@ -30,7 +41,7 @@ if [[ ! -x "${driver}" ]]; then
   exit 1
 fi
 
-sites=(
+store_sites=(
   catalog_store.wal_append
   catalog_store.wal_write
   catalog_store.wal_fsync
@@ -40,10 +51,37 @@ sites=(
   catalog_store.wal_truncate
 )
 
+shard_sites=(
+  catalog_shard.recover
+  catalog_shard.add_route
+  catalog_shard.checkpoint
+  catalog_shard.scrub_swap
+  catalog_shard.scrub_checkpoint
+)
+
+# --- Validate the matrix against the registered failpoint sites. ------------
+# An unknown name here means the site was renamed or never existed; either
+# way the crash run would exit 0 ("fault never reached") and the matrix
+# would quietly stop covering that path. Fail fast instead.
+known_sites="$("${driver}" list-failpoints)"
+bad=0
+for site in "${store_sites[@]}" "${shard_sites[@]}"; do
+  if ! grep -Fxq "${site}" <<<"${known_sites}"; then
+    echo "error: matrix site '${site}' is not a registered failpoint" >&2
+    bad=1
+  fi
+done
+if [[ "${bad}" -ne 0 ]]; then
+  echo "registered sites are:" >&2
+  sed 's/^/  /' <<<"${known_sites}" >&2
+  exit 1
+fi
+
 scratch="$(mktemp -d /tmp/mvopt_crash_recovery_XXXXXX)"
 trap 'rm -rf "${scratch}"' EXIT
 
-for site in "${sites[@]}"; do
+# --- Unsharded matrix. ------------------------------------------------------
+for site in "${store_sites[@]}"; do
   dir="${scratch}/${site}"
   mkdir -p "${dir}"
   echo "=== ${site}: seed ==="
@@ -61,6 +99,28 @@ for site in "${sites[@]}"; do
       { echo "error: ${site} iter ${i}: verification failed" >&2; exit 1; }
   done
   echo "=== ${site}: ${iterations} crash/recover cycles clean ==="
+done
+
+# --- Sharded matrix. --------------------------------------------------------
+# catalog_shard.* sites plus a representative pair of store sites hit
+# through the sharded write path (each shard owns its own WAL + snapshot,
+# so the store faults land inside whichever shard the routed write picks).
+for site in "${shard_sites[@]}" catalog_store.wal_write catalog_store.snapshot_rename; do
+  dir="${scratch}/sharded_${site}"
+  mkdir -p "${dir}"
+  echo "=== sharded ${site}: seed ==="
+  "${driver}" seed-sharded "${dir}" 6 >/dev/null
+  for ((i = 0; i < iterations; ++i)); do
+    status=0
+    "${driver}" crash-sharded "${dir}" "${site}" "${i}" >/dev/null || status=$?
+    if [[ "${status}" -ne 42 ]]; then
+      echo "error: sharded ${site} iter ${i}: crash run exited ${status}, want 42" >&2
+      exit 1
+    fi
+    "${driver}" verify-sharded "${dir}" >/dev/null ||
+      { echo "error: sharded ${site} iter ${i}: verification failed" >&2; exit 1; }
+  done
+  echo "=== sharded ${site}: ${iterations} crash/recover cycles clean ==="
 done
 
 echo "=== crash recovery matrix clean ==="

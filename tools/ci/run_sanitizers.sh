@@ -42,14 +42,16 @@ run_thread() {
   echo "=== thread: build ==="
   cmake --build "${build_dir}" \
     --target concurrency_stress_test pipeline_stress_test \
-             serving_chaos_test -j "${jobs}"
+             serving_chaos_test shard_chaos_test -j "${jobs}"
   echo "=== thread: test ==="
   # TSan only pays off on the multi-threaded suites (the `stress` ctest
   # label): catalog concurrency, the parallel match-stage pipeline
-  # (probes sharing one ThreadPool while AddView proceeds), and the
+  # (probes sharing one ThreadPool while AddView proceeds), the
   # serving chaos soak (tenant threads racing admission, quota flips,
-  # failpoint faults, and drain). The rest of the tests are
-  # single-threaded and already covered by ASan/UBSan.
+  # failpoint faults, and drain), and the sharded-catalog chaos soak
+  # (probes and AddView racing quarantine, scrub readmission and
+  # revalidation ticks). The rest of the tests are single-threaded and
+  # already covered by ASan/UBSan.
   TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
     ctest --test-dir "${build_dir}" --output-on-failure \
     -L 'stress' -j "${jobs}"

@@ -1,0 +1,99 @@
+// Probe-path scaling: concurrent FindSubstitutes throughput under the
+// two probe disciplines — ProbeMode::kReaderLock (every probe takes the
+// shared service lock, the pre-snapshot design) vs ProbeMode::kSnapshot
+// (lock-free: pin the published snapshot through the epoch domain, zero
+// shared lock acquisitions on the probe path by construction).
+//
+// Fixed-work design: every thread sweeps the query set a fixed number
+// of rounds, so both modes execute the identical probe sequence and the
+// only variable is the synchronization discipline. Emits JSON on stdout
+// (committed as results/snapshot_scaling.json); the host_hw_threads
+// caveat field records the core count the numbers were taken on —
+// thread counts beyond it oversubscribe and measure scheduling, not
+// lock scaling.
+//
+// Knobs: MVOPT_BENCH_QUERIES (default 100), MVOPT_BENCH_VIEWS (default
+// 300), MVOPT_BENCH_ROUNDS (rounds per thread, default 20).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/query_context.h"
+
+int main() {
+  using namespace mvopt;
+  using namespace mvopt::bench;
+
+  const int num_queries = EnvInt("MVOPT_BENCH_QUERIES", 100);
+  const int num_views = EnvInt("MVOPT_BENCH_VIEWS", 300);
+  const int rounds = EnvInt("MVOPT_BENCH_ROUNDS", 20);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::vector<int> thread_counts = {1, 4, 16};
+
+  Workload workload(num_views, num_queries);
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"snapshot_scaling\",\n");
+  std::printf("  \"host_hw_threads\": %u,\n", hw);
+  std::printf("  \"caveat\": \"probes/sec measured on a host with %u "
+              "hardware threads; points with threads > %u oversubscribe "
+              "and measure scheduling, not synchronization scaling\",\n",
+              hw, hw);
+  std::printf("  \"views\": %d,\n", num_views);
+  std::printf("  \"queries\": %d,\n", num_queries);
+  std::printf("  \"rounds_per_thread\": %d,\n", rounds);
+  std::printf("  \"probe_path_shared_lock_acquisitions\": "
+              "{ \"reader_lock\": \"one per probe\", \"snapshot\": 0 },\n");
+  std::printf("  \"results\": [\n");
+
+  bool first = true;
+  for (auto mode : {MatchingService::ProbeMode::kReaderLock,
+                    MatchingService::ProbeMode::kSnapshot}) {
+    const bool is_snapshot = mode == MatchingService::ProbeMode::kSnapshot;
+    MatchingService::Options options;
+    options.probe_mode = mode;
+    auto service = workload.MakeService(num_views, options);
+
+    for (int threads : thread_counts) {
+      std::atomic<int64_t> substitutes{0};
+      std::vector<std::thread> probers;
+      const auto start = std::chrono::steady_clock::now();
+      for (int t = 0; t < threads; ++t) {
+        probers.emplace_back([&] {
+          int64_t local = 0;
+          for (int r = 0; r < rounds; ++r) {
+            for (const SpjgQuery& q : workload.queries()) {
+              QueryContext ctx;
+              local += static_cast<int64_t>(
+                  service->FindSubstitutes(q, ctx).size());
+            }
+          }
+          substitutes.fetch_add(local);
+        });
+      }
+      for (std::thread& p : probers) p.join();
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      const int64_t probes =
+          static_cast<int64_t>(threads) * rounds * num_queries;
+      std::printf("%s    { \"mode\": \"%s\", \"threads\": %d, "
+                  "\"probes\": %lld, \"seconds\": %.4f, "
+                  "\"probes_per_sec\": %.0f, \"substitutes\": %lld }",
+                  first ? "" : ",\n", is_snapshot ? "snapshot" : "reader_lock",
+                  threads, static_cast<long long>(probes), seconds,
+                  probes / seconds, static_cast<long long>(substitutes.load()));
+      first = false;
+      std::fflush(stdout);
+      std::fprintf(stderr, "%-12s threads=%-3d %10.0f probes/sec\n",
+                   is_snapshot ? "snapshot" : "reader_lock", threads,
+                   probes / seconds);
+    }
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

@@ -1,0 +1,224 @@
+// Epoch-based reclamation for immutable snapshot objects published via
+// an atomic pointer swap (the RCU-style probe path of DESIGN.md §15).
+//
+// Readers pin the domain (EpochPin), load the current snapshot pointer
+// and use it lock-free; writers publish a replacement snapshot with a
+// plain atomic exchange and Retire() the old one. A retired snapshot is
+// freed only once every pin that could possibly have observed it has
+// been released — no hazard pointers are needed because snapshots are
+// monolithic: one pointer covers the whole structure a probe walks.
+//
+// Protocol. The domain keeps a global epoch counter and a fixed array of
+// cache-line-padded slots. Pin claims a free slot (starting from a
+// per-thread home position, so a steady-state thread re-claims the same
+// slot and never ping-pongs another reader's cache line) and stores the
+// current global epoch into it; Unpin stores the quiescent sentinel and
+// releases the claim. Retire stamps the object with the pre-increment
+// value of the global epoch and bumps the counter; TryReclaim frees
+// every retired object whose stamp is below the minimum epoch found in
+// any active slot.
+//
+// Why that is safe (seq_cst argument): a reader's slot store precedes
+// its pointer load, and the writer's pointer exchange precedes its epoch
+// bump, which precedes its slot scan. So if a reader obtained the OLD
+// pointer, its pin was published before the writer's scan, holding an
+// epoch no larger than the retired object's stamp — and the scan keeps
+// the object alive. A reader whose pin carries a stale epoch merely
+// delays reclamation by one publication; it never unblocks a free early.
+//
+// Thread-safety annotations: the domain itself is a capability. EpochPin
+// is the scoped handle acquiring it shared; accessors that hand out
+// pointers into a pinned snapshot declare MVOPT_REQUIRES_SHARED(domain),
+// so re-fetching a snapshot pointer after Unpin is a compile error under
+// the MVOPT_THREAD_SAFETY gate (tools/ci/negative_compile/
+// pinned_snapshot_escape.cc proves the gate bites).
+//
+// The destructor frees everything still retired; the caller guarantees
+// no pins are live by then (the owning service is being destroyed).
+
+#ifndef MVOPT_COMMON_EPOCH_RECLAIM_H_
+#define MVOPT_COMMON_EPOCH_RECLAIM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace mvopt {
+
+class MVOPT_CAPABILITY("epoch_domain") EpochDomain {
+ public:
+  /// Slot value meaning "not pinned"; compares above every real epoch.
+  static constexpr uint64_t kQuiescent = ~uint64_t{0};
+  /// Fixed slot count: far above any realistic concurrent-pin count
+  /// (probes pin for microseconds), small enough to scan on every
+  /// reclaim. Pins beyond this spin-wait for a slot to free.
+  static constexpr size_t kNumSlots = 256;
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  ~EpochDomain() {
+    // No pins can be live: the owner is tearing down. Everything still
+    // retired is freed unconditionally.
+    MutexLock lock(retire_mu_);
+    for (RetiredObject& r : retired_) r.deleter(r.ptr);
+    retired_.clear();
+  }
+
+  /// Claims a slot and publishes the current epoch into it. Returns the
+  /// slot index (pass it to Unpin). Raw protocol, deliberately without
+  /// TSA annotations: the scoped EpochPin is the annotated acquisition
+  /// point (annotating both would read as a double acquire — the same
+  /// reason MutexLock touches the raw std::mutex).
+  size_t Pin() {
+    const size_t home = std::hash<std::thread::id>{}(
+                            std::this_thread::get_id()) %
+                        kNumSlots;
+    for (size_t probe = 0;; ++probe) {
+      Slot& slot = slots_[(home + probe) % kNumSlots];
+      bool expected = false;
+      if (slot.claimed.compare_exchange_strong(expected, true,
+                                               std::memory_order_acquire)) {
+        // The store must be seq_cst: it has to precede this thread's
+        // subsequent snapshot-pointer load in the single total order the
+        // safety argument above relies on.
+        slot.epoch.store(global_epoch_.load(std::memory_order_seq_cst),
+                         std::memory_order_seq_cst);
+        return (home + probe) % kNumSlots;
+      }
+      if (probe >= kNumSlots) std::this_thread::yield();
+    }
+  }
+
+  void Unpin(size_t slot) {
+    slots_[slot].epoch.store(kQuiescent, std::memory_order_seq_cst);
+    slots_[slot].claimed.store(false, std::memory_order_release);
+  }
+
+  /// Hands `ptr` to the domain for deferred deletion once no pin taken
+  /// before this call can still reference it, then opportunistically
+  /// reclaims. Writer-path only (cheap relative to snapshot building).
+  template <typename T>
+  void Retire(T* ptr) MVOPT_EXCLUDES(retire_mu_) {
+    RetireErased(ptr, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Frees every retired object no active pin can reference. Returns the
+  /// number freed.
+  size_t TryReclaim() MVOPT_EXCLUDES(retire_mu_) {
+    const uint64_t min_active = MinActiveEpoch();
+    std::vector<RetiredObject> free_now;
+    {
+      MutexLock lock(retire_mu_);
+      size_t kept = 0;
+      for (RetiredObject& r : retired_) {
+        if (r.epoch < min_active) {
+          free_now.push_back(r);
+        } else {
+          retired_[kept++] = r;
+        }
+      }
+      retired_.resize(kept);
+      retired_count_.store(static_cast<int64_t>(kept),
+                           std::memory_order_relaxed);
+    }
+    // Deleters run outside the lock: a deleter may be arbitrarily heavy
+    // (a whole catalog snapshot) and must not extend the critical
+    // section writers pass through.
+    for (RetiredObject& r : free_now) r.deleter(r.ptr);
+    return free_now.size();
+  }
+
+  /// Retired-but-not-yet-freed object count (exported as the
+  /// mvopt_snapshot_retired gauge).
+  int64_t retired_count() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Current global epoch (monotone; one bump per retirement).
+  uint64_t current_epoch() const {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  struct RetiredObject {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  /// One reader slot per concurrent pin, padded to its own cache line so
+  /// pin/unpin traffic from different threads never ping-pongs.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kQuiescent};
+    std::atomic<bool> claimed{false};
+  };
+
+  void RetireErased(void* ptr, void (*deleter)(void*))
+      MVOPT_EXCLUDES(retire_mu_) {
+    // fetch_add returns the pre-bump epoch: every pin published before
+    // this call holds an epoch <= that stamp, so the `<` reclaim test
+    // keeps the object alive for all of them.
+    const uint64_t stamp = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      MutexLock lock(retire_mu_);
+      retired_.push_back(RetiredObject{ptr, deleter, stamp});
+      retired_count_.store(static_cast<int64_t>(retired_.size()),
+                           std::memory_order_relaxed);
+    }
+    TryReclaim();
+  }
+
+  uint64_t MinActiveEpoch() const {
+    uint64_t min_epoch = kQuiescent;
+    for (const Slot& slot : slots_) {
+      const uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+      if (e < min_epoch) min_epoch = e;
+    }
+    return min_epoch;
+  }
+
+  std::atomic<uint64_t> global_epoch_{1};
+  Slot slots_[kNumSlots];
+  mutable Mutex retire_mu_;
+  std::vector<RetiredObject> retired_ MVOPT_GUARDED_BY(retire_mu_);
+  std::atomic<int64_t> retired_count_{0};
+};
+
+/// Scoped pin: holds the domain shared from construction until Unpin()
+/// or destruction. While held, snapshot pointers obtained from accessors
+/// annotated MVOPT_REQUIRES_SHARED(domain) are safe to dereference;
+/// obtaining one after Unpin fails the thread-safety gate.
+class MVOPT_SCOPED_CAPABILITY EpochPin {
+ public:
+  explicit EpochPin(EpochDomain& domain) MVOPT_ACQUIRE_SHARED(domain)
+      : domain_(&domain), slot_(domain.Pin()), pinned_(true) {}
+  ~EpochPin() MVOPT_RELEASE() {
+    if (pinned_) domain_->Unpin(slot_);
+  }
+
+  /// Early release (the snapshot must not be touched afterwards).
+  void Unpin() MVOPT_RELEASE() {
+    domain_->Unpin(slot_);
+    pinned_ = false;
+  }
+
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+
+ private:
+  EpochDomain* domain_;
+  size_t slot_;
+  bool pinned_;
+};
+
+}  // namespace mvopt
+
+#endif  // MVOPT_COMMON_EPOCH_RECLAIM_H_

@@ -68,6 +68,36 @@ FilterTree::FilterTree(const std::vector<ViewDescription>* descriptions)
   agg_levels_.push_back(FilterLevel::kGroupingColumns);
 }
 
+// Recursive node clone for the rebinding copy constructor. Child slots
+// may be null (lattice node ids keep their slot even when unused).
+void FilterTree::CloneNode(const Node& from, Node* to) {
+  to->index = from.index;
+  to->leaves = from.leaves;
+  to->children.clear();
+  to->children.reserve(from.children.size());
+  for (const std::unique_ptr<Node>& child : from.children) {
+    if (child == nullptr) {
+      to->children.push_back(nullptr);
+      continue;
+    }
+    auto copy = std::make_unique<Node>();
+    CloneNode(*child, copy.get());
+    to->children.push_back(std::move(copy));
+  }
+}
+
+FilterTree::FilterTree(const FilterTree& other,
+                       const std::vector<ViewDescription>* descriptions)
+    : descriptions_(descriptions),
+      spj_levels_(other.spj_levels_),
+      agg_levels_(other.agg_levels_),
+      atoms_(other.atoms_),
+      num_views_(other.num_views_),
+      assume_backjoins_(other.assume_backjoins_) {
+  CloneNode(other.spj_root_, &spj_root_);
+  CloneNode(other.agg_root_, &agg_root_);
+}
+
 void FilterTree::SetLevels(std::vector<FilterLevel> spj_levels,
                            std::vector<FilterLevel> agg_levels) {
   assert(num_views_ == 0 && "SetLevels before any AddView");

@@ -98,6 +98,16 @@ class FilterTree {
   /// ViewCatalog's description store).
   explicit FilterTree(const std::vector<ViewDescription>* descriptions);
 
+  /// Rebinding deep copy (the snapshot-clone path, DESIGN.md §15):
+  /// clones every node, lattice and interned atom of `other`, but points
+  /// the copy at `descriptions` — the cloned snapshot's own description
+  /// store — instead of the source tree's.
+  FilterTree(const FilterTree& other,
+             const std::vector<ViewDescription>* descriptions);
+
+  FilterTree(const FilterTree&) = delete;
+  FilterTree& operator=(const FilterTree&) = delete;
+
   /// Overrides the default level orders (primarily for the ablation
   /// bench). Must be called before the first AddView. Grouping levels are
   /// ignored for the SPJ tree.
@@ -165,6 +175,9 @@ class FilterTree {
     std::vector<LatticeIndex::Key> grouping_classes;
     bool is_aggregate = false;
   };
+
+  /// Deep-copies `from`'s subtree into `to` (rebinding copy ctor).
+  static void CloneNode(const Node& from, Node* to);
 
   LatticeIndex::Key ViewKey(const ViewDescription& d, FilterLevel level);
   void Search(const Node& node, const std::vector<FilterLevel>& levels,

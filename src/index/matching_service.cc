@@ -5,6 +5,7 @@
 #include <cassert>
 #include <chrono>
 #include <exception>
+#include <memory>
 
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
@@ -62,11 +63,20 @@ MatchingService::MatchingService(const Catalog* catalog, Options options)
       options_(options),
       matcher_(catalog, options.match),
       checker_(catalog, options.verify),
-      view_catalog_(catalog),
-      filter_tree_(&view_catalog_.descriptions()),
+      snapshot_(new CatalogSnapshot(catalog)),
       verify_mode_(options.verify_mode) {
-  filter_tree_.set_assume_backjoins(options_.match.enable_backjoins);
+  // The initial snapshot is not yet visible to any other thread, so
+  // configuring its tree in place is safe; clones inherit the setting.
+  snapshot_.load(std::memory_order_relaxed)
+      ->tree.set_assume_backjoins(options_.match.enable_backjoins);
   RegisterMetrics();
+  if (snapshot_live_gauge_ != nullptr) snapshot_live_gauge_->Set(1);
+}
+
+MatchingService::~MatchingService() {
+  // No probes can be in flight during destruction (owner contract); the
+  // epoch domain's destructor drains the retired generations.
+  delete snapshot_.load(std::memory_order_acquire);
 }
 
 void MatchingService::RegisterMetrics() {
@@ -125,6 +135,14 @@ void MatchingService::RegisterMetrics() {
       "Views rejected by the full range-constraint check");
   metrics_.probe_latency = r->FindOrCreateHistogram(
       "mvopt_probe_latency_seconds", "FindSubstitutes wall-clock latency");
+  snapshot_live_gauge_ = r->FindOrCreateGauge(
+      "mvopt_snapshot_live",
+      "Catalog snapshots alive in memory (current + retired awaiting "
+      "epoch reclamation)");
+  snapshot_retired_gauge_ = r->FindOrCreateGauge(
+      "mvopt_snapshot_retired",
+      "Catalog snapshots retired but not yet reclaimed (waiting for "
+      "in-flight probe pins)");
   std::array<Counter*, kNumViewStates> to_state{};
   for (int s = 0; s < kNumViewStates; ++s) {
     to_state[s] = r->FindOrCreateCounter(
@@ -148,6 +166,19 @@ void MatchingService::WireStoreCountersLocked() {
   c.snapshot_writes = r->FindOrCreateCounter(
       "mvopt_snapshot_writes_total", "Catalog snapshots installed");
   store_->set_counters(c);
+}
+
+void MatchingService::PublishLocked(std::unique_ptr<CatalogSnapshot> next) {
+  CatalogSnapshot* old =
+      snapshot_.exchange(next.release(), std::memory_order_seq_cst);
+  // Retire bumps the global epoch and opportunistically reclaims every
+  // generation no in-flight pin can still reference.
+  reclaim_.Retire(old);
+  if (snapshot_retired_gauge_ != nullptr) {
+    const int64_t retired = reclaim_.retired_count();
+    snapshot_retired_gauge_->Set(retired);
+    snapshot_live_gauge_->Set(1 + retired);
+  }
 }
 
 void MatchingService::CommitProbe(const ProbeDelta& delta,
@@ -212,17 +243,18 @@ void MatchingService::CommitProbe(const ProbeDelta& delta,
   }
 }
 
-void MatchingService::GrowBookkeepingLocked() {
-  const size_t n = static_cast<size_t>(view_catalog_.num_views());
+void MatchingService::GrowBookkeepingLocked(int num_views) {
+  const size_t n = static_cast<size_t>(num_views);
   lifecycle_.EnsureSize(n);
   // Self-healing growth so a historical allocation failure here can
   // never skew later ids; new views enter the filter tree in AddView.
   while (in_tree_.size() < n) in_tree_.push_back(1);
 }
 
-PersistedView MatchingService::PersistedImageLocked(ViewId id) const {
+PersistedView MatchingService::PersistedImageOf(const ViewCatalog& views,
+                                                ViewId id) const {
   PersistedView image;
-  const ViewDefinition& view = view_catalog_.view(id);
+  const ViewDefinition& view = views.view(id);
   image.name = view.name();
   image.sql = view.query().ToSql(*catalog_);
   ViewLifecycleRegistry::Snapshot snap = lifecycle_.snapshot(id);
@@ -232,12 +264,12 @@ PersistedView MatchingService::PersistedImageLocked(ViewId id) const {
   return image;
 }
 
-void MatchingService::LogViewEventLocked(ViewId id) {
+void MatchingService::LogViewEventLocked(const ViewCatalog& views, ViewId id) {
   if (store_ == nullptr || !store_->is_open()) return;
   ViewLifecycleRegistry::Snapshot snap = lifecycle_.snapshot(id);
   try {
-    store_->AppendViewEvent(view_catalog_.view(id).name(), snap.state,
-                            snap.epoch, snap.content_checksum);
+    store_->AppendViewEvent(views.view(id).name(), snap.state, snap.epoch,
+                            snap.content_checksum);
   } catch (const StoreIoError&) {
     // Lifecycle events are best-effort: the in-memory registry stays
     // authoritative, and a lost event only means the view comes back
@@ -250,27 +282,28 @@ ViewDefinition* MatchingService::AddView(const std::string& name,
                                          SpjgQuery definition,
                                          std::string* error) {
   WriterLock lock(mu_);
+  // Build the next generation on a private clone: probes keep running
+  // against the published snapshot, and any failure below just discards
+  // the clone — rollback is structural, not compensating.
+  auto next = std::make_unique<CatalogSnapshot>(*SnapshotLocked());
   ViewDefinition* view = nullptr;
-  bool indexed = false;
   try {
-    view = view_catalog_.AddView(name, std::move(definition), error);
+    view = next->views.AddView(name, std::move(definition), error);
     if (view == nullptr) return nullptr;
-    filter_tree_.AddView(view->id());
-    indexed = true;
+    next->tree.AddView(view->id());
     if (store_ != nullptr && store_->is_open()) {
       PersistedView image;
       image.name = view->name();
       image.sql = view->query().ToSql(*catalog_);
       image.state = ViewState::kFresh;
-      image.epoch = epochs_ != nullptr ? epochs_->now() : 0;
+      const TableEpochClock* clock = epochs_.load(std::memory_order_acquire);
+      image.epoch = clock != nullptr ? clock->now() : 0;
       store_->AppendAddView(image);
     }
   } catch (const StoreIoError& e) {
     if (!e.durable()) {
       // The WAL append failed before the commit point: nothing is on
-      // stable storage, so undo the in-memory registration too.
-      filter_tree_.RemoveView(view->id());
-      view_catalog_.RemoveLastView(view->id());
+      // stable storage, so the unpublished clone is simply dropped.
       if (error != nullptr) {
         *error = std::string("view registration aborted and rolled back: ") +
                  e.what();
@@ -278,54 +311,55 @@ ViewDefinition* MatchingService::AddView(const std::string& name,
       return nullptr;
     }
     // Ambiguous commit: the record reached stable storage before the
-    // failure, so the registration stands (recovery would replay it).
+    // failure, so the registration stands (recovery would replay it) —
+    // fall through and publish the clone.
   } catch (const std::exception& e) {
-    // Transactional: indexing failed (or registration threw), so undo
-    // the catalog registration. FilterTree::AddView already rolled its
-    // own partial inserts back, leaving every structure as it was.
-    if (view != nullptr) {
-      if (indexed) filter_tree_.RemoveView(view->id());
-      view_catalog_.RemoveLastView(view->id());
-    }
+    // Transactional: indexing failed (or registration threw). The clone
+    // carries all the partial state; dropping it leaves the published
+    // snapshot exactly as it was.
     if (error != nullptr) {
       *error = std::string("view registration aborted and rolled back: ") +
                e.what();
     }
     return nullptr;
   }
-  GrowBookkeepingLocked();
-  lifecycle_.MarkFresh(view->id(),
-                       epochs_ != nullptr ? epochs_->now() : 0);
+  GrowBookkeepingLocked(next->views.num_views());
+  const TableEpochClock* clock = epochs_.load(std::memory_order_acquire);
+  lifecycle_.MarkFresh(view->id(), clock != nullptr ? clock->now() : 0);
+  PublishLocked(std::move(next));
   return view;
 }
 
-uint64_t MatchingService::StalenessLagLocked(ViewId id) const {
-  if (epochs_ == nullptr) return 0;
-  const ViewDescription& d = view_catalog_.description(id);
-  const uint64_t latest = epochs_->LatestOf(d.source_tables);
+uint64_t MatchingService::StalenessLagOn(const CatalogSnapshot& snap,
+                                         ViewId id) const {
+  const TableEpochClock* clock = epochs_.load(std::memory_order_acquire);
+  if (clock == nullptr) return 0;
+  const ViewDescription& d = snap.views.description(id);
+  const uint64_t latest = clock->LatestOf(d.source_tables);
   const uint64_t mine = lifecycle_.epoch(id);
   return latest > mine ? latest - mine : 0;
 }
 
 uint64_t MatchingService::StalenessLag(ViewId id) const {
-  ReaderLock lock(mu_);
-  return StalenessLagLocked(id);
+  EpochPin pin(reclaim_);
+  return StalenessLagOn(*PinnedSnapshot(), id);
 }
 
-std::vector<ViewId> MatchingService::StageProbe(const SpjgQuery& query,
+std::vector<ViewId> MatchingService::StageProbe(const CatalogSnapshot& snap,
+                                                const SpjgQuery& query,
                                                 QueryContext& ctx,
                                                 FilterSearchStats* fstats) {
   std::vector<ViewId> candidates;
-  if (view_catalog_.num_views() == 0) return candidates;
+  if (snap.views.num_views() == 0) return candidates;
   if (options_.use_filter_tree) {
     QueryDescription qd = DescribeQuery(*catalog_, query);
-    candidates = filter_tree_.FindCandidates(qd, fstats, ctx.budget());
+    candidates = snap.tree.FindCandidates(qd, fstats, ctx.budget());
   } else {
     // Without the index every view description must be considered; the
     // only cheap pre-test retained is the aggregation/table-set screen
     // performed inside the matcher itself.
-    candidates.reserve(view_catalog_.num_views());
-    for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
+    candidates.reserve(snap.views.num_views());
+    for (ViewId id = 0; id < snap.views.num_views(); ++id) {
       candidates.push_back(id);
     }
   }
@@ -333,8 +367,9 @@ std::vector<ViewId> MatchingService::StageProbe(const SpjgQuery& query,
 }
 
 std::vector<MatchingService::GatedCandidate> MatchingService::StagePrefilter(
-    const std::vector<ViewId>& candidates, QueryContext& ctx,
-    ProbeDelta* delta, int64_t* stale_rejects, bool* truncated) {
+    const CatalogSnapshot& snap, const std::vector<ViewId>& candidates,
+    QueryContext& ctx, ProbeDelta* delta, int64_t* stale_rejects,
+    bool* truncated) {
   QueryTrace* trace = ctx.trace();
   const uint64_t tolerance = ctx.max_staleness();
   std::vector<GatedCandidate> gated;
@@ -347,12 +382,12 @@ std::vector<MatchingService::GatedCandidate> MatchingService::StagePrefilter(
     // Sidelined views never participate, regardless of how they got
     // there (verify quarantine, checksum breaker, recovered state);
     // stale views may only substitute within the query's tolerance.
-    const uint64_t lag = StalenessLagLocked(id);
+    const uint64_t lag = StalenessLagOn(snap, id);
     switch (lifecycle_.GateForProbe(id, lag, tolerance)) {
       case ViewLifecycleRegistry::ProbeGate::kSidelined:
         delta->stats.quarantine_skips += 1;
         if (trace != nullptr) {
-          trace->RecordVerdict(view_catalog_.view(id).name(), "skipped",
+          trace->RecordVerdict(snap.views.view(id).name(), "skipped",
                                "sidelined");
         }
         break;
@@ -360,7 +395,7 @@ std::vector<MatchingService::GatedCandidate> MatchingService::StagePrefilter(
         delta->stats.rejects[static_cast<size_t>(RejectReason::kStale)] += 1;
         ++*stale_rejects;
         if (trace != nullptr) {
-          trace->RecordVerdict(view_catalog_.view(id).name(), "rejected",
+          trace->RecordVerdict(snap.views.view(id).name(), "rejected",
                                "stale lag=" + std::to_string(lag));
         }
         break;
@@ -376,8 +411,9 @@ std::vector<MatchingService::GatedCandidate> MatchingService::StagePrefilter(
 }
 
 std::vector<MatchingService::MatchOutcome> MatchingService::StageMatch(
-    const SpjgQuery& query, const std::vector<GatedCandidate>& gated,
-    QueryContext& ctx, bool* truncated) {
+    const CatalogSnapshot& snap, const SpjgQuery& query,
+    const std::vector<GatedCandidate>& gated, QueryContext& ctx,
+    bool* truncated) {
   std::vector<MatchOutcome> outcomes(gated.size());
   if (gated.empty() || ctx.exhausted()) return outcomes;
 
@@ -395,7 +431,7 @@ std::vector<MatchingService::MatchOutcome> MatchingService::StageMatch(
       MatchOutcome& o = outcomes[i];
       try {
         MVOPT_FAILPOINT("matcher.match");
-        o.result = matcher_.Match(query, view_catalog_.view(gated[i].id));
+        o.result = matcher_.Match(query, snap.views.view(gated[i].id));
         o.kind = MatchOutcome::Kind::kDone;
       } catch (const std::exception&) {
         // Fault isolation: one failing candidate never poisons the probe.
@@ -426,12 +462,11 @@ std::vector<MatchingService::MatchOutcome> MatchingService::StageMatch(
   const size_t drainers = static_cast<size_t>(pool->num_workers()) + 1;
   const size_t num_chunks = std::min(gated.size(), drainers * 4);
   const size_t chunk = (gated.size() + num_chunks - 1) / num_chunks;
-  // The references are bound here, while this thread holds mu_ shared,
-  // and stay valid for the batch because RunBatch joins before the lock
-  // is released; capturing them (rather than `this`) keeps the guarded
-  // members out of the workers, where the analysis could not see the
-  // caller's lock.
-  const ViewCatalog& catalog_snapshot = view_catalog_;
+  // The snapshot reference is bound here, under the caller's pin (or
+  // reader lock), and stays valid for the batch because RunBatch joins
+  // before the pin is released; workers therefore never touch service
+  // state at all — only the immutable snapshot.
+  const ViewCatalog& catalog_snapshot = snap.views;
   const ViewMatcher& matcher = matcher_;
   std::vector<std::function<void()>> tasks;
   tasks.reserve(num_chunks);
@@ -469,7 +504,8 @@ std::vector<MatchingService::MatchOutcome> MatchingService::StageMatch(
 }
 
 void MatchingService::StageCompensate(
-    const SpjgQuery& query, const std::vector<GatedCandidate>& gated,
+    const CatalogSnapshot& snap, const SpjgQuery& query,
+    const std::vector<GatedCandidate>& gated,
     std::vector<MatchOutcome>* outcomes, QueryContext& ctx, VerifyMode mode,
     ProbeDelta* delta, std::vector<Substitute>* fresh,
     std::vector<Substitute>* stale) {
@@ -484,7 +520,7 @@ void MatchingService::StageCompensate(
     if (o.kind == MatchOutcome::Kind::kError) {
       delta->stats.match_failures += 1;
       if (trace != nullptr) {
-        trace->RecordVerdict(view_catalog_.view(g.id).name(), "error",
+        trace->RecordVerdict(snap.views.view(g.id).name(), "error",
                              "matcher exception");
       }
       continue;
@@ -493,7 +529,7 @@ void MatchingService::StageCompensate(
     if (!result.ok()) {
       delta->stats.rejects[static_cast<size_t>(result.reason)] += 1;
       if (trace != nullptr) {
-        trace->RecordVerdict(view_catalog_.view(g.id).name(), "rejected",
+        trace->RecordVerdict(snap.views.view(g.id).name(), "rejected",
                              RejectReasonName(result.reason));
       }
       continue;
@@ -506,17 +542,17 @@ void MatchingService::StageCompensate(
         verdict = Verdict::Fail(CheckCode::kMalformedSubstitute,
                                 "failpoint 'rewrite_checker.check'");
       } else {
-        verdict = checker_.Check(query, view_catalog_.view(g.id), sub);
+        verdict = checker_.Check(query, snap.views.view(g.id), sub);
       }
       if (verdict.proven) {
         delta->verify.proven += 1;
         if (quarantine_active) lifecycle_.ReportVerifySuccess(g.id);
       } else {
-        RecordVerifyRejection(g.id, verdict, mode, delta);
+        RecordVerifyRejection(snap, g.id, verdict, mode, delta);
         if (mode == VerifyMode::kEnforce) {
           if (trace != nullptr) {
             trace->RecordVerdict(
-                view_catalog_.view(g.id).name(), "rejected",
+                snap.views.view(g.id).name(), "rejected",
                 std::string("verify:") + CheckCodeName(verdict.code));
           }
           continue;
@@ -525,7 +561,7 @@ void MatchingService::StageCompensate(
     }
     delta->stats.substitutes += 1;
     if (trace != nullptr) {
-      trace->RecordVerdict(view_catalog_.view(g.id).name(), "accepted",
+      trace->RecordVerdict(snap.views.view(g.id).name(), "accepted",
                            g.lag > 0 ? "stale-tolerated" : "");
     }
     if (g.lag > 0) {
@@ -538,9 +574,8 @@ void MatchingService::StageCompensate(
   }
 }
 
-std::vector<Substitute> MatchingService::FindSubstitutes(
-    const SpjgQuery& query, QueryContext& ctx) {
-  ReaderLock lock(mu_);
+std::vector<Substitute> MatchingService::FindSubstitutesOn(
+    const CatalogSnapshot& snap, const SpjgQuery& query, QueryContext& ctx) {
   MVOPT_FAILPOINT("matching_service.find_substitutes");
   // One verify-mode snapshot per probe: a concurrent set_verify_mode
   // flip applies to whole probes, never to half of one.
@@ -564,7 +599,7 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
   // Stage 1 (probe): candidate enumeration.
   FilterSearchStats fstats;
   FilterSearchStats* fstats_ptr = observing ? &fstats : nullptr;
-  std::vector<ViewId> candidates = StageProbe(query, ctx, fstats_ptr);
+  std::vector<ViewId> candidates = StageProbe(snap, query, ctx, fstats_ptr);
   delta.stats.candidates = static_cast<int64_t>(candidates.size());
   if (observing) {
     const double s = timer.Lap();
@@ -575,7 +610,7 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
   // Stage 2 (prefilter): sidelined screen + staleness gate.
   int64_t stale_rejects = 0;
   std::vector<GatedCandidate> gated =
-      StagePrefilter(candidates, ctx, &delta, &stale_rejects, &truncated);
+      StagePrefilter(snap, candidates, ctx, &delta, &stale_rejects, &truncated);
   if (observing) {
     const double s = timer.Lap();
     total_seconds += s;
@@ -584,7 +619,7 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
 
   // Stage 3 (match): serial or batched-parallel matcher runs.
   std::vector<MatchOutcome> outcomes =
-      StageMatch(query, gated, ctx, &truncated);
+      StageMatch(snap, query, gated, ctx, &truncated);
   if (observing) {
     const double s = timer.Lap();
     total_seconds += s;
@@ -594,7 +629,7 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
   // Stage 4 (compensate): verification + accounting, candidate order.
   std::vector<Substitute> out;
   std::vector<Substitute> stale_out;  // tolerated-stale: ranked after fresh
-  StageCompensate(query, gated, &outcomes, ctx, vmode, &delta, &out,
+  StageCompensate(snap, query, gated, &outcomes, ctx, vmode, &delta, &out,
                   &stale_out);
   if (observing) {
     const double s = timer.Lap();
@@ -639,6 +674,21 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
 }
 
 std::vector<Substitute> MatchingService::FindSubstitutes(
+    const SpjgQuery& query, QueryContext& ctx) {
+  if (options_.probe_mode == ProbeMode::kReaderLock) {
+    // A/B baseline: the pre-snapshot shared-lock discipline. Holding the
+    // writer mutex shared keeps the current snapshot published (retiring
+    // it requires the exclusive lock), so no pin is needed.
+    ReaderLock lock(mu_);
+    return FindSubstitutesOn(*SnapshotLocked(), query, ctx);
+  }
+  // Production path: pin the snapshot, probe lock-free. The pin blocks
+  // reclamation (not publication) of the generation the probe walks.
+  EpochPin pin(reclaim_);
+  return FindSubstitutesOn(*PinnedSnapshot(), query, ctx);
+}
+
+std::vector<Substitute> MatchingService::FindSubstitutes(
     const SpjgQuery& query, QueryBudget* budget, QueryTrace* trace) {
   QueryContext ctx;
   ctx.BorrowBudget(budget);
@@ -646,13 +696,14 @@ std::vector<Substitute> MatchingService::FindSubstitutes(
   return FindSubstitutes(query, ctx);
 }
 
-void MatchingService::RecordVerifyRejection(ViewId id, const Verdict& verdict,
+void MatchingService::RecordVerifyRejection(const CatalogSnapshot& snap,
+                                            ViewId id, const Verdict& verdict,
                                             VerifyMode mode,
                                             ProbeDelta* delta) {
   delta->verify.rejected += 1;
   delta->verify.by_code[static_cast<size_t>(verdict.code)] += 1;
   if (delta->rejection_traces.size() < VerifyStats::kMaxRejectionTraces) {
-    delta->rejection_traces.push_back(view_catalog_.view(id).name() + ": " +
+    delta->rejection_traces.push_back(snap.views.view(id).name() + ": " +
                                       CheckCodeName(verdict.code) + ": " +
                                       verdict.detail);
   }
@@ -673,11 +724,16 @@ void MatchingService::AttachStore(CatalogStore* store) {
 
 RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
   WriterLock lock(mu_);
-  assert(view_catalog_.num_views() == 0 &&
+  assert(SnapshotLocked()->views.num_views() == 0 &&
          "recovery must target an empty service");
   CatalogStore::RecoveredState recovered = store->Recover();
   RecoveryReport report = std::move(recovered.report);
   report.views_recovered = 0;  // re-counted below: only views that rebuild
+  // The whole batch lands in ONE next-generation snapshot: per-entry
+  // failures roll back on the unpublished clone, and probes racing the
+  // recovery keep seeing the (empty) published snapshot until the final
+  // publish below.
+  auto next = std::make_unique<CatalogSnapshot>(*SnapshotLocked());
   for (PersistedView& image : recovered.views) {
     // Self-healing: a durable entry that no longer replays (schema
     // drift, corruption that survived the CRC, a bad state byte) is
@@ -699,10 +755,10 @@ RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
     }
     ViewDefinition* view = nullptr;
     try {
-      view = view_catalog_.AddView(image.name, std::move(*parsed), &err);
-      if (view != nullptr) filter_tree_.AddView(view->id());
+      view = next->views.AddView(image.name, std::move(*parsed), &err);
+      if (view != nullptr) next->tree.AddView(view->id());
     } catch (const std::exception& e) {
-      if (view != nullptr) view_catalog_.RemoveLastView(view->id());
+      if (view != nullptr) next->views.RemoveLastView(view->id());
       view = nullptr;
       err = e.what();
     }
@@ -711,7 +767,7 @@ RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
           {image.name, EntryQuarantineCause::kIndexingFailed, err});
       continue;
     }
-    GrowBookkeepingLocked();
+    GrowBookkeepingLocked(next->views.num_views());
     ViewLifecycleRegistry::Snapshot snap;
     snap.state = image.state;
     snap.epoch = image.epoch;
@@ -722,16 +778,18 @@ RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
   store->OpenForAppend();
   store_ = store;
   WireStoreCountersLocked();
+  PublishLocked(std::move(next));
   return report;
 }
 
 void MatchingService::Checkpoint() {
   WriterLock lock(mu_);
   assert(store_ != nullptr && "Checkpoint requires an attached store");
+  const ViewCatalog& views = SnapshotLocked()->views;
   std::vector<PersistedView> images;
-  images.reserve(static_cast<size_t>(view_catalog_.num_views()));
-  for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
-    images.push_back(PersistedImageLocked(id));
+  images.reserve(static_cast<size_t>(views.num_views()));
+  for (ViewId id = 0; id < views.num_views(); ++id) {
+    images.push_back(PersistedImageOf(views, id));
   }
   store_->WriteSnapshot(images);
 }
@@ -742,10 +800,12 @@ bool MatchingService::ReportChecksumMismatch(ViewId id) {
   WriterLock lock(mu_);
   if (!lifecycle_.ReportChecksumMismatch(id)) return false;
   if (static_cast<size_t>(id) < in_tree_.size() && in_tree_[id]) {
-    filter_tree_.RemoveView(id);
+    auto next = std::make_unique<CatalogSnapshot>(*SnapshotLocked());
+    next->tree.RemoveView(id);
     in_tree_[id] = 0;
+    PublishLocked(std::move(next));
   }
-  LogViewEventLocked(id);
+  LogViewEventLocked(SnapshotLocked()->views, id);
   return true;
 }
 
@@ -753,35 +813,51 @@ int MatchingService::RevalidationTick(
     const std::function<bool(const ViewDefinition&)>& validate) {
   WriterLock lock(mu_);
   const int64_t tick = ++revalidation_tick_;
-  GrowBookkeepingLocked();
-  int readmitted = 0;
-  for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
+  CatalogSnapshot* current = SnapshotLocked();
+  GrowBookkeepingLocked(current->views.num_views());
+  // Probe the work list first so quiet ticks (the common case) skip the
+  // snapshot clone entirely.
+  bool tree_work = false;
+  for (ViewId id = 0; id < current->views.num_views(); ++id) {
     if (!lifecycle_.IsSidelined(id)) continue;
-    // Compaction: sidelined views leave the filter tree so probes stop
-    // paying for them (probe-side quarantine entry cannot touch the
-    // tree, it only holds the shared lock).
-    if (in_tree_[id]) {
-      filter_tree_.RemoveView(id);
-      in_tree_[id] = 0;
+    if (in_tree_[id] || lifecycle_.DueForRetry(id, tick)) {
+      tree_work = true;
+      break;
     }
-    if (!lifecycle_.DueForRetry(id, tick)) continue;
-    bool ok = false;
-    try {
-      ok = validate != nullptr && validate(view_catalog_.view(id));
-      if (ok) {
-        filter_tree_.AddView(id);  // re-insertion; strongly exception-safe
-        in_tree_[id] = 1;
+  }
+  int readmitted = 0;
+  if (tree_work) {
+    auto next = std::make_unique<CatalogSnapshot>(*current);
+    for (ViewId id = 0; id < next->views.num_views(); ++id) {
+      if (!lifecycle_.IsSidelined(id)) continue;
+      // Compaction: sidelined views leave the filter tree so probes stop
+      // paying for them (probe-side quarantine entry cannot touch the
+      // tree — it changes only the lifecycle registry).
+      if (in_tree_[id]) {
+        next->tree.RemoveView(id);
+        in_tree_[id] = 0;
       }
-    } catch (const std::exception&) {
-      ok = false;
+      if (!lifecycle_.DueForRetry(id, tick)) continue;
+      bool ok = false;
+      try {
+        ok = validate != nullptr && validate(next->views.view(id));
+        if (ok) {
+          next->tree.AddView(id);  // re-insertion; strongly exception-safe
+          in_tree_[id] = 1;
+        }
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      if (ok) {
+        const TableEpochClock* clock = epochs_.load(std::memory_order_acquire);
+        lifecycle_.Readmit(id, clock != nullptr ? clock->now() : 0);
+        LogViewEventLocked(next->views, id);
+        ++readmitted;
+      } else {
+        lifecycle_.RecordRetryFailure(id, tick);
+      }
     }
-    if (ok) {
-      lifecycle_.Readmit(id, epochs_ != nullptr ? epochs_->now() : 0);
-      LogViewEventLocked(id);
-      ++readmitted;
-    } else {
-      lifecycle_.RecordRetryFailure(id, tick);
-    }
+    PublishLocked(std::move(next));
   }
   // Under the exclusive lock no transition is in flight, so the
   // incremental gauges must agree with the per-entry states exactly.
@@ -795,19 +871,24 @@ int MatchingService::RevalidationTick(
 
 bool MatchingService::ReadmitView(ViewId id) {
   WriterLock lock(mu_);
-  GrowBookkeepingLocked();
-  if (!lifecycle_.Readmit(id, epochs_ != nullptr ? epochs_->now() : 0)) {
+  CatalogSnapshot* current = SnapshotLocked();
+  GrowBookkeepingLocked(current->views.num_views());
+  const TableEpochClock* clock = epochs_.load(std::memory_order_acquire);
+  if (!lifecycle_.Readmit(id, clock != nullptr ? clock->now() : 0)) {
     return false;
   }
   if (static_cast<size_t>(id) < in_tree_.size() && !in_tree_[id]) {
+    auto next = std::make_unique<CatalogSnapshot>(*current);
     try {
-      filter_tree_.AddView(id);
+      next->tree.AddView(id);
       in_tree_[id] = 1;
+      PublishLocked(std::move(next));
     } catch (const std::exception&) {
-      // Leave it out of the tree; the next revalidation tick retries.
+      // Leave it out of the tree (drop the clone); the next revalidation
+      // tick retries.
     }
   }
-  LogViewEventLocked(id);
+  LogViewEventLocked(SnapshotLocked()->views, id);
   return true;
 }
 
@@ -816,11 +897,12 @@ bool MatchingService::IsQuarantined(ViewId id) const {
 }
 
 std::vector<std::string> MatchingService::QuarantinedViews() const {
-  ReaderLock lock(mu_);
+  EpochPin pin(reclaim_);
+  const CatalogSnapshot& snap = *PinnedSnapshot();
   std::vector<std::string> out;
-  for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
+  for (ViewId id = 0; id < snap.views.num_views(); ++id) {
     if (lifecycle_.IsSidelined(id)) {
-      out.push_back(view_catalog_.view(id).name());
+      out.push_back(snap.views.view(id).name());
     }
   }
   return out;
@@ -869,14 +951,13 @@ VerifyStats MatchingService::ResetVerifyStats() {
   return previous;
 }
 
-std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
-    const SpjgQuery& query, QueryContext& ctx) {
-  ReaderLock lock(mu_);
+std::optional<UnionSubstitute> MatchingService::FindUnionSubstituteOn(
+    const CatalogSnapshot& snap, const SpjgQuery& query, QueryContext& ctx) {
   QueryTrace* trace = ctx.trace();
   const bool observing = trace != nullptr || ctx.has_stage_hook();
   StageTimer timer(observing);
   std::optional<UnionSubstitute> result;
-  if (!query.is_aggregate && view_catalog_.num_views() >= 2 &&
+  if (!query.is_aggregate && snap.views.num_views() >= 2 &&
       !ctx.TickDeadline()) {
     // Candidate legs need not contain the query's ranges (that is the
     // point), so probe with only the structural conditions intact: every
@@ -887,8 +968,8 @@ std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
     const uint64_t tolerance = ctx.max_staleness();
     std::vector<ViewId> candidates;
     QueryDescription qd = DescribeQuery(*catalog_, query);
-    for (ViewId id = 0; id < view_catalog_.num_views(); ++id) {
-      const uint64_t lag = StalenessLagLocked(id);
+    for (ViewId id = 0; id < snap.views.num_views(); ++id) {
+      const uint64_t lag = StalenessLagOn(snap, id);
       switch (lifecycle_.GateForProbe(id, lag, tolerance)) {
         case ViewLifecycleRegistry::ProbeGate::kSidelined:
           delta.stats.quarantine_skips += 1;
@@ -899,7 +980,7 @@ std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
         case ViewLifecycleRegistry::ProbeGate::kAdmitStale:
           break;
       }
-      const ViewDescription& d = view_catalog_.description(id);
+      const ViewDescription& d = snap.views.description(id);
       if (d.is_aggregate) continue;
       bool tables_ok = std::includes(d.source_tables.begin(),
                                      d.source_tables.end(),
@@ -910,7 +991,7 @@ std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
     if (delta.stats.quarantine_skips != 0) CommitProbe(delta, nullptr);
     UnionMatchOptions opts;
     opts.match = options_.match;
-    UnionMatcher matcher(catalog_, &view_catalog_, opts);
+    UnionMatcher matcher(catalog_, &snap.views, opts);
     result = matcher.Match(query, candidates, &ctx);
   }
   if (observing) {
@@ -918,6 +999,16 @@ std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
     NoteStage(ctx, trace, QueryTrace::Stage::kUnionMatch, "union-match", s);
   }
   return result;
+}
+
+std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(
+    const SpjgQuery& query, QueryContext& ctx) {
+  if (options_.probe_mode == ProbeMode::kReaderLock) {
+    ReaderLock lock(mu_);
+    return FindUnionSubstituteOn(*SnapshotLocked(), query, ctx);
+  }
+  EpochPin pin(reclaim_);
+  return FindUnionSubstituteOn(*PinnedSnapshot(), query, ctx);
 }
 
 std::optional<UnionSubstitute> MatchingService::FindUnionSubstitute(

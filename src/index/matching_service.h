@@ -3,13 +3,25 @@
 // algorithm (§3), and accumulates the effectiveness statistics reported
 // in §5 (candidate-set fraction, pass rate, substitutes per invocation).
 //
-// Concurrency model: FindSubstitutes / FindUnionSubstitute may be called
-// from any number of threads while AddView proceeds on another — readers
-// take a shared lock, AddView an exclusive one, so probe results are
-// always computed against a consistent catalog/filter-tree snapshot (the
-// one before or after the AddView). AddView itself is transactional: if
-// indexing fails after catalog registration, the registration is rolled
-// back, so the catalog, filter tree and lattices never disagree.
+// Concurrency model (DESIGN.md §15): the catalog + filter tree live in
+// one immutable CatalogSnapshot published through an atomic pointer.
+// Probes (FindSubstitutes / FindUnionSubstitute / ResolveView) pin the
+// current snapshot with an epoch-based-reclamation pin (EpochPin over
+// common/epoch_reclaim.h) and run entirely lock-free — zero shared lock
+// acquisitions and zero shared writes on the probe path outside the
+// probe-atomic stats commit. Writers (AddView / recovery / lifecycle
+// readmission and quarantine) serialize on the writer mutex, clone the
+// current snapshot off-path, mutate the clone, and publish it with a
+// pointer swap; the displaced snapshot is retired into the epoch domain
+// and freed once no pin can still reference it. Probe results are always
+// computed against one consistent snapshot (the one before or after any
+// concurrent AddView). AddView stays transactional: if indexing or
+// logging fails after catalog registration, the clone is simply
+// discarded — the published snapshot never contains partial state.
+// Options::probe_mode == kReaderLock selects the pre-snapshot discipline
+// (a shared lock on the writer mutex) for A/B benchmarking and the
+// byte-identity cross-check; results, ordering and stats are identical
+// on both paths.
 //
 // Stats are *probe-atomic*: each probe accumulates its counters locally
 // and commits them in one critical section at the end, so a stats()
@@ -22,9 +34,10 @@
 // Observability (src/observe): with Options::observe enabled the service
 // registers its metric families (probe counters, per-level filter-tree
 // counters, reject reasons, probe-latency histogram, lifecycle
-// transitions, WAL counters) into the shared MetricsRegistry and mirrors
-// every probe commit into them; a QueryTrace passed to FindSubstitutes
-// additionally records per-stage wall clock and per-candidate verdicts.
+// transitions, WAL counters, snapshot lifecycle gauges) into the shared
+// MetricsRegistry and mirrors every probe commit into them; a QueryTrace
+// passed to FindSubstitutes additionally records per-stage wall clock
+// and per-candidate verdicts.
 //
 // View lifecycle (rewrite/view_lifecycle.h): every view carries a
 // durable lifecycle entry — FRESH / STALE / QUARANTINED / DISABLED —
@@ -38,12 +51,13 @@
 //
 // Durability (rewrite/catalog_store.h): with a store attached, AddView
 // appends a CRC-framed WAL record before returning — its fsync is the
-// commit point, and an append failure rolls the in-memory registration
-// back (unless the record was already durable, in which case the
-// registration stands). RecoverFrom replays snapshot + WAL at startup,
-// rebuilds the filter tree and lattices through the normal registration
-// path, quarantines unreplayable entries in the RecoveryReport instead
-// of aborting, and Checkpoint writes a new snapshot and resets the WAL.
+// commit point, and an append failure discards the cloned snapshot
+// (unless the record was already durable, in which case the registration
+// stands and the clone is published). RecoverFrom replays snapshot + WAL
+// at startup, rebuilds the filter tree and lattices through the normal
+// registration path into ONE new snapshot, quarantines unreplayable
+// entries in the RecoveryReport instead of aborting, and Checkpoint
+// writes a new snapshot and resets the WAL.
 
 #ifndef MVOPT_INDEX_MATCHING_SERVICE_H_
 #define MVOPT_INDEX_MATCHING_SERVICE_H_
@@ -51,10 +65,12 @@
 #include <array>
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/epoch_reclaim.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/query_budget.h"
@@ -113,11 +129,42 @@ struct VerifyStats {
   std::vector<std::string> rejection_traces;
 };
 
+/// The unit of publication on the probe path (DESIGN.md §15): the view
+/// catalog and the filter tree built over its descriptions, bundled so
+/// one atomic pointer covers everything a probe walks. Immutable once
+/// published — writers clone, mutate the clone, and publish the clone.
+/// The clone shares the ViewDefinition objects with its source (see
+/// ViewCatalog's copy constructor) but owns its descriptions and tree.
+struct CatalogSnapshot {
+  explicit CatalogSnapshot(const Catalog* catalog)
+      : views(catalog), tree(&views.descriptions()) {}
+  /// Clone for the next generation: bumps the version, copies the
+  /// catalog (sharing definitions), deep-copies the tree rebound onto
+  /// the clone's own description store.
+  CatalogSnapshot(const CatalogSnapshot& other)
+      : version(other.version + 1),
+        views(other.views),
+        tree(other.tree, &views.descriptions()) {}
+  CatalogSnapshot& operator=(const CatalogSnapshot&) = delete;
+
+  uint64_t version = 0;  ///< publication generation (0 = initial, empty)
+  ViewCatalog views;
+  FilterTree tree;
+};
+
 class MatchingService : public SubstituteSource {
  public:
+  /// How probes synchronize with writers. kSnapshot is the production
+  /// path: pin the published snapshot, no shared locks. kReaderLock is
+  /// the pre-snapshot discipline (shared lock on the writer mutex),
+  /// kept as the A/B baseline for bench/snapshot_scaling and the
+  /// byte-identity cross-check in tests/snapshot_test.cc.
+  enum class ProbeMode { kSnapshot, kReaderLock };
+
   struct Options {
     bool use_filter_tree = true;
     MatchOptions match;
+    ProbeMode probe_mode = ProbeMode::kSnapshot;
     /// Soundness checking of produced substitutes: off, log (count and
     /// trace rejections, keep everything) or enforce (discard unproven
     /// substitutes).
@@ -138,14 +185,16 @@ class MatchingService : public SubstituteSource {
 
   explicit MatchingService(const Catalog* catalog);
   MatchingService(const Catalog* catalog, Options options);
+  ~MatchingService() override;
 
   /// Validates + registers + indexes a view (and, with a store attached,
   /// commits it to the WAL). nullptr with *error on rejection.
-  /// Transactional: on an indexing or logging failure the registration
-  /// is rolled back and the error is reported — no exception escapes and
-  /// no partial state is left behind. The one exception is an ambiguous
-  /// commit (StoreIoError::durable()): the WAL record is already on
-  /// stable storage, so the registration stands.
+  /// Transactional: the registration happens on a private clone of the
+  /// current snapshot, so an indexing or logging failure just discards
+  /// the clone — no exception escapes and no partial state is ever
+  /// published. The one exception is an ambiguous commit
+  /// (StoreIoError::durable()): the WAL record is already on stable
+  /// storage, so the clone is published and the registration stands.
   ViewDefinition* AddView(const std::string& name, SpjgQuery definition,
                           std::string* error = nullptr) MVOPT_EXCLUDES(mu_);
 
@@ -154,20 +203,22 @@ class MatchingService : public SubstituteSource {
   ///
   ///   probe -> prefilter -> match -> compensate -> cost-annotate
   ///
-  /// whose boundaries are visible to the context's trace (stage wall
-  /// clock + NoteStageBoundary) and stage hook. The context supplies the
-  /// budget (candidate enumeration and matching stop cooperatively on
-  /// exhaustion, returning the substitutes found so far), the staleness
-  /// tolerance (how far behind a substituted view may lag; default:
-  /// fresh views only) and, optionally, a ThreadPool for the match
-  /// stage. Without a pool (the default) the pipeline is serial and its
-  /// results are byte-identical to the pre-pipeline implementation; with
-  /// one, candidates are matched in parallel batches but results,
-  /// ordering and stats are still deterministic — each candidate fills
-  /// its own outcome slot and the slots are merged in candidate order by
-  /// the serial compensate stage, so worker count and scheduling never
-  /// show through. The context (and its trace) must not be shared across
-  /// concurrent probes; the pool may be.
+  /// over a pinned immutable snapshot — the probe takes no shared lock
+  /// and performs no shared write outside the final stats commit. The
+  /// pipeline's boundaries are visible to the context's trace (stage
+  /// wall clock + NoteStageBoundary) and stage hook. The context
+  /// supplies the budget (candidate enumeration and matching stop
+  /// cooperatively on exhaustion, returning the substitutes found so
+  /// far), the staleness tolerance (how far behind a substituted view
+  /// may lag; default: fresh views only) and, optionally, a ThreadPool
+  /// for the match stage. Without a pool (the default) the pipeline is
+  /// serial and its results are byte-identical to the pre-pipeline
+  /// implementation; with one, candidates are matched in parallel
+  /// batches but results, ordering and stats are still deterministic —
+  /// each candidate fills its own outcome slot and the slots are merged
+  /// in candidate order by the serial compensate stage, so worker count
+  /// and scheduling never show through. The context (and its trace) must
+  /// not be shared across concurrent probes; the pool may be.
   std::vector<Substitute> FindSubstitutes(const SpjgQuery& query,
                                           QueryContext& ctx) override
       MVOPT_EXCLUDES(mu_);
@@ -193,10 +244,13 @@ class MatchingService : public SubstituteSource {
       MVOPT_EXCLUDES(mu_);
 
   /// SubstituteSource: the definition behind one of this service's view
-  /// ids. Same single-threaded hand-out-a-reference contract as views().
-  const ViewDefinition& ResolveView(ViewId id) const override
-      MVOPT_NO_THREAD_SAFETY_ANALYSIS {
-    return view_catalog_.view(id);
+  /// ids. Safe from any thread: the lookup pins the current snapshot,
+  /// and the returned reference outlives the pin because definitions
+  /// are shared across snapshot generations (published catalogs grow
+  /// append-only), so the object lives as long as the service.
+  const ViewDefinition& ResolveView(ViewId id) const override {
+    EpochPin pin(reclaim_);
+    return PinnedSnapshot()->views.view(id);
   }
 
   // --- durability ---------------------------------------------------------
@@ -207,8 +261,9 @@ class MatchingService : public SubstituteSource {
 
   /// Startup recovery: replays `store`'s snapshot + WAL into this (empty)
   /// service, rebuilding the filter tree and lattices through the normal
-  /// registration path. Entries whose SQL no longer parses or validates
-  /// are quarantined in the report, never fatal. Attaches the store.
+  /// registration path into one new snapshot published at the end.
+  /// Entries whose SQL no longer parses or validates are quarantined in
+  /// the report, never fatal. Attaches the store.
   RecoveryReport RecoverFrom(CatalogStore* store) MVOPT_EXCLUDES(mu_);
 
   /// Writes a full snapshot of the catalog + lifecycle states and resets
@@ -219,17 +274,13 @@ class MatchingService : public SubstituteSource {
 
   /// Wires base-table update epochs (owned by the engine side); without
   /// a clock every view is considered fresh. The clock must outlive the
-  /// service. Takes the exclusive lock: concurrent probes read the
-  /// pointer under the shared lock in StalenessLagLocked, so an
-  /// unguarded store here would be a data race (this was exactly the
-  /// kind of bug the annotation sweep exists to make uncompilable).
-  void set_epoch_clock(const TableEpochClock* clock) MVOPT_EXCLUDES(mu_) {
-    WriterLock lock(mu_);
-    epochs_ = clock;
+  /// service. The pointer is an atomic: probes read it lock-free on the
+  /// snapshot path, so a plain member store here would be a data race.
+  void set_epoch_clock(const TableEpochClock* clock) {
+    epochs_.store(clock, std::memory_order_release);
   }
-  const TableEpochClock* epoch_clock() const MVOPT_EXCLUDES(mu_) {
-    ReaderLock lock(mu_);
-    return epochs_;
+  const TableEpochClock* epoch_clock() const {
+    return epochs_.load(std::memory_order_acquire);
   }
 
   /// The lifecycle registry (engine-side maintenance reports refreshes
@@ -242,17 +293,18 @@ class MatchingService : public SubstituteSource {
   ViewState view_state(ViewId id) const { return lifecycle_.state(id); }
 
   /// How many update epochs `id` lags its base tables (0 = fresh).
-  uint64_t StalenessLag(ViewId id) const MVOPT_EXCLUDES(mu_);
+  uint64_t StalenessLag(ViewId id) const;
 
   /// Trips the circuit breaker for `id` (content checksum mismatch):
-  /// DISABLED, removed from the filter tree, event logged. Returns true
-  /// if the state changed.
+  /// DISABLED, removed from the filter tree (a new snapshot is
+  /// published), event logged. Returns true if the state changed.
   bool ReportChecksumMismatch(ViewId id) MVOPT_EXCLUDES(mu_);
 
   /// One background-revalidation tick: sidelined views are compacted out
   /// of the filter tree; those due for a retry (exponential backoff) are
   /// handed to `validate`, and on success re-inserted into the filter
-  /// tree and returned to FRESH. Returns the number readmitted.
+  /// tree and returned to FRESH. Tree changes land in one published
+  /// snapshot. Returns the number readmitted.
   int RevalidationTick(
       const std::function<bool(const ViewDefinition&)>& validate)
       MVOPT_EXCLUDES(mu_);
@@ -261,22 +313,31 @@ class MatchingService : public SubstituteSource {
   /// if the view was not sidelined.
   bool ReadmitView(ViewId id) MVOPT_EXCLUDES(mu_);
 
-  /// Structure accessors. Single-threaded use only: they hand out
-  /// references to lock-guarded structure without holding the lock, so
-  /// they must not run (and the references must not be retained)
-  /// concurrently with AddView / recovery / revalidation. The analysis
-  /// exemption below is that documented contract, not an oversight.
-  const ViewCatalog& views() const MVOPT_NO_THREAD_SAFETY_ANALYSIS {
-    return view_catalog_;
+  /// Structure accessors. They hand out references INTO the current
+  /// snapshot without pinning it, so the single-threaded contract from
+  /// the pre-snapshot code still applies: they must not run (and the
+  /// references must not be retained) concurrently with AddView /
+  /// recovery / revalidation, which may retire the snapshot under them.
+  /// (Individual ViewDefinitions are exempt — those are shared across
+  /// generations; see ResolveView.)
+  const ViewCatalog& views() const {
+    return snapshot_.load(std::memory_order_acquire)->views;
   }
-  ViewCatalog& mutable_views() MVOPT_NO_THREAD_SAFETY_ANALYSIS {
-    return view_catalog_;
+  ViewCatalog& mutable_views() {
+    return snapshot_.load(std::memory_order_acquire)->views;
   }
   const Catalog& catalog() const { return *catalog_; }
-  const FilterTree& filter_tree() const MVOPT_NO_THREAD_SAFETY_ANALYSIS {
-    return filter_tree_;
+  const FilterTree& filter_tree() const {
+    return snapshot_.load(std::memory_order_acquire)->tree;
   }
   const ViewMatcher& matcher() const { return matcher_; }
+
+  /// Current publication generation (bumps on every published write).
+  uint64_t snapshot_version() const {
+    return snapshot_.load(std::memory_order_acquire)->version;
+  }
+  /// Snapshots retired but not yet reclaimed (mvopt_snapshot_retired).
+  int64_t retired_snapshots() const { return reclaim_.retired_count(); }
 
   /// Internally consistent value snapshots (probe-atomic: no probe is
   /// ever half-reflected).
@@ -300,7 +361,7 @@ class MatchingService : public SubstituteSource {
   const RewriteChecker& checker() const { return checker_; }
 
   /// Names of sidelined (quarantined or disabled) views, in id order.
-  std::vector<std::string> QuarantinedViews() const MVOPT_EXCLUDES(mu_);
+  std::vector<std::string> QuarantinedViews() const;
   /// Lock-free (the lifecycle registry is internally synchronized).
   bool IsQuarantined(ViewId id) const;
 
@@ -376,41 +437,72 @@ class MatchingService : public SubstituteSource {
     MatchResult result;
   };
 
-  // --- pipeline stages (all require mu_ held shared) ----------------------
+  // --- snapshot plumbing --------------------------------------------------
+
+  /// The published snapshot, dereferenceable while the caller holds an
+  /// EpochPin on reclaim_ — the REQUIRES_SHARED makes obtaining the
+  /// pointer after Unpin a compile error under the thread-safety gate.
+  /// seq_cst load: the pin's slot store must precede this load in the
+  /// single total order the reclamation safety argument relies on.
+  const CatalogSnapshot* PinnedSnapshot() const
+      MVOPT_REQUIRES_SHARED(reclaim_) {
+    return snapshot_.load(std::memory_order_seq_cst);
+  }
+  /// The published snapshot under the writer mutex (shared suffices:
+  /// publication requires the exclusive lock, so the snapshot cannot be
+  /// retired while any reader holds mu_).
+  CatalogSnapshot* SnapshotLocked() const MVOPT_REQUIRES_SHARED(mu_) {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+  /// Swaps `next` in as the published snapshot, retires the old one into
+  /// the epoch domain and updates the snapshot gauges.
+  void PublishLocked(std::unique_ptr<CatalogSnapshot> next)
+      MVOPT_REQUIRES(mu_);
+
+  // --- pipeline stages (pure functions of the pinned snapshot) ------------
 
   /// Stage 1 (probe): filter-tree candidate enumeration (or the full id
   /// range when the tree is off).
-  std::vector<ViewId> StageProbe(const SpjgQuery& query, QueryContext& ctx,
-                                 FilterSearchStats* fstats)
-      MVOPT_REQUIRES_SHARED(mu_);
+  std::vector<ViewId> StageProbe(const CatalogSnapshot& snap,
+                                 const SpjgQuery& query, QueryContext& ctx,
+                                 FilterSearchStats* fstats);
   /// Stage 2 (prefilter): sidelined screen + staleness gate via
   /// ViewLifecycleRegistry::GateForProbe; ticks the deadline per
   /// candidate. Sets *truncated when the budget cut the walk short.
   std::vector<GatedCandidate> StagePrefilter(
-      const std::vector<ViewId>& candidates, QueryContext& ctx,
-      ProbeDelta* delta, int64_t* stale_rejects, bool* truncated)
-      MVOPT_REQUIRES_SHARED(mu_);
+      const CatalogSnapshot& snap, const std::vector<ViewId>& candidates,
+      QueryContext& ctx, ProbeDelta* delta, int64_t* stale_rejects,
+      bool* truncated);
   /// Stage 3 (match): runs the matcher over the gated candidates —
   /// serially, or in one ThreadPool batch when the context attached a
   /// pool and the candidate set is large enough. Workers never touch the
   /// budget: they compare against a snapshotted deadline and raise a
-  /// shared stop flag; the charge is applied after the join.
-  std::vector<MatchOutcome> StageMatch(const SpjgQuery& query,
+  /// shared stop flag; the charge is applied after the join. The
+  /// caller's pin keeps the snapshot alive across the join.
+  std::vector<MatchOutcome> StageMatch(const CatalogSnapshot& snap,
+                                       const SpjgQuery& query,
                                        const std::vector<GatedCandidate>& gated,
-                                       QueryContext& ctx, bool* truncated)
-      MVOPT_REQUIRES_SHARED(mu_);
+                                       QueryContext& ctx, bool* truncated);
   /// Stage 4 (compensate): serial, candidate-order walk of the outcome
   /// slots — verification (soundness checker / quarantine bookkeeping),
   /// stats accounting and trace verdicts all happen here, so the stats
   /// delta is identical however the match stage was scheduled. `mode` is
   /// the probe's verify-mode snapshot (taken once, see verify_mode_).
-  void StageCompensate(const SpjgQuery& query,
+  void StageCompensate(const CatalogSnapshot& snap, const SpjgQuery& query,
                        const std::vector<GatedCandidate>& gated,
                        std::vector<MatchOutcome>* outcomes, QueryContext& ctx,
                        VerifyMode mode, ProbeDelta* delta,
                        std::vector<Substitute>* fresh,
-                       std::vector<Substitute>* stale)
-      MVOPT_REQUIRES_SHARED(mu_);
+                       std::vector<Substitute>* stale);
+
+  /// The probe pipeline over one consistent snapshot. The caller
+  /// guarantees `snap` stays alive for the duration (EpochPin on the
+  /// snapshot path, a shared writer-mutex hold on the reader-lock path).
+  std::vector<Substitute> FindSubstitutesOn(const CatalogSnapshot& snap,
+                                            const SpjgQuery& query,
+                                            QueryContext& ctx);
+  std::optional<UnionSubstitute> FindUnionSubstituteOn(
+      const CatalogSnapshot& snap, const SpjgQuery& query, QueryContext& ctx);
 
   /// Registers this service's metric families (ctor, counters on).
   void RegisterMetrics();
@@ -421,18 +513,18 @@ class MatchingService : public SubstituteSource {
   /// `fstats` carries the filter-tree counters when they were collected.
   void CommitProbe(const ProbeDelta& delta, const FilterSearchStats* fstats)
       MVOPT_EXCLUDES(stats_mu_);
-  void RecordVerifyRejection(ViewId id, const Verdict& verdict,
-                             VerifyMode mode, ProbeDelta* delta)
-      MVOPT_REQUIRES_SHARED(mu_);
-  /// Staleness lag of `id` (shared suffices; exclusive also satisfies).
-  uint64_t StalenessLagLocked(ViewId id) const MVOPT_REQUIRES_SHARED(mu_);
-  /// Persisted image of view `id`.
-  PersistedView PersistedImageLocked(ViewId id) const
-      MVOPT_REQUIRES_SHARED(mu_);
-  /// Best-effort lifecycle event append.
-  void LogViewEventLocked(ViewId id) MVOPT_REQUIRES(mu_);
-  /// Grows lifecycle + tree-membership bookkeeping to the catalog size.
-  void GrowBookkeepingLocked() MVOPT_REQUIRES(mu_);
+  void RecordVerifyRejection(const CatalogSnapshot& snap, ViewId id,
+                             const Verdict& verdict, VerifyMode mode,
+                             ProbeDelta* delta);
+  /// Staleness lag of `id` against `snap`'s description store.
+  uint64_t StalenessLagOn(const CatalogSnapshot& snap, ViewId id) const;
+  /// Persisted image of view `id` out of `views`.
+  PersistedView PersistedImageOf(const ViewCatalog& views, ViewId id) const;
+  /// Best-effort lifecycle event append (store_ is mu_-guarded).
+  void LogViewEventLocked(const ViewCatalog& views, ViewId id)
+      MVOPT_REQUIRES(mu_);
+  /// Grows lifecycle + tree-membership bookkeeping to `num_views`.
+  void GrowBookkeepingLocked(int num_views) MVOPT_REQUIRES(mu_);
 
   const Catalog* catalog_;
   /// Immutable after construction except verify_mode (see verify_mode_,
@@ -441,18 +533,26 @@ class MatchingService : public SubstituteSource {
   ViewMatcher matcher_;      ///< stateless per-call; Match() is const
   RewriteChecker checker_;   ///< stateless per-call; Check() is const
 
-  /// Guards catalog + filter tree structure: shared for probes,
-  /// exclusive for AddView / recovery / revalidation. Always acquired
-  /// before stats_mu_ (CommitProbe runs under the shared lock) and
-  /// before the attached store's internal mutex.
+  /// The writer mutex: serializes AddView / recovery / revalidation /
+  /// checkpoint (held exclusive while cloning and publishing), and doubles
+  /// as the reader-lock baseline's probe lock (held shared) in
+  /// ProbeMode::kReaderLock. Always acquired before stats_mu_ and before
+  /// the attached store's internal mutex. Snapshot-path probes never
+  /// touch it.
   mutable SharedMutex mu_ MVOPT_ACQUIRED_BEFORE(stats_mu_);
   /// Guards the probe-atomic stats below: probes take it once per probe
   /// (to commit their delta), snapshots and resets take it for the whole
   /// read-or-swap. Never held together with mu_ waits.
   mutable Mutex stats_mu_;
 
-  ViewCatalog view_catalog_ MVOPT_GUARDED_BY(mu_);
-  FilterTree filter_tree_ MVOPT_GUARDED_BY(mu_);
+  /// The published snapshot (never null). Writers exchange it under mu_;
+  /// probes load it under an EpochPin. The pointed-to snapshot is
+  /// immutable while published (the snapshot contract), which is why no
+  /// TSA guard applies — consistency is by construction, not exclusion.
+  std::atomic<CatalogSnapshot*> snapshot_;
+  /// Epoch-based reclamation domain for retired snapshots. mutable: a
+  /// const probe (ResolveView, StalenessLag) still pins.
+  mutable EpochDomain reclaim_;
 
   MatchingStats stats_ MVOPT_GUARDED_BY(stats_mu_);
   VerifyCounters verify_counters_ MVOPT_GUARDED_BY(stats_mu_);
@@ -460,16 +560,24 @@ class MatchingService : public SubstituteSource {
   /// Written once in RegisterMetrics (ctor); immutable afterwards, and
   /// the instruments it points at are internally atomic.
   ProbeMetrics metrics_;
+  /// Snapshot lifecycle gauges (null when observability is off):
+  /// mvopt_snapshot_live = snapshots alive in memory (current + retired
+  /// awaiting reclamation), mvopt_snapshot_retired = retired only.
+  Gauge* snapshot_live_gauge_ = nullptr;
+  Gauge* snapshot_retired_gauge_ = nullptr;
 
   /// Runtime-flippable soundness-checking mode (see verify_mode()).
   std::atomic<VerifyMode> verify_mode_;
 
   /// Internally synchronized (lock-free entry access); not guarded.
   ViewLifecycleRegistry lifecycle_;
-  const TableEpochClock* epochs_ MVOPT_GUARDED_BY(mu_) = nullptr;
+  /// Atomic: probes read it lock-free on the snapshot path.
+  std::atomic<const TableEpochClock*> epochs_{nullptr};
   CatalogStore* store_ MVOPT_GUARDED_BY(mu_) = nullptr;
   /// Whether each view currently lives in the filter tree (sidelined
-  /// views are compacted out by RevalidationTick).
+  /// views are compacted out by RevalidationTick). Writer-side
+  /// bookkeeping: probes never read it — the published tree itself is
+  /// the probe-visible truth.
   std::vector<char> in_tree_ MVOPT_GUARDED_BY(mu_);
   int64_t revalidation_tick_ MVOPT_GUARDED_BY(mu_) = 0;
 };

@@ -27,7 +27,7 @@ ViewDefinition* ViewCatalog::AddView(const std::string& name,
   // same transactional commit — it is decided by the by_name_ insert
   // itself, after every fallible step, so a duplicate rejection can
   // never strand rollback bookkeeping set up along the way.
-  auto view = std::make_unique<ViewDefinition>(id, name, std::move(definition));
+  auto view = std::make_shared<ViewDefinition>(id, name, std::move(definition));
   ViewDescription description = DescribeView(*catalog_, *view);
   MVOPT_FAILPOINT("view_catalog.describe");
   if (views_.size() == views_.capacity()) {

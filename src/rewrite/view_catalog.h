@@ -19,7 +19,22 @@ namespace mvopt {
 class ViewCatalog {
  public:
   explicit ViewCatalog(const Catalog* catalog) : catalog_(catalog) {}
-  ViewCatalog(const ViewCatalog&) = delete;
+
+  /// Snapshot clone (the immutable-catalog publication path, DESIGN.md
+  /// §15): the per-snapshot containers — descriptions, name index — are
+  /// copied, but the ViewDefinition objects themselves are SHARED with
+  /// the source. Sharing is load-bearing twice over: mutable_view()
+  /// state (materialization results) stays visible across snapshot
+  /// generations, and references handed out by ResolveView/view() stay
+  /// valid after the snapshot that produced them is reclaimed, because
+  /// every later snapshot still holds the same definitions (published
+  /// catalogs grow append-only; RemoveLastView only ever runs on
+  /// unpublished clones being rolled back).
+  ViewCatalog(const ViewCatalog& other)
+      : catalog_(other.catalog_),
+        views_(other.views_),
+        descriptions_(other.descriptions_),
+        by_name_(other.by_name_) {}
   ViewCatalog& operator=(const ViewCatalog&) = delete;
 
   /// Validates and registers a view. Returns the definition, or nullptr
@@ -53,7 +68,10 @@ class ViewCatalog {
 
  private:
   const Catalog* catalog_;
-  std::vector<std::unique_ptr<ViewDefinition>> views_;
+  /// shared_ptr, not unique_ptr: snapshot clones share the definition
+  /// objects (see the copy constructor), so a definition lives as long
+  /// as ANY snapshot generation references it.
+  std::vector<std::shared_ptr<ViewDefinition>> views_;
   std::vector<ViewDescription> descriptions_;
   std::unordered_map<std::string, ViewId> by_name_;
 };

@@ -132,7 +132,10 @@ class TokenBucket {
 
   /// Takes one token if available. On refusal, sets *retry_after_seconds
   /// (when non-null) to the time until the next whole token — infinity
-  /// when the bucket can never refill (callers clamp).
+  /// when the bucket can never reach one (no refill, or a capacity below
+  /// a whole token: refills clamp at capacity, so waiting
+  /// (1 - tokens)/rate would never actually produce a token and a finite
+  /// hint would send the client into a futile retry loop). Callers clamp.
   bool TryAcquire(Clock::time_point now, double* retry_after_seconds) {
     Refill(now);
     if (tokens_ >= 1.0) {
@@ -140,10 +143,11 @@ class TokenBucket {
       return true;
     }
     if (retry_after_seconds != nullptr) {
+      const bool can_reach_one =
+          config_.refill_per_second > 0 && config_.capacity >= 1.0;
       *retry_after_seconds =
-          config_.refill_per_second > 0
-              ? (1.0 - tokens_) / config_.refill_per_second
-              : std::numeric_limits<double>::infinity();
+          can_reach_one ? (1.0 - tokens_) / config_.refill_per_second
+                        : std::numeric_limits<double>::infinity();
     }
     return false;
   }

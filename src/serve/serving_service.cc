@@ -469,8 +469,18 @@ double ServingService::ClampRetryAfter(double seconds) const {
 }
 
 double ServingService::BacklogRetryAfterLocked(int64_t backlog) const {
-  const double est = has_exec_sample_ ? ewma_exec_seconds_
-                                      : options_.default_exec_seconds_estimate;
+  double est = has_exec_sample_ ? ewma_exec_seconds_
+                                : options_.default_exec_seconds_estimate;
+  // The estimate must stay positive: before the EWMA has a sample a
+  // zeroed default_exec_seconds_estimate (or, once seeded, an EWMA fed
+  // sub-clock-resolution executions) would otherwise produce
+  // retry_after == 0 on a retryable shed — an instruction to hammer the
+  // service immediately, the opposite of backpressure. (ClampRetryAfter
+  // cannot be relied on to repair this: its minimum is configurable down
+  // to zero.) Floor at 100us, well below any real execution.
+  constexpr double kMinExecSecondsEstimate = 1e-4;
+  if (!(est > 0)) est = kMinExecSecondsEstimate;
+  if (backlog < 1) backlog = 1;  // a shed implies at least one queue slot
   const double workers =
       workers_.empty() ? 1.0 : static_cast<double>(workers_.size());
   return static_cast<double>(backlog) * est / workers;

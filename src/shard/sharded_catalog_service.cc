@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <exception>
 #include <iterator>
+#include <limits>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -136,12 +137,13 @@ ShardedCatalogService::ShardedCatalogService(const Catalog* catalog,
                                                     std::to_string(i));
     }
     {
-      WriterLock lock(shard->mu);
+      MutexLock lock(shard->writer_mu);
       shard->service =
           std::make_unique<MatchingService>(catalog_, options_.service);
       if (shard->store != nullptr) {
         shard->service->AttachStore(shard->store.get());
       }
+      shard->live.store(shard->service.get(), std::memory_order_release);
     }
     shards_.push_back(std::move(shard));
   }
@@ -210,6 +212,10 @@ ViewId ShardedCatalogService::AddView(const std::string& name,
     return kInvalidViewId;
   }
   Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
+  // Registrations are writes at this layer: hold the shard's writer
+  // mutex so the health verdict, the id-overflow check and the
+  // delegation are atomic with respect to a concurrent scrub swap.
+  MutexLock lock(shard.writer_mu);
   if (shard.health.load(std::memory_order_acquire) != ShardHealth::kHealthy) {
     // Registering elsewhere would break the routing invariant (the view
     // would be invisible to probes after the owner is readmitted), so
@@ -222,11 +228,40 @@ ViewId ShardedCatalogService::AddView(const std::string& name,
     }
     return kInvalidViewId;
   }
-  ReaderLock lock(shard.mu);
+  // Shards hand out dense local ids, so the id this registration would
+  // get is the shard's current view count. Reject BEFORE delegating when
+  // the composite id would not fit ViewId: otherwise GlobalId would wrap
+  // (signed overflow, UB) and the view, though registered, would be
+  // unreachable — or worse, alias another shard's id.
+  const ViewId predicted_local = shard.service->views().num_views();
+  std::optional<ViewId> predicted_global =
+      ComposeGlobalId(shard_idx, predicted_local);
+  if (!predicted_global.has_value()) {
+    if (error != nullptr) {
+      *error = "view id space exhausted: local id " +
+               std::to_string(predicted_local) + " on shard " +
+               std::to_string(shard_idx) +
+               " does not compose into the ViewId range";
+    }
+    return kInvalidViewId;
+  }
   ViewDefinition* view = shard.service->AddView(name, std::move(definition),
                                                 error);
   if (view == nullptr) return kInvalidViewId;
   return GlobalId(shard_idx, view->id());
+}
+
+std::optional<ViewId> ShardedCatalogService::ComposeGlobalId(
+    int shard, ViewId local) const {
+  const ViewId n = static_cast<ViewId>(shards_.size());
+  const ViewId s = static_cast<ViewId>(shard);
+  if (local < 0 || s < 0 || s >= n) return std::nullopt;
+  // local * n + s <= max  <=>  local <= (max - s) / n, checked without
+  // performing the (potentially overflowing) multiplication.
+  if (local > (std::numeric_limits<ViewId>::max() - s) / n) {
+    return std::nullopt;
+  }
+  return local * n + s;
 }
 
 std::vector<Substitute> ShardedCatalogService::FindSubstitutes(
@@ -242,10 +277,13 @@ std::vector<Substitute> ShardedCatalogService::FindSubstitutes(
       partial = true;
       continue;
     }
-    ReaderLock lock(shard.mu);
+    // Lock-free: the live pointer is stable-or-retired (a concurrent
+    // scrub swap retires the old service, never destroys it), and the
+    // service synchronizes the probe internally via its snapshot pin.
+    MatchingService* service = shard.live.load(std::memory_order_acquire);
     // The caller's context is reused serially, so the budget accrues
     // across shards exactly as it does across candidates in one shard.
-    std::vector<Substitute> subs = shard.service->FindSubstitutes(query, ctx);
+    std::vector<Substitute> subs = service->FindSubstitutes(query, ctx);
     for (Substitute& sub : subs) {
       sub.view_id = GlobalId(idx, sub.view_id);
       // Keep fresh substitutes ahead of tolerated-stale ones *globally*
@@ -278,8 +316,8 @@ std::optional<UnionSubstitute> ShardedCatalogService::FindUnionSubstitute(
       continue;
     }
     if (!result.has_value()) {
-      ReaderLock lock(shard.mu);
-      result = shard.service->FindUnionSubstitute(query, ctx);
+      MatchingService* service = shard.live.load(std::memory_order_acquire);
+      result = service->FindUnionSubstitute(query, ctx);
       if (result.has_value()) {
         for (Substitute& leg : result->legs) {
           leg.view_id = GlobalId(idx, leg.view_id);
@@ -298,11 +336,13 @@ std::optional<UnionSubstitute> ShardedCatalogService::FindUnionSubstitute(
 
 const ViewDefinition& ShardedCatalogService::ResolveView(ViewId id) const {
   const Shard& shard = *shards_[static_cast<size_t>(ShardOfId(id))];
-  ReaderLock lock(shard.mu);
-  // The reference outlives the lock safely: view definitions live in the
-  // shard service's catalog, and replaced services are retired (kept
-  // alive), never destroyed, for this object's lifetime.
-  return shard.service->ResolveView(LocalId(id));
+  // Lock-free. The returned reference stays valid indefinitely: view
+  // definitions are shared across the service's snapshot generations,
+  // and replaced shard services are retired (kept alive), never
+  // destroyed, for this object's lifetime.
+  const MatchingService* service =
+      shard.live.load(std::memory_order_acquire);
+  return service->ResolveView(LocalId(id));
 }
 
 bool ShardedCatalogService::AnyRoutedUnhealthy(const SpjgQuery& query) const {
@@ -451,9 +491,12 @@ void ShardedCatalogService::Readmit(int shard_idx,
   std::unique_ptr<MatchingService> old;
   {
     Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
-    WriterLock lock(shard.mu);
+    MutexLock lock(shard.writer_mu);
     old = std::move(shard.service);
     shard.service = std::move(fresh);
+    // Publish for probes before flipping health: a probe that sees
+    // kHealthy must find the replacement, never the retired service.
+    shard.live.store(shard.service.get(), std::memory_order_release);
   }
   shards_[static_cast<size_t>(shard_idx)]->health.store(
       ShardHealth::kHealthy, std::memory_order_release);
@@ -478,7 +521,7 @@ int ShardedCatalogService::CheckpointAll() {
     }
     try {
       MVOPT_FAILPOINT("catalog_shard.checkpoint");
-      ReaderLock lock(shard.mu);
+      MutexLock lock(shard.writer_mu);
       shard.service->Checkpoint();
       ++checkpointed;
     } catch (const StoreIoError&) {
@@ -563,14 +606,10 @@ int ShardedCatalogService::ScrubTick() {
       ShardAdmin& admin = admin_[i];
       admin.cause = cause;
       admin.detail = detail;
-      int window = admin.backoff_window > 0
-                       ? admin.backoff_window * 2
-                       : options_.scrub_backoff_initial_ticks;
-      if (window > options_.scrub_backoff_max_ticks) {
-        window = options_.scrub_backoff_max_ticks;
-      }
-      admin.backoff_window = window;
-      admin.backoff_remaining = window;
+      admin.backoff_window = NextScrubBackoffWindow(
+          admin.backoff_window, options_.scrub_backoff_initial_ticks,
+          options_.scrub_backoff_max_ticks);
+      admin.backoff_remaining = admin.backoff_window;
       continue;
     }
     Readmit(static_cast<int>(i), std::move(fresh));
@@ -579,7 +618,7 @@ int ShardedCatalogService::ScrubTick() {
     if (shard.store != nullptr) {
       try {
         MVOPT_FAILPOINT("catalog_shard.scrub_checkpoint");
-        ReaderLock lock(shard.mu);
+        MutexLock lock(shard.writer_mu);
         shard.service->Checkpoint();
         if (metrics_.scrub_repairs != nullptr) {
           metrics_.scrub_repairs->Increment();
@@ -601,6 +640,18 @@ void ShardedCatalogService::ForceQuarantine(int shard,
   Quarantine(shard, cause, detail);
 }
 
+int ShardedCatalogService::NextScrubBackoffWindow(int current,
+                                                  int initial_ticks,
+                                                  int max_ticks) {
+  if (max_ticks < 1) max_ticks = 1;
+  if (initial_ticks < 1) initial_ticks = 1;
+  if (initial_ticks > max_ticks) initial_ticks = max_ticks;
+  if (current <= 0) return initial_ticks;
+  if (current > max_ticks / 2) return max_ticks;  // doubling would exceed
+                                                  // max (or overflow int)
+  return current * 2;
+}
+
 // --- lifecycle forwarding ------------------------------------------------
 
 void ShardedCatalogService::set_epoch_clock(const TableEpochClock* clock) {
@@ -611,7 +662,7 @@ void ShardedCatalogService::set_epoch_clock(const TableEpochClock* clock) {
   // admin_mu_ is released before touching shard services (lock-order
   // rule: admin_mu_ is never held across a shard-service call).
   for (auto& shard : shards_) {
-    ReaderLock lock(shard->mu);
+    MutexLock lock(shard->writer_mu);
     shard->service->set_epoch_clock(clock);
   }
 }
@@ -624,7 +675,7 @@ int ShardedCatalogService::RevalidationTickAll(
         ShardHealth::kHealthy) {
       continue;
     }
-    ReaderLock lock(shard->mu);
+    MutexLock lock(shard->writer_mu);
     readmitted += shard->service->RevalidationTick(validate);
   }
   return readmitted;
@@ -633,8 +684,11 @@ int ShardedCatalogService::RevalidationTickAll(
 MatchingStats ShardedCatalogService::stats() const {
   MatchingStats total;
   for (const auto& shard : shards_) {
-    ReaderLock lock(shard->mu);
-    total.MergeFrom(shard->service->stats());
+    // Lock-free read side: the service's stats() is internally
+    // probe-atomic, and a racing scrub swap at worst reports the retired
+    // generation's counters (which the swap resets anyway).
+    total.MergeFrom(
+        shard->live.load(std::memory_order_acquire)->stats());
   }
   return total;
 }
@@ -642,8 +696,8 @@ MatchingStats ShardedCatalogService::stats() const {
 VerifyStats ShardedCatalogService::verify_stats() const {
   VerifyStats total;
   for (const auto& shard : shards_) {
-    ReaderLock lock(shard->mu);
-    const VerifyStats s = shard->service->verify_stats();
+    const VerifyStats s =
+        shard->live.load(std::memory_order_acquire)->verify_stats();
     total.checked += s.checked;
     total.proven += s.proven;
     total.rejected += s.rejected;

@@ -29,12 +29,20 @@
 // substitutes before tolerated-stale ones globally — the same order
 // contract a single MatchingService keeps.
 //
-// Lock protocol: each shard's `service` pointer is guarded by the
-// shard's own SharedMutex (readers: probes, AddView delegation, resolve;
-// writer: the recovery/scrub swap). Scrub-retired services are kept
-// alive on retired_ for the service's lifetime so ResolveView references
-// handed out before a swap stay valid. admin_mu_ guards the scrub /
-// quarantine bookkeeping and is never held across a shard-service call.
+// Lock protocol (DESIGN.md §15): probes are lock-free at this layer
+// too. Each shard publishes its current MatchingService through an
+// atomic `live` pointer; probes (FindSubstitutes / FindUnionSubstitute /
+// ResolveView / stats) load it with acquire and call straight through —
+// the pointed-to service synchronizes probes internally with its own
+// snapshot pin, so the probe path acquires zero shared locks end to
+// end. Writers (AddView delegation, recovery/scrub swap, checkpoint,
+// revalidation) serialize on the shard's writer mutex, which guards the
+// owning `service` unique_ptr; a swap publishes the replacement into
+// `live` before flipping health. Scrub-retired services are kept alive
+// on retired_ for the service's lifetime, so a probe that loaded `live`
+// just before a swap (or a ResolveView reference handed out long ago)
+// never dangles. admin_mu_ guards the scrub / quarantine bookkeeping
+// and is never held across a shard-service call.
 //
 // Failpoint sites (common/failpoint.h; crash-killed at every one by
 // tools/ci/run_crash_recovery.sh):
@@ -215,7 +223,10 @@ class ShardedCatalogService : public SubstituteSource {
   /// the composite global id, or kInvalidViewId with *error set. Fails
   /// (rather than silently rehoming) when the owning shard is
   /// quarantined: a view registered elsewhere would violate the routing
-  /// invariant and become unreachable after readmission.
+  /// invariant and become unreachable after readmission. Also fails —
+  /// before touching the shard — when the composite id the registration
+  /// would produce does not fit the ViewId type (ComposeGlobalId), so
+  /// the id codec can never silently wrap near the id-type max.
   ViewId AddView(const std::string& name, SpjgQuery definition,
                  std::string* error = nullptr);
 
@@ -267,6 +278,17 @@ class ShardedCatalogService : public SubstituteSource {
   void ForceQuarantine(int shard, ShardQuarantineCause cause,
                        const std::string& detail);
 
+  /// Next circuit-breaker window after a failed repair attempt: doubles
+  /// the current window within [initial_ticks, max_ticks]. Clamps
+  /// *before* doubling, so the progression saturates at max_ticks
+  /// instead of overflowing int — under the old multiply-then-clamp a
+  /// long run of consecutive failures with a large configured max would
+  /// shift the window past INT_MAX into undefined behavior (in practice
+  /// a negative window, which disables the backoff entirely). Pure;
+  /// exposed for the regression test in tests/shard_test.cc.
+  static int NextScrubBackoffWindow(int current, int initial_ticks,
+                                    int max_ticks);
+
   // --- routing / health ---------------------------------------------------
 
   const ShardRouter& router() const { return router_; }
@@ -301,6 +323,11 @@ class ShardedCatalogService : public SubstituteSource {
 
   // --- id codec -----------------------------------------------------------
 
+  /// Checked composition: nullopt when local * num_shards + shard would
+  /// exceed the ViewId range. AddView rejects a registration whose id
+  /// would not compose, so GlobalId below never wraps in practice.
+  std::optional<ViewId> ComposeGlobalId(int shard, ViewId local) const;
+
   ViewId GlobalId(int shard, ViewId local) const {
     return local * static_cast<ViewId>(shards_.size()) +
            static_cast<ViewId>(shard);
@@ -314,11 +341,13 @@ class ShardedCatalogService : public SubstituteSource {
 
   // --- test accessors (single-threaded use only) --------------------------
 
-  /// The shard's live service / store. Hand-out-a-reference contract as
-  /// MatchingService::views(): not for use concurrently with recovery or
-  /// scrub swaps.
-  MatchingService& shard_service(int shard) MVOPT_NO_THREAD_SAFETY_ANALYSIS {
-    return *shards_[static_cast<size_t>(shard)]->service;
+  /// The shard's live service / store. Reads the atomic live pointer, so
+  /// it is safe from any thread; the reference stays valid across scrub
+  /// swaps (retired services are kept alive for this object's lifetime),
+  /// though after a swap it names the replaced generation.
+  MatchingService& shard_service(int shard) {
+    return *shards_[static_cast<size_t>(shard)]->live.load(
+        std::memory_order_acquire);
   }
   CatalogStore* shard_store(int shard) {
     return shards_[static_cast<size_t>(shard)]->store.get();
@@ -326,11 +355,18 @@ class ShardedCatalogService : public SubstituteSource {
 
  private:
   struct Shard {
-    /// Guards the service pointer against the recovery/scrub swap.
-    /// Probes and registrations hold it shared for the duration of the
-    /// delegated call; the swap holds it exclusive.
-    mutable SharedMutex mu;
-    std::unique_ptr<MatchingService> service MVOPT_GUARDED_BY(mu);
+    /// Serializes writers: AddView delegation, the recovery/scrub swap,
+    /// checkpoint and revalidation. Probes never take it — they go
+    /// through the atomic `live` pointer below.
+    mutable Mutex writer_mu;
+    /// The owning pointer (current generation). Written only under
+    /// writer_mu; probes must not touch it.
+    std::unique_ptr<MatchingService> service MVOPT_GUARDED_BY(writer_mu);
+    /// Lock-free probe access to the current service. Always equals
+    /// service.get() after construction; a swap stores the replacement
+    /// here (release) before flipping health. Loading a stale value is
+    /// benign: replaced services are retired, never destroyed.
+    std::atomic<MatchingService*> live{nullptr};
     /// Stable address, internally synchronized; null when dir is empty.
     std::unique_ptr<CatalogStore> store;
     std::atomic<ShardHealth> health{ShardHealth::kHealthy};

@@ -81,6 +81,44 @@ TEST(TokenBucketTest, NoRefillReportsUnboundedRetryAfter) {
   EXPECT_TRUE(std::isinf(retry_after));
 }
 
+TEST(TokenBucketTest, SubWholeCapacityNeverPromisesAToken) {
+  // Regression: capacity < 1 with a positive refill rate used to yield a
+  // finite hint ((1 - tokens)/rate), but refills clamp at capacity, so
+  // the bucket can never actually reach one token — the finite hint sent
+  // clients into a retry loop that could never succeed. The honest hint
+  // is infinity (callers clamp it to their retry ceiling).
+  const Clock::time_point t0{};
+  TokenBucket bucket({/*capacity=*/0.5, /*refill_per_second=*/100}, t0);
+  double retry_after = 0;
+  EXPECT_FALSE(bucket.TryAcquire(t0, &retry_after));
+  EXPECT_TRUE(std::isinf(retry_after));
+  // Even after arbitrarily long refill the verdict must not change.
+  EXPECT_FALSE(bucket.TryAcquire(t0 + std::chrono::hours(24), &retry_after));
+  EXPECT_TRUE(std::isinf(retry_after));
+  // A whole-token capacity with the same rate keeps its finite hint.
+  TokenBucket whole({/*capacity=*/1, /*refill_per_second=*/100}, t0);
+  EXPECT_TRUE(whole.TryAcquire(t0, nullptr));
+  EXPECT_FALSE(whole.TryAcquire(t0, &retry_after));
+  EXPECT_TRUE(std::isfinite(retry_after));
+  EXPECT_NEAR(retry_after, 0.01, 1e-12);
+}
+
+TEST(TokenBucketTest, RefundNeverExceedsCapacity) {
+  const Clock::time_point t0{};
+  // Fractional capacity: a refund into a non-empty bucket must clamp at
+  // capacity, not accumulate a phantom burst beyond it.
+  TokenBucket bucket({/*capacity=*/1.5, /*refill_per_second=*/1}, t0);
+  EXPECT_TRUE(bucket.TryAcquire(t0, nullptr));  // 1.5 -> 0.5
+  bucket.Refund();                              // 0.5 -> 1.5 (capacity)
+  EXPECT_DOUBLE_EQ(bucket.tokens(t0), 1.5);
+  bucket.Refund();  // already full: stays clamped
+  bucket.Refund();
+  EXPECT_DOUBLE_EQ(bucket.tokens(t0), 1.5);
+  // Exactly one acquire is available again, not the phantom ones.
+  EXPECT_TRUE(bucket.TryAcquire(t0, nullptr));
+  EXPECT_FALSE(bucket.TryAcquire(t0, nullptr));
+}
+
 TEST(TokenBucketTest, RefundAndReconfigureClampToCapacity) {
   const Clock::time_point t0{};
   TokenBucket bucket({/*capacity=*/2, /*refill_per_second=*/0}, t0);
@@ -309,6 +347,26 @@ TEST_F(ServingTest, AdmitsAndAnswersEveryQueryWhenUnloaded) {
   EXPECT_EQ(stats.outcomes[0], stats.submitted);  // all admitted
   EXPECT_EQ(stats.completions[0], stats.submitted);
   EXPECT_EQ(stats.duplicate_publishes, 0);
+}
+
+TEST_F(ServingTest, RetryAfterIsPositiveBeforeEwmaSeeds) {
+  // Regression: before the EWMA has its first execution sample the
+  // backlog estimate falls back to default_exec_seconds_estimate; with
+  // that knob (and the clamp minimum) configured to zero, a retryable
+  // shed used to carry retry_after == 0 — "retry immediately", the
+  // opposite of backpressure. The estimate now floors at a positive
+  // value regardless of configuration.
+  ServingOptions options;
+  options.queue_capacity = 0;               // every submission sheds
+  options.default_exec_seconds_estimate = 0;  // misconfigured estimate
+  options.min_retry_after_seconds = 0;        // clamp cannot repair it
+  ServingService service(&catalog_, matching_.get(), options);
+  const ServeResult result = service.Submit(Request(0))->Wait();
+  ASSERT_EQ(result.outcome, AdmissionOutcome::kShedQueueFull);
+  ASSERT_TRUE(IsRetryableOutcome(result.outcome));
+  EXPECT_GT(result.retry_after_seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(result.retry_after_seconds));
+  service.Drain();
 }
 
 TEST_F(ServingTest, QueueCapacityZeroShedsEverySubmission) {

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -448,6 +449,75 @@ TEST_F(ShardTest, ScrubBackoffDoublesUntilTheRotIsGone) {
   EXPECT_EQ(reborn.shard_health(victim), ShardHealth::kHealthy);
   EXPECT_EQ(registry.CounterValue("mvopt_shard_readmissions_total"),
             std::optional<int64_t>(1));
+}
+
+// ---------------------------------------------------------------------
+// Scrub backoff arithmetic: the window doubles, saturates at the
+// configured max, and never overflows int however many consecutive
+// failures accumulate. Regression: the original multiply-then-clamp
+// doubled first, so a long failure run with a large configured max
+// shifted the window past INT_MAX (signed overflow; in practice a
+// negative window that disabled the breaker).
+// ---------------------------------------------------------------------
+
+TEST_F(ShardTest, ScrubBackoffWindowSaturatesWithoutOverflow) {
+  using S = ShardedCatalogService;
+  // Plain doubling within the window.
+  EXPECT_EQ(S::NextScrubBackoffWindow(0, 1, 64), 1);
+  EXPECT_EQ(S::NextScrubBackoffWindow(1, 1, 64), 2);
+  EXPECT_EQ(S::NextScrubBackoffWindow(2, 1, 64), 4);
+  EXPECT_EQ(S::NextScrubBackoffWindow(32, 1, 64), 64);
+  // Saturation: at max it stays at max.
+  EXPECT_EQ(S::NextScrubBackoffWindow(64, 1, 64), 64);
+  // Doubling past max clamps (odd max included).
+  EXPECT_EQ(S::NextScrubBackoffWindow(40, 1, 64), 64);
+  EXPECT_EQ(S::NextScrubBackoffWindow(33, 1, 65), 65);
+  // Degenerate configs are repaired, not UB.
+  EXPECT_EQ(S::NextScrubBackoffWindow(0, 0, 0), 1);
+  EXPECT_EQ(S::NextScrubBackoffWindow(0, 100, 10), 10);
+
+  // 64 consecutive failures with the max wide open: the window must
+  // stay positive and monotone, and saturate instead of overflowing.
+  const int kMax = std::numeric_limits<int>::max();
+  int window = 0;
+  for (int failure = 0; failure < 64; ++failure) {
+    const int next = S::NextScrubBackoffWindow(window, 1, kMax);
+    ASSERT_GT(next, 0) << "failure " << failure
+                       << ": window overflowed from " << window;
+    ASSERT_GE(next, window) << "failure " << failure;
+    window = next;
+  }
+  EXPECT_EQ(window, kMax);
+}
+
+// ---------------------------------------------------------------------
+// Composite-id overflow: near the top of the ViewId range the checked
+// codec refuses to compose, and AddView rejects the registration
+// instead of handing out a wrapped (aliased) global id.
+// ---------------------------------------------------------------------
+
+TEST_F(ShardTest, ComposeGlobalIdRejectsNearIdTypeMax) {
+  ShardedCatalogService service(&catalog_, Options(5, false));
+  constexpr ViewId kMax = std::numeric_limits<ViewId>::max();
+  // In-range ids compose and round-trip.
+  const ViewId safe_local = kMax / 5 - 1;
+  auto composed = service.ComposeGlobalId(3, safe_local);
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(service.ShardOfId(*composed), 3);
+  EXPECT_EQ(service.LocalId(*composed), safe_local);
+  // The largest local id that still fits for each shard composes; one
+  // past it does not.
+  for (int shard = 0; shard < 5; ++shard) {
+    const ViewId largest = (kMax - shard) / 5;
+    EXPECT_TRUE(service.ComposeGlobalId(shard, largest).has_value())
+        << "shard " << shard;
+    EXPECT_FALSE(service.ComposeGlobalId(shard, largest + 1).has_value())
+        << "shard " << shard;
+  }
+  // Nonsense inputs are refusals, not UB.
+  EXPECT_FALSE(service.ComposeGlobalId(0, -1).has_value());
+  EXPECT_FALSE(service.ComposeGlobalId(-1, 0).has_value());
+  EXPECT_FALSE(service.ComposeGlobalId(5, 0).has_value());
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,315 @@
+// Immutable-snapshot probe path (DESIGN.md §15): EpochDomain unit
+// semantics, snapshot publication/reclamation bookkeeping, and the
+// cross-check the refactor is held to — probe results, ordering and
+// stats byte-identical between ProbeMode::kSnapshot (lock-free, pinned
+// snapshot) and ProbeMode::kReaderLock (the pre-snapshot shared-lock
+// discipline).
+
+#include <atomic>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/epoch_reclaim.h"
+#include "common/failpoint.h"
+#include "common/query_context.h"
+#include "index/matching_service.h"
+#include "tpch/schema.h"
+#include "tpch/workload.h"
+
+namespace mvopt {
+namespace {
+
+// ---------------------------------------------------------------------
+// EpochDomain.
+// ---------------------------------------------------------------------
+
+/// Deletion-observable payload for reclamation tests.
+struct Tracked {
+  explicit Tracked(std::atomic<int>* freed) : freed_(freed) {}
+  ~Tracked() { freed_->fetch_add(1); }
+  std::atomic<int>* freed_;
+};
+
+TEST(EpochDomainTest, RetireWithoutPinsFreesImmediately) {
+  std::atomic<int> freed{0};
+  EpochDomain domain;
+  domain.Retire(new Tracked(&freed));
+  // Retire runs an opportunistic reclaim; with no pin active the object
+  // must not linger.
+  EXPECT_EQ(freed.load(), 1);
+  EXPECT_EQ(domain.retired_count(), 0);
+}
+
+TEST(EpochDomainTest, ActivePinBlocksReclamationUntilUnpin) {
+  std::atomic<int> freed{0};
+  EpochDomain domain;
+  {
+    EpochPin pin(domain);
+    domain.Retire(new Tracked(&freed));
+    domain.Retire(new Tracked(&freed));
+    EXPECT_EQ(freed.load(), 0) << "freed while a pin could reference it";
+    EXPECT_EQ(domain.retired_count(), 2);
+    EXPECT_EQ(domain.TryReclaim(), 0u);
+  }
+  // Pin released: everything retired under it is now reclaimable.
+  EXPECT_EQ(domain.TryReclaim(), 2u);
+  EXPECT_EQ(freed.load(), 2);
+  EXPECT_EQ(domain.retired_count(), 0);
+}
+
+TEST(EpochDomainTest, PinTakenAfterRetireDoesNotResurrectTheBlock) {
+  // A pin taken AFTER a retirement holds a newer epoch, so it must not
+  // keep that older retired object alive.
+  std::atomic<int> freed{0};
+  EpochDomain domain;
+  {
+    EpochPin earlier(domain);
+    domain.Retire(new Tracked(&freed));
+    EXPECT_EQ(freed.load(), 0);
+    {
+      EpochPin later(domain);
+      earlier.Unpin();
+      // Only the newer pin remains; its epoch is past the stamp.
+      EXPECT_EQ(domain.TryReclaim(), 1u);
+      EXPECT_EQ(freed.load(), 1);
+    }
+  }
+}
+
+TEST(EpochDomainTest, EpochAdvancesOncePerRetirement) {
+  EpochDomain domain;
+  const uint64_t before = domain.current_epoch();
+  std::atomic<int> freed{0};
+  domain.Retire(new Tracked(&freed));
+  domain.Retire(new Tracked(&freed));
+  EXPECT_EQ(domain.current_epoch(), before + 2);
+}
+
+TEST(EpochDomainTest, DestructorDrainsEverythingStillRetired) {
+  std::atomic<int> freed{0};
+  {
+    EpochDomain domain;
+    {
+      EpochPin pin(domain);
+      domain.Retire(new Tracked(&freed));
+    }
+    // No TryReclaim after the unpin: the destructor must drain.
+    EXPECT_EQ(freed.load(), 0);
+  }
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochDomainTest, ScopedPinEarlyUnpinReleasesTheSlot) {
+  EpochDomain domain;
+  std::atomic<int> freed{0};
+  EpochPin pin(domain);
+  pin.Unpin();
+  domain.Retire(new Tracked(&freed));
+  EXPECT_EQ(freed.load(), 1) << "early Unpin left the slot pinned";
+}
+
+// ---------------------------------------------------------------------
+// MatchingService snapshot lifecycle.
+// ---------------------------------------------------------------------
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() : schema_(tpch::BuildSchema(&catalog_, 0.5)) {
+    tpch::WorkloadGenerator view_gen(&catalog_, 31);
+    for (int i = 0; i < 24; ++i) view_defs_.push_back(view_gen.GenerateView());
+    tpch::WorkloadGenerator query_gen(&catalog_, 31 + 555);
+    for (int i = 0; i < 20; ++i) queries_.push_back(query_gen.GenerateQuery());
+    // Half the queries double as views so substitution definitely fires.
+    for (size_t i = 0; i < queries_.size(); i += 2) {
+      view_defs_.push_back(queries_[i]);
+    }
+  }
+
+  void TearDown() override { FailpointRegistry::Instance().DisableAll(); }
+
+  void SeedViews(MatchingService* service) {
+    std::string error;
+    for (size_t i = 0; i < view_defs_.size(); ++i) {
+      ASSERT_NE(service->AddView("v" + std::to_string(i), view_defs_[i],
+                                 &error),
+                nullptr)
+          << error;
+    }
+  }
+
+  Catalog catalog_;
+  tpch::Schema schema_;
+  std::vector<SpjgQuery> view_defs_;
+  std::vector<SpjgQuery> queries_;
+};
+
+/// Structural fingerprint of one substitute, position-sensitive: the
+/// cross-check compares sequences of these, so ordering differences
+/// between the two probe modes fail loudly.
+using SubFp = std::tuple<ViewId, uint64_t, size_t, size_t, size_t, size_t,
+                         bool>;
+
+SubFp Fingerprint(const Substitute& s) {
+  return {s.view_id,          s.staleness_lag,  s.backjoins.size(),
+          s.predicates.size(), s.outputs.size(), s.group_by.size(),
+          s.needs_aggregation};
+}
+
+std::vector<SubFp> Fingerprints(const std::vector<Substitute>& subs) {
+  std::vector<SubFp> out;
+  out.reserve(subs.size());
+  for (const Substitute& s : subs) out.push_back(Fingerprint(s));
+  return out;
+}
+
+void ExpectStatsEqual(const MatchingStats& a, const MatchingStats& b) {
+  EXPECT_EQ(a.invocations, b.invocations);
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.full_tests, b.full_tests);
+  EXPECT_EQ(a.substitutes, b.substitutes);
+  EXPECT_EQ(a.match_failures, b.match_failures);
+  EXPECT_EQ(a.budget_truncations, b.budget_truncations);
+  EXPECT_EQ(a.quarantine_skips, b.quarantine_skips);
+  EXPECT_EQ(a.stale_tolerated, b.stale_tolerated);
+  for (size_t i = 0; i < a.rejects.size(); ++i) {
+    EXPECT_EQ(a.rejects[i], b.rejects[i]) << "reject reason " << i;
+  }
+}
+
+MatchingService::Options ModeOptions(MatchingService::ProbeMode mode) {
+  MatchingService::Options options;
+  options.probe_mode = mode;
+  return options;
+}
+
+// The acceptance cross-check: identical registrations probed through
+// both modes produce byte-identical results (sequence of structural
+// fingerprints — ordering included) and byte-identical stats, for both
+// FindSubstitutes and FindUnionSubstitute, before and after lifecycle
+// transitions (quarantine + readmission).
+TEST_F(SnapshotTest, SnapshotAndReaderLockProbesAreByteIdentical) {
+  MatchingService snapshot(
+      &catalog_, ModeOptions(MatchingService::ProbeMode::kSnapshot));
+  MatchingService locked(
+      &catalog_, ModeOptions(MatchingService::ProbeMode::kReaderLock));
+  SeedViews(&snapshot);
+  SeedViews(&locked);
+
+  auto cross_check = [&] {
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      QueryContext ctx_a, ctx_b;
+      const std::vector<Substitute> a =
+          snapshot.FindSubstitutes(queries_[qi], ctx_a);
+      const std::vector<Substitute> b =
+          locked.FindSubstitutes(queries_[qi], ctx_b);
+      EXPECT_EQ(Fingerprints(a), Fingerprints(b)) << "query " << qi;
+
+      QueryContext uctx_a, uctx_b;
+      const auto ua = snapshot.FindUnionSubstitute(queries_[qi], uctx_a);
+      const auto ub = locked.FindUnionSubstitute(queries_[qi], uctx_b);
+      ASSERT_EQ(ua.has_value(), ub.has_value()) << "query " << qi;
+      if (ua.has_value()) {
+        EXPECT_EQ(Fingerprints(ua->legs), Fingerprints(ub->legs))
+            << "query " << qi;
+      }
+    }
+    ExpectStatsEqual(snapshot.stats(), locked.stats());
+  };
+
+  cross_check();
+
+  // Lifecycle transition on both sides: sideline one view, re-check,
+  // readmit, re-check. The snapshot path republished twice; the
+  // reader-lock path mutated the same published structures — results
+  // must stay indistinguishable throughout.
+  ASSERT_TRUE(snapshot.ReportChecksumMismatch(1));
+  ASSERT_TRUE(locked.ReportChecksumMismatch(1));
+  snapshot.ResetStats();
+  locked.ResetStats();
+  cross_check();
+
+  ASSERT_TRUE(snapshot.ReadmitView(1));
+  ASSERT_TRUE(locked.ReadmitView(1));
+  snapshot.ResetStats();
+  locked.ResetStats();
+  cross_check();
+}
+
+TEST_F(SnapshotTest, VersionBumpsOnWritesNotProbes) {
+  MatchingService service(&catalog_);
+  EXPECT_EQ(service.snapshot_version(), 0u);
+  std::string error;
+  ASSERT_NE(service.AddView("v0", view_defs_[0], &error), nullptr) << error;
+  EXPECT_EQ(service.snapshot_version(), 1u);
+  ASSERT_NE(service.AddView("v1", view_defs_[1], &error), nullptr) << error;
+  EXPECT_EQ(service.snapshot_version(), 2u);
+
+  // Probes never publish.
+  for (const SpjgQuery& q : queries_) service.FindSubstitutes(q);
+  EXPECT_EQ(service.snapshot_version(), 2u);
+
+  // A quiet revalidation tick (nothing sidelined) skips the clone.
+  service.RevalidationTick([](const ViewDefinition&) { return true; });
+  EXPECT_EQ(service.snapshot_version(), 2u);
+
+  // Quarantine entry via checksum breaker republishes (tree compaction);
+  // readmission republishes again (tree re-insertion).
+  ASSERT_TRUE(service.ReportChecksumMismatch(0));
+  EXPECT_EQ(service.snapshot_version(), 3u);
+  ASSERT_TRUE(service.ReadmitView(0));
+  EXPECT_EQ(service.snapshot_version(), 4u);
+}
+
+TEST_F(SnapshotTest, RetiredSnapshotsReclaimWhenNoProbeIsPinned) {
+  MatchingService service(&catalog_);
+  SeedViews(&service);
+  // Every publication retired a predecessor; with no concurrent pins the
+  // opportunistic reclaim inside publication frees them as it goes.
+  EXPECT_EQ(service.retired_snapshots(), 0);
+}
+
+TEST_F(SnapshotTest, ResolveViewReferencesSurviveRepublication) {
+  MatchingService service(&catalog_);
+  std::string error;
+  ASSERT_NE(service.AddView("stable", view_defs_[0], &error), nullptr)
+      << error;
+  const ViewDefinition& ref = service.ResolveView(0);
+  EXPECT_EQ(ref.name(), "stable");
+  // Retire many generations under the reference.
+  for (int i = 1; i < 12; ++i) {
+    ASSERT_NE(service.AddView("v" + std::to_string(i), view_defs_[i], &error),
+              nullptr)
+        << error;
+  }
+  // Definitions are shared across generations: the old reference still
+  // names the same object even though its snapshot is long reclaimed.
+  EXPECT_EQ(ref.name(), "stable");
+  EXPECT_EQ(&service.ResolveView(0), &ref);
+}
+
+TEST_F(SnapshotTest, FailedAddViewDiscardsTheCloneNotTheSnapshot) {
+  MatchingService service(&catalog_);
+  std::string error;
+  ASSERT_NE(service.AddView("v0", view_defs_[0], &error), nullptr) << error;
+  const uint64_t version = service.snapshot_version();
+
+  FailpointRegistry::Instance().Enable("view_catalog.describe");
+  EXPECT_EQ(service.AddView("victim", view_defs_[1], &error), nullptr);
+  EXPECT_NE(error.find("rolled back"), std::string::npos);
+  // The failure happened on the unpublished clone: nothing republished,
+  // nothing retired, no partial state visible.
+  EXPECT_EQ(service.snapshot_version(), version);
+  EXPECT_EQ(service.views().num_views(), 1);
+  EXPECT_EQ(service.views().FindView("victim"), nullptr);
+
+  // The site fired its single shot; the retry goes through and publishes.
+  ASSERT_NE(service.AddView("victim", view_defs_[1], &error), nullptr)
+      << error;
+  EXPECT_EQ(service.snapshot_version(), version + 1);
+}
+
+}  // namespace
+}  // namespace mvopt

@@ -30,7 +30,8 @@ base_flags=(-std=c++20 -fsyntax-only -I "${repo_root}/src")
 gate_flags=(-Wthread-safety -Wthread-safety-beta
             -Werror=thread-safety -Werror=thread-safety-beta)
 
-violations=(unlocked_read missing_unlock lock_order_inversion)
+violations=(unlocked_read missing_unlock lock_order_inversion
+            pinned_snapshot_escape)
 failed=0
 
 report() {  # case status detail

@@ -1,0 +1,42 @@
+// Negative-compile case: touching a pinned snapshot after the pin was
+// released. The snapshot accessor requires the epoch-domain capability
+// (shared), which EpochPin::Unpin releases — so the second access is a
+// use of a possibly-reclaimed snapshot and Clang's analysis must reject
+// it. Without the gate the annotations fold away and this is plain C++.
+// This is the annotation pattern MatchingService::PinnedSnapshot uses;
+// the toy mirrors it so the gate's coverage of the idiom is pinned down
+// independently of the real service.
+
+#include "common/epoch_reclaim.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Snapshot {
+  int version = 0;
+};
+
+class Service {
+ public:
+  /// Requires an active pin: the reference is only safe while the
+  /// calling probe holds the epoch-domain capability.
+  const Snapshot* Pinned() const MVOPT_REQUIRES_SHARED(domain_) {
+    return &snap_;
+  }
+
+  mutable mvopt::EpochDomain domain_;
+
+ private:
+  Snapshot snap_;
+};
+
+}  // namespace
+
+int main() {
+  Service service;
+  mvopt::EpochPin pin(service.domain_);
+  const int pinned_version = service.Pinned()->version;  // OK: pin held
+  pin.Unpin();
+  // BAD: the pin is gone — the snapshot may be reclaimed under us.
+  return pinned_version + service.Pinned()->version;
+}

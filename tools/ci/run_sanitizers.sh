@@ -42,11 +42,14 @@ run_thread() {
   echo "=== thread: build ==="
   cmake --build "${build_dir}" \
     --target concurrency_stress_test pipeline_stress_test \
-             serving_chaos_test shard_chaos_test -j "${jobs}"
+             snapshot_stress_test serving_chaos_test shard_chaos_test \
+             -j "${jobs}"
   echo "=== thread: test ==="
   # TSan only pays off on the multi-threaded suites (the `stress` ctest
   # label): catalog concurrency, the parallel match-stage pipeline
   # (probes sharing one ThreadPool while AddView proceeds), the
+  # lock-free snapshot probe path (probes pinned on snapshots being
+  # retired by concurrent publication and lifecycle flaps), the
   # serving chaos soak (tenant threads racing admission, quota flips,
   # failpoint faults, and drain), and the sharded-catalog chaos soak
   # (probes and AddView racing quarantine, scrub readmission and

@@ -9,13 +9,16 @@
 // cross-checks that every worker count produces the identical substitute
 // total — the determinism contract, observed from the outside.
 //
-// Knobs: MVOPT_BENCH_QUERIES / MVOPT_BENCH_VIEWS / MVOPT_BENCH_STEP
-// (bench/harness.h). Output: results/pipeline_scaling.txt via stdout.
+// Output: JSON document on stdout (committed as
+// results/pipeline_scaling.json; see bench/bench_report.h), progress on
+// stderr. Knobs: MVOPT_BENCH_QUERIES / MVOPT_BENCH_VIEWS /
+// MVOPT_BENCH_STEP (bench/harness.h).
 
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "bench/harness.h"
 #include "common/query_context.h"
 #include "common/thread_pool.h"
@@ -29,17 +32,17 @@ int main() {
   const std::vector<int> worker_counts = {0, 1, 2, 4, 8};
   const unsigned hw = std::thread::hardware_concurrency();
 
-  std::printf("# Pipeline scaling: FindSubstitutes wall clock vs match-stage "
-              "workers\n");
-  std::printf("# %d queries per point; workers=0 is the serial pipeline "
-              "(baseline)\n", config.num_queries);
-  std::printf("# hardware threads: %u%s\n", hw,
-              hw <= 1 ? "  (single-core host: the sweep degenerates to an "
-                        "overhead measurement; speedup > 1 requires real "
-                        "cores)"
-                      : "");
-  std::printf("%-8s %-8s %-8s %12s %10s %12s\n", "views", "filter", "workers",
-              "seconds", "speedup", "substitutes");
+  JsonReport report("pipeline_scaling");
+  char caveat[256];
+  std::snprintf(caveat, sizeof(caveat),
+                "measured on a host with %u hardware threads; workers > %u "
+                "oversubscribe, and on a single-core host the sweep "
+                "degenerates to an overhead measurement (speedup > 1 "
+                "requires real cores)",
+                hw, hw);
+  report.Caveat(caveat);
+  report.Meta("queries_per_point", config.num_queries);
+  report.Meta("serial_baseline_workers", 0);
 
   for (int n : config.ViewCounts()) {
     if (n == 0) continue;
@@ -73,11 +76,19 @@ int main() {
                        static_cast<long long>(baseline_subs));
           return 1;
         }
-        std::printf("%-8d %-8s %-8d %12.3f %10.2f %12lld\n", n,
-                    use_filter_tree ? "on" : "off", workers, seconds,
-                    baseline / seconds, static_cast<long long>(substitutes));
+        report.BeginRow();
+        report.Field("views", n);
+        report.Field("filter", use_filter_tree ? "on" : "off");
+        report.Field("workers", workers);
+        report.Field("seconds", seconds);
+        report.Field("speedup", baseline / seconds);
+        report.Field("substitutes", substitutes);
+        report.EndRow();
+        std::fprintf(stderr, "views=%-5d filter=%-3s workers=%d  %8.3fs\n", n,
+                     use_filter_tree ? "on" : "off", workers, seconds);
       }
     }
   }
+  report.Finish();
   return 0;
 }

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "bench/harness.h"
 #include "common/query_context.h"
 
@@ -36,21 +37,21 @@ int main() {
 
   Workload workload(num_views, num_queries);
 
-  std::printf("{\n");
-  std::printf("  \"bench\": \"snapshot_scaling\",\n");
-  std::printf("  \"host_hw_threads\": %u,\n", hw);
-  std::printf("  \"caveat\": \"probes/sec measured on a host with %u "
-              "hardware threads; points with threads > %u oversubscribe "
-              "and measure scheduling, not synchronization scaling\",\n",
-              hw, hw);
-  std::printf("  \"views\": %d,\n", num_views);
-  std::printf("  \"queries\": %d,\n", num_queries);
-  std::printf("  \"rounds_per_thread\": %d,\n", rounds);
-  std::printf("  \"probe_path_shared_lock_acquisitions\": "
-              "{ \"reader_lock\": \"one per probe\", \"snapshot\": 0 },\n");
-  std::printf("  \"results\": [\n");
+  JsonReport report("snapshot_scaling");
+  char caveat[256];
+  std::snprintf(caveat, sizeof(caveat),
+                "probes/sec measured on a host with %u hardware threads; "
+                "points with threads > %u oversubscribe and measure "
+                "scheduling, not synchronization scaling",
+                hw, hw);
+  report.Caveat(caveat);
+  report.Meta("views", num_views);
+  report.Meta("queries", num_queries);
+  report.Meta("rounds_per_thread", rounds);
+  report.Meta("probe_path_shared_lock_acquisitions_reader_lock",
+              "one per probe");
+  report.Meta("probe_path_shared_lock_acquisitions_snapshot", 0);
 
-  bool first = true;
   for (auto mode : {MatchingService::ProbeMode::kReaderLock,
                     MatchingService::ProbeMode::kSnapshot}) {
     const bool is_snapshot = mode == MatchingService::ProbeMode::kSnapshot;
@@ -81,19 +82,19 @@ int main() {
                                  .count();
       const int64_t probes =
           static_cast<int64_t>(threads) * rounds * num_queries;
-      std::printf("%s    { \"mode\": \"%s\", \"threads\": %d, "
-                  "\"probes\": %lld, \"seconds\": %.4f, "
-                  "\"probes_per_sec\": %.0f, \"substitutes\": %lld }",
-                  first ? "" : ",\n", is_snapshot ? "snapshot" : "reader_lock",
-                  threads, static_cast<long long>(probes), seconds,
-                  probes / seconds, static_cast<long long>(substitutes.load()));
-      first = false;
-      std::fflush(stdout);
+      report.BeginRow();
+      report.Field("mode", is_snapshot ? "snapshot" : "reader_lock");
+      report.Field("threads", threads);
+      report.Field("probes", probes);
+      report.Field("seconds", seconds);
+      report.Field("probes_per_sec", probes / seconds);
+      report.Field("substitutes", substitutes.load());
+      report.EndRow();
       std::fprintf(stderr, "%-12s threads=%-3d %10.0f probes/sec\n",
                    is_snapshot ? "snapshot" : "reader_lock", threads,
                    probes / seconds);
     }
   }
-  std::printf("\n  ]\n}\n");
+  report.Finish();
   return 0;
 }

@@ -5,12 +5,17 @@
 // guaranteed self-match per view on top of the random matches — without
 // this most invocations produce nothing and the checker never runs.
 //
+// Output: JSON document on stdout (committed as
+// results/verify_overhead.json; see bench/bench_report.h), progress on
+// stderr.
+//
 // Knobs: MVOPT_BENCH_VIEWS (default 200), MVOPT_BENCH_QUERIES (default
 // 400).
 
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "bench/harness.h"
 #include "verify/rewrite_checker.h"
 
@@ -22,13 +27,15 @@ int main() {
   const int num_queries = EnvInt("MVOPT_BENCH_QUERIES", 400);
   Workload workload(num_views, num_queries);
 
-  std::printf("# Soundness-checker overhead on the matching path\n");
-  std::printf("# views=%d queries=%d (+%d self-match replays per mode)\n",
-              num_views, num_queries, num_views);
-  std::printf("%-8s %12s %10s %10s %10s %12s\n", "mode", "seconds", "subs",
-              "checked", "proven", "vs-off");
+  JsonReport report("verify_overhead");
+  report.Caveat("vs_off is a single-host wall-clock ratio; absolute "
+                "seconds are not comparable across hosts");
+  report.Meta("views", num_views);
+  report.Meta("queries", num_queries);
+  report.Meta("self_match_replays_per_mode", num_views);
 
   double baseline = -1;
+  int exit_code = 0;
   for (VerifyMode mode :
        {VerifyMode::kOff, VerifyMode::kLog, VerifyMode::kEnforce}) {
     auto service = workload.MakeService(num_views, /*use_filter_tree=*/true);
@@ -63,19 +70,28 @@ int main() {
     if (baseline < 0) baseline = seconds;
 
     const VerifyStats vs = service->verify_stats();
-    std::printf("%-8s %12.3f %10lld %10lld %10lld %11.2fx\n",
-                VerifyModeName(mode), seconds,
-                static_cast<long long>(service->stats().substitutes),
-                static_cast<long long>(vs.checked),
-                static_cast<long long>(vs.proven),
-                baseline > 0 ? seconds / baseline : 0.0);
+    report.BeginRow();
+    report.Field("mode", VerifyModeName(mode));
+    report.Field("seconds", seconds);
+    report.Field("substitutes", service->stats().substitutes);
+    report.Field("checked", vs.checked);
+    report.Field("proven", vs.proven);
+    report.Field("rejected", vs.rejected);
+    report.Field("vs_off", baseline > 0 ? seconds / baseline : 0.0);
+    report.EndRow();
+    std::fprintf(stderr, "%-8s %10.3fs  %lld checked, %lld proven\n",
+                 VerifyModeName(mode), seconds,
+                 static_cast<long long>(vs.checked),
+                 static_cast<long long>(vs.proven));
     if (vs.rejected != 0) {
-      std::printf("# WARNING: %lld rejections (expected none)\n",
-                  static_cast<long long>(vs.rejected));
+      std::fprintf(stderr, "WARNING: %lld rejections (expected none)\n",
+                   static_cast<long long>(vs.rejected));
       for (const auto& t : vs.rejection_traces) {
-        std::printf("#   %s\n", t.c_str());
+        std::fprintf(stderr, "  %s\n", t.c_str());
       }
+      exit_code = 1;
     }
   }
-  return 0;
+  report.Finish();
+  return exit_code;
 }

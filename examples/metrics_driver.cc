@@ -14,8 +14,13 @@
 //   --queries N     queries to optimize     (default MVOPT_BENCH_QUERIES
 //                                            or 200)
 //   --mode M        off | counters | full-trace   (default full-trace)
-//   --selfcheck     validate the exports and mandatory metrics; exit
-//                   nonzero on any failure (the CI metrics smoke step)
+//   --cross-check M off | log | enforce   (default off): replay every
+//                   compiled verdict against the generic oracle
+//   --selfcheck     validate the exports and mandatory metrics — among
+//                   them the two-tier accounting invariant
+//                   compiled_hits + compiled_fallbacks == full_tests and
+//                   zero cross-check mismatches; exit nonzero on any
+//                   failure (the CI metrics smoke step)
 //   --quiet         suppress the full exposition/trace dumps
 
 #include <cstdio>
@@ -37,7 +42,8 @@ int Fail(const std::string& what) {
 
 /// Mandatory families: present and non-negative (probe/optimize counters
 /// must be positive after a workload run).
-int SelfCheck(const MetricsRegistry& registry, int64_t invocations) {
+int SelfCheck(const MetricsRegistry& registry, const MatchingStats& stats) {
+  const int64_t invocations = stats.invocations;
   std::string error;
   const std::string prom = registry.WritePrometheus();
   if (!ValidatePrometheusText(prom, &error)) {
@@ -86,6 +92,29 @@ int SelfCheck(const MetricsRegistry& registry, int64_t invocations) {
   if (invocations == 0) {
     return Fail("MatchingService recorded no invocations");
   }
+  // Two-tier accounting: every candidate that reached the match stage
+  // was decided by exactly one tier, in both the service stats and the
+  // exported counters, and no compiled verdict disagreed with the
+  // oracle.
+  if (stats.compiled_hits + stats.compiled_fallbacks != stats.full_tests) {
+    return Fail("tier accounting broken: compiled_hits " +
+                std::to_string(stats.compiled_hits) + " + fallbacks " +
+                std::to_string(stats.compiled_fallbacks) + " != full_tests " +
+                std::to_string(stats.full_tests));
+  }
+  const int64_t hits =
+      registry.CounterValue("mvopt_match_compiled_hits_total").value_or(-1);
+  const int64_t fallbacks =
+      registry.CounterValue("mvopt_match_compiled_fallbacks_total")
+          .value_or(-1);
+  if (hits != stats.compiled_hits || fallbacks != stats.compiled_fallbacks) {
+    return Fail("exported tier counters disagree with the service stats");
+  }
+  if (stats.cross_check_mismatches != 0) {
+    return Fail("cross-check found " +
+                std::to_string(stats.cross_check_mismatches) +
+                " compiled/generic mismatches");
+  }
   std::printf("selfcheck OK: %zu counters, %zu histograms\n",
               registry.num_counters(), registry.num_histograms());
   return 0;
@@ -100,6 +129,7 @@ int main(int argc, char** argv) {
   int num_views = EnvInt("MVOPT_BENCH_VIEWS", 1000);
   int num_queries = EnvInt("MVOPT_BENCH_QUERIES", 200);
   ObserveMode mode = ObserveMode::kFullTrace;
+  MatchCrossCheck cross_check = MatchCrossCheck::kOff;
   bool selfcheck = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -112,6 +142,11 @@ int main(int argc, char** argv) {
       mode = std::strcmp(m, "off") == 0         ? ObserveMode::kOff
              : std::strcmp(m, "counters") == 0  ? ObserveMode::kCountersOnly
                                                 : ObserveMode::kFullTrace;
+    } else if (std::strcmp(argv[i], "--cross-check") == 0 && i + 1 < argc) {
+      const char* m = argv[++i];
+      cross_check = std::strcmp(m, "log") == 0       ? MatchCrossCheck::kLog
+                    : std::strcmp(m, "enforce") == 0 ? MatchCrossCheck::kEnforce
+                                                     : MatchCrossCheck::kOff;
     } else if (std::strcmp(argv[i], "--selfcheck") == 0) {
       selfcheck = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -119,7 +154,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--views N] [--queries N] "
-                   "[--mode off|counters|full-trace] [--selfcheck] "
+                   "[--mode off|counters|full-trace] "
+                   "[--cross-check off|log|enforce] [--selfcheck] "
                    "[--quiet]\n",
                    argv[0]);
       return 2;
@@ -134,6 +170,7 @@ int main(int argc, char** argv) {
   Workload workload(num_views, num_queries);
   MatchingService::Options sopts;
   sopts.observe = observe;
+  sopts.cross_check = cross_check;
   auto service = workload.MakeService(num_views, sopts);
 
   OptimizerOptions oopts;
@@ -197,6 +234,17 @@ int main(int argc, char** argv) {
               static_cast<long long>(plans_using_views));
   std::printf("prune ratio (candidates / (probes x views)): %.4f%%\n",
               prune_ratio * 100.0);
+  std::printf("match tiers: compiled_hits=%lld compiled_fallbacks=%lld "
+              "(hits + fallbacks == full_tests: %s) "
+              "cross_check=%s mismatches=%lld\n",
+              static_cast<long long>(stats.compiled_hits),
+              static_cast<long long>(stats.compiled_fallbacks),
+              stats.compiled_hits + stats.compiled_fallbacks ==
+                      stats.full_tests
+                  ? "yes"
+                  : "NO",
+              MatchCrossCheckName(cross_check),
+              static_cast<long long>(stats.cross_check_mismatches));
 
   if (selfcheck) {
     if (mode == ObserveMode::kOff) {
@@ -209,7 +257,7 @@ int main(int argc, char** argv) {
         !ValidateJson(sample_trace->ToJson(), &error)) {
       return Fail("trace JSON does not parse: " + error);
     }
-    return SelfCheck(registry, stats.invocations);
+    return SelfCheck(registry, stats);
   }
   return 0;
 }

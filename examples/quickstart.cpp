@@ -130,5 +130,21 @@ int main() {
   std::printf("execution: %.4fs via view, %.4fs via base tables (%.1fx)\n",
               Seconds(t0, t1), Seconds(t1, t2),
               Seconds(t1, t2) / std::max(1e-9, Seconds(t0, t1)));
-  return 0;
+
+  // 6. The two-tier match stage, observed from the outside: every
+  // candidate that reached the match stage was decided by exactly one
+  // tier — the view's compiled MatchProgram or the generic oracle.
+  const MatchingStats stats = service.stats();
+  std::printf("\nmatch tiers: %lld candidates = %lld compiled + %lld "
+              "generic-fallback (invariant %s)\n",
+              static_cast<long long>(stats.full_tests),
+              static_cast<long long>(stats.compiled_hits),
+              static_cast<long long>(stats.compiled_fallbacks),
+              stats.compiled_hits + stats.compiled_fallbacks ==
+                      stats.full_tests
+                  ? "holds"
+                  : "VIOLATED");
+  return stats.compiled_hits + stats.compiled_fallbacks == stats.full_tests
+             ? 0
+             : 1;
 }

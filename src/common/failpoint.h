@@ -103,6 +103,7 @@ inline constexpr const char* kFailpointSites[] = {
     "filter_tree.insert_leaf",            // throws mid-insert (undo path)
     "matching_service.find_substitutes",  // throws at probe entry
     "matcher.match",                      // throws per candidate
+    "match_program.compile",              // throws inside AddView/recovery
     "rewrite_checker.check",              // forces a checker rejection
     "plan_exec.execute",                  // throws at execution entry
     // Durable catalog sites (see rewrite/catalog_store.h): one between

@@ -53,6 +53,52 @@ void NoteStage(QueryContext& ctx, QueryTrace* trace, QueryTrace::Stage stage,
   ctx.NotifyStage(name, seconds);
 }
 
+bool SameExprList(const std::vector<ExprPtr>& a,
+                  const std::vector<ExprPtr>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]->Equals(*b[i])) return false;
+  }
+  return true;
+}
+
+/// Structural equality of two match verdicts, for the compiled-vs-oracle
+/// cross-check: same accept/reject and reason, and on accept the same
+/// substitute — view, compensating predicates (in order), outputs (names
+/// and expressions, in order), group-by, aggregation flag, backjoins —
+/// compared node-by-node with Expr::Equals.
+bool SameMatchVerdict(const MatchResult& a, const MatchResult& b) {
+  if (a.ok() != b.ok()) return false;
+  if (!a.ok()) return a.reason == b.reason;
+  const Substitute& x = *a.substitute;
+  const Substitute& y = *b.substitute;
+  if (x.view_id != y.view_id) return false;
+  if (x.needs_aggregation != y.needs_aggregation) return false;
+  if (x.backjoins.size() != y.backjoins.size()) return false;
+  for (size_t i = 0; i < x.backjoins.size(); ++i) {
+    if (x.backjoins[i].table != y.backjoins[i].table ||
+        x.backjoins[i].key_join != y.backjoins[i].key_join) {
+      return false;
+    }
+  }
+  if (!SameExprList(x.predicates, y.predicates)) return false;
+  if (!SameExprList(x.group_by, y.group_by)) return false;
+  if (x.outputs.size() != y.outputs.size()) return false;
+  for (size_t i = 0; i < x.outputs.size(); ++i) {
+    if (x.outputs[i].name != y.outputs[i].name ||
+        !x.outputs[i].expr->Equals(*y.outputs[i].expr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string VerdictSummary(const MatchResult& r) {
+  if (!r.ok()) return RejectReasonName(r.reason);
+  return "accept(preds=" + std::to_string(r.substitute->predicates.size()) +
+         ",outputs=" + std::to_string(r.substitute->outputs.size()) + ")";
+}
+
 }  // namespace
 
 MatchingService::MatchingService(const Catalog* catalog)
@@ -64,7 +110,8 @@ MatchingService::MatchingService(const Catalog* catalog, Options options)
       matcher_(catalog, options.match),
       checker_(catalog, options.verify),
       snapshot_(new CatalogSnapshot(catalog)),
-      verify_mode_(options.verify_mode) {
+      verify_mode_(options.verify_mode),
+      cross_check_(options.cross_check) {
   // The initial snapshot is not yet visible to any other thread, so
   // configuring its tree in place is safe; clones inherit the setting.
   snapshot_.load(std::memory_order_relaxed)
@@ -103,6 +150,22 @@ void MatchingService::RegisterMetrics() {
   metrics_.stale_tolerated = r->FindOrCreateCounter(
       "mvopt_probe_stale_tolerated_total",
       "Stale substitutes kept under a staleness tolerance");
+  metrics_.compiled_hits = r->FindOrCreateCounter(
+      "mvopt_match_compiled_hits_total",
+      "Full match tests decided by a compiled MatchProgram");
+  metrics_.compiled_fallbacks = r->FindOrCreateCounter(
+      "mvopt_match_compiled_fallbacks_total",
+      "Full match tests decided by the generic oracle (no program, "
+      "program declined, or compiled attempt failed)");
+  metrics_.cross_check_mismatches = r->FindOrCreateCounter(
+      "mvopt_match_cross_check_mismatches_total",
+      "Compiled verdicts that disagreed with the generic oracle");
+  for (int i = 0; i < kNumMatchTiers; ++i) {
+    metrics_.match_latency[i] = r->FindOrCreateHistogram(
+        "mvopt_match_latency_seconds",
+        "Per-candidate match-test wall clock, by deciding tier",
+        {{"tier", MatchTierName(static_cast<MatchTier>(i))}});
+  }
   for (int i = 0; i < kNumRejectReasons; ++i) {
     metrics_.rejects[i] = r->FindOrCreateCounter(
         "mvopt_match_rejects_total", "Match rejections by reason",
@@ -211,6 +274,15 @@ void MatchingService::CommitProbe(const ProbeDelta& delta,
   if (s.stale_tolerated != 0) {
     metrics_.stale_tolerated->Increment(s.stale_tolerated);
   }
+  if (s.compiled_hits != 0) {
+    metrics_.compiled_hits->Increment(s.compiled_hits);
+  }
+  if (s.compiled_fallbacks != 0) {
+    metrics_.compiled_fallbacks->Increment(s.compiled_fallbacks);
+  }
+  if (s.cross_check_mismatches != 0) {
+    metrics_.cross_check_mismatches->Increment(s.cross_check_mismatches);
+  }
   for (size_t i = 0; i < s.rejects.size(); ++i) {
     if (s.rejects[i] != 0) metrics_.rejects[i]->Increment(s.rejects[i]);
   }
@@ -291,6 +363,17 @@ ViewDefinition* MatchingService::AddView(const std::string& name,
     view = next->views.AddView(name, std::move(definition), error);
     if (view == nullptr) return nullptr;
     next->tree.AddView(view->id());
+    if (options_.compile_match_programs) {
+      // Compile once, here under the writer lock — the program rides the
+      // clone into publication and is shared (shared_ptr) by every later
+      // snapshot generation; the probe path never compiles. A compile
+      // failure aborts the registration like an indexing failure (the
+      // clone is discarded), keeping "registered implies tiered exactly
+      // as configured".
+      MVOPT_FAILPOINT("match_program.compile");
+      next->views.SetProgram(
+          view->id(), CompileMatchProgram(*catalog_, *view, options_.match));
+    }
     if (store_ != nullptr && store_->is_open()) {
       PersistedView image;
       image.name = view->name();
@@ -417,26 +500,72 @@ std::vector<MatchingService::MatchOutcome> MatchingService::StageMatch(
   std::vector<MatchOutcome> outcomes(gated.size());
   if (gated.empty() || ctx.exhausted()) return outcomes;
 
+  // Tier dispatch setup: the query-side context is built once per probe,
+  // and only when some gated candidate actually carries a compiled
+  // program (an all-generic catalog pays nothing). It is read-only
+  // during the stage, so the parallel path shares it across workers;
+  // each worker keeps its own scratch.
+  bool any_compiled = false;
+  for (const GatedCandidate& g : gated) {
+    if (snap.views.program(g.id) != nullptr) {
+      any_compiled = true;
+      break;
+    }
+  }
+  std::optional<MatchProbeContext> pctx;
+  if (any_compiled) {
+    pctx.emplace(BuildMatchProbeContext(*catalog_, query, options_.match));
+  }
+  // Per-candidate timing feeds the per-tier latency histograms; skipped
+  // entirely (no clock reads) when counters are off.
+  const bool timed = metrics_.match_latency[0] != nullptr;
+
+  // One candidate's match test: compiled program first (when the view
+  // has one and it reaches a verdict), generic oracle otherwise. The
+  // tier records who DECIDED — a program that declines (extra view
+  // tables needing FK elimination) or throws is a fallback.
+  auto match_one = [&](const ViewDefinition& view, MatchProgramScratch& scratch,
+                       MatchOutcome& o) {
+    const SteadyClock::time_point start =
+        timed ? SteadyClock::now() : SteadyClock::time_point{};
+    try {
+      MVOPT_FAILPOINT("matcher.match");
+      const std::shared_ptr<const MatchProgram>& program =
+          snap.views.program(view.id());
+      bool decided = false;
+      if (program != nullptr) {
+        MatchExecResult ex = ExecuteMatchProgram(*program, *pctx, scratch);
+        if (ex.status == MatchExecStatus::kDecided) {
+          o.result = std::move(ex.result);
+          o.tier = MatchTier::kCompiled;
+          decided = true;
+        }
+      }
+      if (!decided) {
+        o.result = matcher_.Match(query, view);
+        o.tier = MatchTier::kGeneric;
+      }
+      o.kind = MatchOutcome::Kind::kDone;
+    } catch (const std::exception&) {
+      // Fault isolation: one failing candidate never poisons the probe.
+      o.kind = MatchOutcome::Kind::kError;
+    }
+    if (timed) o.seconds = SecondsSince(start, SteadyClock::now());
+  };
+
   ThreadPool* pool = ctx.match_pool();
   const bool parallel =
       pool != nullptr && pool->num_workers() > 0 &&
       static_cast<int>(gated.size()) >= ctx.min_parallel_candidates();
 
   if (!parallel) {
+    MatchProgramScratch scratch;
     for (size_t i = 0; i < gated.size(); ++i) {
       if (ctx.TickDeadline()) {
         *truncated = true;
         break;  // remaining slots stay kSkipped
       }
-      MatchOutcome& o = outcomes[i];
-      try {
-        MVOPT_FAILPOINT("matcher.match");
-        o.result = matcher_.Match(query, snap.views.view(gated[i].id));
-        o.kind = MatchOutcome::Kind::kDone;
-      } catch (const std::exception&) {
-        // Fault isolation: one failing candidate never poisons the probe.
-        o.kind = MatchOutcome::Kind::kError;
-      }
+      match_one(snap.views.view(gated[i].id), scratch, outcomes[i]);
     }
     return outcomes;
   }
@@ -467,13 +596,15 @@ std::vector<MatchingService::MatchOutcome> MatchingService::StageMatch(
   // before the pin is released; workers therefore never touch service
   // state at all — only the immutable snapshot.
   const ViewCatalog& catalog_snapshot = snap.views;
-  const ViewMatcher& matcher = matcher_;
   std::vector<std::function<void()>> tasks;
   tasks.reserve(num_chunks);
   for (size_t begin = 0; begin < gated.size(); begin += chunk) {
     const size_t end = std::min(begin + chunk, gated.size());
-    tasks.emplace_back([&catalog_snapshot, &matcher, &query, &gated, &outcomes,
+    tasks.emplace_back([&catalog_snapshot, &match_one, &gated, &outcomes,
                         &stop, has_deadline, deadline, begin, end] {
+      // Worker-local scratch: match_one shares only the immutable
+      // snapshot and the read-only probe context across threads.
+      MatchProgramScratch scratch;
       for (size_t i = begin; i < end; ++i) {
         if (stop.load(std::memory_order_relaxed)) return;  // slots stay
                                                            // kSkipped
@@ -481,15 +612,7 @@ std::vector<MatchingService::MatchOutcome> MatchingService::StageMatch(
           stop.store(true, std::memory_order_relaxed);
           return;
         }
-        MatchOutcome& o = outcomes[i];
-        try {
-          MVOPT_FAILPOINT("matcher.match");
-          o.result =
-              matcher.Match(query, catalog_snapshot.view(gated[i].id));
-          o.kind = MatchOutcome::Kind::kDone;
-        } catch (const std::exception&) {
-          o.kind = MatchOutcome::Kind::kError;
-        }
+        match_one(catalog_snapshot.view(gated[i].id), scratch, outcomes[i]);
       }
     });
   }
@@ -507,7 +630,7 @@ void MatchingService::StageCompensate(
     const CatalogSnapshot& snap, const SpjgQuery& query,
     const std::vector<GatedCandidate>& gated,
     std::vector<MatchOutcome>* outcomes, QueryContext& ctx, VerifyMode mode,
-    ProbeDelta* delta, std::vector<Substitute>* fresh,
+    MatchCrossCheck xmode, ProbeDelta* delta, std::vector<Substitute>* fresh,
     std::vector<Substitute>* stale) {
   QueryTrace* trace = ctx.trace();
   const bool quarantine_active =
@@ -517,6 +640,18 @@ void MatchingService::StageCompensate(
     MatchOutcome& o = (*outcomes)[i];
     if (o.kind == MatchOutcome::Kind::kSkipped) continue;
     delta->stats.full_tests += 1;
+    // Tier attribution: every full test was decided by exactly one tier
+    // (compiled_hits + compiled_fallbacks == full_tests); an exception
+    // counts as a fallback — the compiled path never reached a verdict.
+    if (o.kind == MatchOutcome::Kind::kDone &&
+        o.tier == MatchTier::kCompiled) {
+      delta->stats.compiled_hits += 1;
+    } else {
+      delta->stats.compiled_fallbacks += 1;
+    }
+    if (o.seconds >= 0 && o.kind != MatchOutcome::Kind::kError) {
+      metrics_.match_latency[static_cast<size_t>(o.tier)]->Observe(o.seconds);
+    }
     if (o.kind == MatchOutcome::Kind::kError) {
       delta->stats.match_failures += 1;
       if (trace != nullptr) {
@@ -524,6 +659,34 @@ void MatchingService::StageCompensate(
                              "matcher exception");
       }
       continue;
+    }
+    // Cross-check: replay this compiled verdict against the generic
+    // oracle (serial, candidate order — the replay itself never runs in
+    // the parallel batch). A disagreement is a compiler or executor bug;
+    // in enforce mode the disagreeing view trips the same circuit
+    // breaker verify rejections use, and the oracle's verdict replaces
+    // the compiled one — so enforce-mode plans, ordering and stats are
+    // byte-identical to the all-generic path by construction.
+    if (o.tier == MatchTier::kCompiled && xmode != MatchCrossCheck::kOff) {
+      MatchResult oracle = matcher_.Match(query, snap.views.view(g.id));
+      if (!SameMatchVerdict(o.result, oracle)) {
+        delta->stats.cross_check_mismatches += 1;
+        if (trace != nullptr) {
+          trace->RecordVerdict(snap.views.view(g.id).name(),
+                               "cross-check-mismatch",
+                               std::string("compiled=") +
+                                   VerdictSummary(o.result) +
+                                   " oracle=" + VerdictSummary(oracle));
+        }
+        if (xmode == MatchCrossCheck::kEnforce) {
+          lifecycle_.ReportVerifyFailure(
+              g.id,
+              options_.quarantine_threshold > 0 ? options_.quarantine_threshold
+                                                : 1,
+              options_.disable_threshold);
+          o.result = std::move(oracle);
+        }
+      }
     }
     MatchResult& result = o.result;
     if (!result.ok()) {
@@ -577,9 +740,10 @@ void MatchingService::StageCompensate(
 std::vector<Substitute> MatchingService::FindSubstitutesOn(
     const CatalogSnapshot& snap, const SpjgQuery& query, QueryContext& ctx) {
   MVOPT_FAILPOINT("matching_service.find_substitutes");
-  // One verify-mode snapshot per probe: a concurrent set_verify_mode
-  // flip applies to whole probes, never to half of one.
+  // One verify-mode (and cross-check-mode) snapshot per probe: a
+  // concurrent flip applies to whole probes, never to half of one.
   const VerifyMode vmode = verify_mode();
+  const MatchCrossCheck xmode = cross_check();
   // In kOff mode (no registered metrics, no trace, no stage hook) the
   // instrumentation below reduces to null/flag checks: no clock reads,
   // no FilterSearchStats collection, no trace recording. bench/
@@ -629,8 +793,8 @@ std::vector<Substitute> MatchingService::FindSubstitutesOn(
   // Stage 4 (compensate): verification + accounting, candidate order.
   std::vector<Substitute> out;
   std::vector<Substitute> stale_out;  // tolerated-stale: ranked after fresh
-  StageCompensate(snap, query, gated, &outcomes, ctx, vmode, &delta, &out,
-                  &stale_out);
+  StageCompensate(snap, query, gated, &outcomes, ctx, vmode, xmode, &delta,
+                  &out, &stale_out);
   if (observing) {
     const double s = timer.Lap();
     total_seconds += s;
@@ -756,7 +920,18 @@ RecoveryReport MatchingService::RecoverFrom(CatalogStore* store) {
     ViewDefinition* view = nullptr;
     try {
       view = next->views.AddView(image.name, std::move(*parsed), &err);
-      if (view != nullptr) next->tree.AddView(view->id());
+      if (view != nullptr) {
+        next->tree.AddView(view->id());
+        if (options_.compile_match_programs) {
+          // Programs are not persisted — they are recompiled from the
+          // replayed definition, so recovery lands with the same tiers
+          // a fresh registration would produce.
+          MVOPT_FAILPOINT("match_program.compile");
+          next->views.SetProgram(
+              view->id(),
+              CompileMatchProgram(*catalog_, *view, options_.match));
+        }
+      }
     } catch (const std::exception& e) {
       if (view != nullptr) next->views.RemoveLastView(view->id());
       view = nullptr;
@@ -890,6 +1065,14 @@ bool MatchingService::ReadmitView(ViewId id) {
   }
   LogViewEventLocked(SnapshotLocked()->views, id);
   return true;
+}
+
+void MatchingService::ReplaceProgramForTest(
+    ViewId id, std::shared_ptr<const MatchProgram> program) {
+  WriterLock lock(mu_);
+  auto next = std::make_unique<CatalogSnapshot>(*SnapshotLocked());
+  next->views.SetProgram(id, std::move(program));
+  PublishLocked(std::move(next));
 }
 
 bool MatchingService::IsQuarantined(ViewId id) const {

@@ -80,6 +80,7 @@
 #include "observe/trace.h"
 #include "query/substitute.h"
 #include "rewrite/catalog_store.h"
+#include "rewrite/match_program.h"
 #include "rewrite/matcher.h"
 #include "rewrite/substitute_source.h"
 #include "rewrite/union_matcher.h"
@@ -99,6 +100,14 @@ struct MatchingStats {
   int64_t budget_truncations = 0;  ///< probes cut short by a budget
   int64_t quarantine_skips = 0;    ///< candidates skipped while sidelined
   int64_t stale_tolerated = 0;     ///< stale substitutes kept (down-ranked)
+  /// Two-tier matching (rewrite/match_program.h): full tests decided by
+  /// a compiled program vs. the generic oracle. Invariant:
+  /// compiled_hits + compiled_fallbacks == full_tests (every matcher
+  /// execution is attributed to exactly one tier; exceptions count as
+  /// fallbacks — the compiled path never decided).
+  int64_t compiled_hits = 0;       ///< candidates decided by a MatchProgram
+  int64_t compiled_fallbacks = 0;  ///< candidates decided by the oracle
+  int64_t cross_check_mismatches = 0;  ///< compiled verdict != oracle verdict
   /// Rejection counts by reason (indexed by RejectReason).
   std::array<int64_t, kNumRejectReasons> rejects{};
 
@@ -111,6 +120,9 @@ struct MatchingStats {
     budget_truncations += other.budget_truncations;
     quarantine_skips += other.quarantine_skips;
     stale_tolerated += other.stale_tolerated;
+    compiled_hits += other.compiled_hits;
+    compiled_fallbacks += other.compiled_fallbacks;
+    cross_check_mismatches += other.cross_check_mismatches;
     for (size_t i = 0; i < rejects.size(); ++i) rejects[i] += other.rejects[i];
   }
 };
@@ -178,6 +190,14 @@ class MatchingService : public SubstituteSource {
     /// quarantined view to DISABLED (only revalidation re-enables it).
     /// 0 disables the escalation.
     int disable_threshold = 0;
+    /// Two-tier matching (rewrite/match_program.h): compile each view
+    /// into a MatchProgram at registration/recovery. Views outside the
+    /// compiled envelope (and all views when this is off) match through
+    /// the generic ViewMatcher.
+    bool compile_match_programs = true;
+    /// Initial compiled-vs-oracle agreement checking; runtime-flippable
+    /// afterwards via set_cross_check() (see cross_check_).
+    MatchCrossCheck cross_check = MatchCrossCheck::kOff;
     /// Observability (off by default; see observe/observe.h). The
     /// registry, when set, must outlive the service.
     ObserveOptions observe;
@@ -360,6 +380,23 @@ class MatchingService : public SubstituteSource {
   }
   const RewriteChecker& checker() const { return checker_; }
 
+  /// Compiled-vs-oracle cross-check mode: atomic and runtime-flippable
+  /// like verify_mode, snapshotted once per probe so a flip applies to
+  /// whole probes only.
+  MatchCrossCheck cross_check() const {
+    return cross_check_.load(std::memory_order_relaxed);
+  }
+  void set_cross_check(MatchCrossCheck mode) {
+    cross_check_.store(mode, std::memory_order_relaxed);
+  }
+
+  /// Test hook (adversarial mutant tests): swaps the compiled program of
+  /// `id` — possibly for a corrupted one, or nullptr to force the
+  /// generic tier — through the normal clone-mutate-publish path.
+  void ReplaceProgramForTest(ViewId id,
+                             std::shared_ptr<const MatchProgram> program)
+      MVOPT_EXCLUDES(mu_);
+
   /// Names of sidelined (quarantined or disabled) views, in id order.
   std::vector<std::string> QuarantinedViews() const;
   /// Lock-free (the lifecycle registry is internally synchronized).
@@ -403,6 +440,12 @@ class MatchingService : public SubstituteSource {
     Counter* budget_truncations = nullptr;
     Counter* quarantine_skips = nullptr;
     Counter* stale_tolerated = nullptr;
+    Counter* compiled_hits = nullptr;
+    Counter* compiled_fallbacks = nullptr;
+    Counter* cross_check_mismatches = nullptr;
+    /// Per-tier match-stage latency (seconds per candidate), indexed by
+    /// MatchTier.
+    std::array<Histogram*, kNumMatchTiers> match_latency{};
     std::array<Counter*, kNumRejectReasons> rejects{};
     std::array<Counter*, kNumFilterLevels> level_probes{};
     std::array<Counter*, kNumFilterLevels> level_visits{};
@@ -435,6 +478,13 @@ class MatchingService : public SubstituteSource {
     };
     Kind kind = Kind::kSkipped;
     MatchResult result;
+    /// Which tier decided `result` (kDone only): the view's MatchProgram
+    /// ran to a verdict, or the generic oracle ran (no program, program
+    /// declined, or the compiled attempt threw).
+    MatchTier tier = MatchTier::kGeneric;
+    /// Wall clock of this candidate's match test; < 0 when untimed
+    /// (per-tier latency histograms off).
+    double seconds = -1.0;
   };
 
   // --- snapshot plumbing --------------------------------------------------
@@ -488,11 +538,17 @@ class MatchingService : public SubstituteSource {
   /// stats accounting and trace verdicts all happen here, so the stats
   /// delta is identical however the match stage was scheduled. `mode` is
   /// the probe's verify-mode snapshot (taken once, see verify_mode_).
+  /// `xmode` is the probe's cross-check snapshot: compiled verdicts are
+  /// replayed against the generic oracle here (serial, candidate order),
+  /// mismatches counted and — in enforce mode — the view quarantined via
+  /// the circuit breaker and the oracle's verdict substituted, so
+  /// enforce-mode output is byte-identical to the generic tier by
+  /// construction.
   void StageCompensate(const CatalogSnapshot& snap, const SpjgQuery& query,
                        const std::vector<GatedCandidate>& gated,
                        std::vector<MatchOutcome>* outcomes, QueryContext& ctx,
-                       VerifyMode mode, ProbeDelta* delta,
-                       std::vector<Substitute>* fresh,
+                       VerifyMode mode, MatchCrossCheck xmode,
+                       ProbeDelta* delta, std::vector<Substitute>* fresh,
                        std::vector<Substitute>* stale);
 
   /// The probe pipeline over one consistent snapshot. The caller
@@ -568,6 +624,8 @@ class MatchingService : public SubstituteSource {
 
   /// Runtime-flippable soundness-checking mode (see verify_mode()).
   std::atomic<VerifyMode> verify_mode_;
+  /// Runtime-flippable compiled-vs-oracle cross-check (see cross_check()).
+  std::atomic<MatchCrossCheck> cross_check_;
 
   /// Internally synchronized (lock-free entry access); not guarded.
   ViewLifecycleRegistry lifecycle_;

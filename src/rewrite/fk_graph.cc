@@ -118,4 +118,9 @@ uint64_t FkJoinGraph::ComputeHub(uint64_t protect_mask) const {
   return RunElimination(num_nodes_, edges_, protect_mask, nullptr);
 }
 
+uint64_t FkJoinGraph::AliveAfterElimination(
+    int num_nodes, const std::vector<FkJoinEdge>& edges, uint64_t keep_mask) {
+  return RunElimination(num_nodes, edges, keep_mask, nullptr);
+}
+
 }  // namespace mvopt

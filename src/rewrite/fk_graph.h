@@ -66,6 +66,17 @@ class FkJoinGraph {
   /// (the hub, §4.2.2).
   uint64_t ComputeHub(uint64_t protect_mask) const;
 
+  /// The surviving-node mask of the shared elimination loop over an
+  /// explicit edge list (edges' `fk` payload is not consulted). The
+  /// fixpoint is order- and labeling-independent — deleting a node never
+  /// disables another deletion, because a node with an alive outgoing
+  /// edge is itself undeletable — so callers holding edges in a
+  /// different (but isomorphic) slot space get the corresponding result.
+  /// Exposed for precompiled match programs (rewrite/match_program.cc).
+  static uint64_t AliveAfterElimination(int num_nodes,
+                                        const std::vector<FkJoinEdge>& edges,
+                                        uint64_t keep_mask);
+
   const std::vector<FkJoinEdge>& edges() const { return edges_; }
   int num_nodes() const { return num_nodes_; }
 

@@ -8,8 +8,8 @@
 #ifndef MVOPT_REWRITE_RANGE_H_
 #define MVOPT_REWRITE_RANGE_H_
 
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "expr/classify.h"
@@ -71,12 +71,13 @@ class RangeMap {
     return ranges_.find(class_id) != ranges_.end();
   }
 
-  const std::unordered_map<int, ValueRange>& ranges() const {
-    return ranges_;
-  }
+  /// Ordered by class id: iteration order is deterministic, which the
+  /// matcher (and the compiled match programs, rewrite/match_program.h)
+  /// rely on for a stable compensating-predicate emission order.
+  const std::map<int, ValueRange>& ranges() const { return ranges_; }
 
  private:
-  std::unordered_map<int, ValueRange> ranges_;
+  std::map<int, ValueRange> ranges_;
 };
 
 }  // namespace mvopt

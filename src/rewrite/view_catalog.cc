@@ -36,6 +36,9 @@ ViewDefinition* ViewCatalog::AddView(const std::string& name,
   if (descriptions_.size() == descriptions_.capacity()) {
     descriptions_.reserve(std::max<size_t>(8, descriptions_.size() * 2));
   }
+  if (programs_.size() == programs_.capacity()) {
+    programs_.reserve(std::max<size_t>(8, programs_.size() * 2));
+  }
   auto [it, inserted] = by_name_.emplace(name, id);  // may throw; commit point
   (void)it;
   if (!inserted) {
@@ -47,6 +50,7 @@ ViewDefinition* ViewCatalog::AddView(const std::string& name,
   // Capacity reserved and both element moves are noexcept: no-throw.
   views_.push_back(std::move(view));
   descriptions_.push_back(std::move(description));
+  programs_.emplace_back();  // compiled later (MatchingService), if at all
   return views_.back().get();
 }
 
@@ -57,6 +61,7 @@ void ViewCatalog::RemoveLastView(ViewId id) {
   by_name_.erase(views_.back()->name());
   views_.pop_back();
   descriptions_.pop_back();
+  programs_.pop_back();
 }
 
 const ViewDefinition* ViewCatalog::FindView(const std::string& name) const {

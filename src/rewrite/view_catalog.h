@@ -16,6 +16,8 @@
 
 namespace mvopt {
 
+struct MatchProgram;
+
 class ViewCatalog {
  public:
   explicit ViewCatalog(const Catalog* catalog) : catalog_(catalog) {}
@@ -34,6 +36,7 @@ class ViewCatalog {
       : catalog_(other.catalog_),
         views_(other.views_),
         descriptions_(other.descriptions_),
+        programs_(other.programs_),
         by_name_(other.by_name_) {}
   ViewCatalog& operator=(const ViewCatalog&) = delete;
 
@@ -64,6 +67,20 @@ class ViewCatalog {
     return descriptions_;
   }
 
+  /// Compiled match program of `id`, or nullptr (generic tier). Programs
+  /// are immutable and shared across snapshot generations like the
+  /// definitions: compiled once under the writer lock at registration or
+  /// recovery (MatchingService), never on the probe path.
+  const std::shared_ptr<const MatchProgram>& program(ViewId id) const {
+    return programs_[id];
+  }
+  /// Installs (or clears) the compiled program of `id`. Only called on
+  /// unpublished clones, mirroring the rest of the clone-mutate-publish
+  /// discipline.
+  void SetProgram(ViewId id, std::shared_ptr<const MatchProgram> program) {
+    programs_[id] = std::move(program);
+  }
+
   const Catalog& catalog() const { return *catalog_; }
 
  private:
@@ -73,6 +90,9 @@ class ViewCatalog {
   /// as ANY snapshot generation references it.
   std::vector<std::shared_ptr<ViewDefinition>> views_;
   std::vector<ViewDescription> descriptions_;
+  /// Per-view compiled match programs (nullptr = generic tier), parallel
+  /// to views_. shared_ptr for the same lifetime reason as views_.
+  std::vector<std::shared_ptr<const MatchProgram>> programs_;
   std::unordered_map<std::string, ViewId> by_name_;
 };
 

@@ -49,6 +49,10 @@ store_sites=(
   catalog_store.snapshot_write
   catalog_store.snapshot_rename
   catalog_store.wal_truncate
+  # Not a store protocol step, but the same transactional contract: a
+  # match-program compile failure aborts the registration before the WAL
+  # append, so the armed view must never surface after recovery.
+  match_program.compile
 )
 
 shard_sites=(

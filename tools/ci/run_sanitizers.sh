@@ -43,6 +43,7 @@ run_thread() {
   cmake --build "${build_dir}" \
     --target concurrency_stress_test pipeline_stress_test \
              snapshot_stress_test serving_chaos_test shard_chaos_test \
+             match_program_stress_test \
              -j "${jobs}"
   echo "=== thread: test ==="
   # TSan only pays off on the multi-threaded suites (the `stress` ctest
@@ -58,6 +59,8 @@ run_thread() {
   TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
     ctest --test-dir "${build_dir}" --output-on-failure \
     -L 'stress' -j "${jobs}"
+  # (The stress label includes match_program_stress_test: compiled-tier
+  # probes under cross-check enforce racing registration and mode flips.)
 }
 
 run_metrics_smoke() {
@@ -72,6 +75,13 @@ run_metrics_smoke() {
   ASAN_OPTIONS=detect_leaks=1 \
     "${build_dir}/examples/metrics_driver" \
     --views 100 --queries 30 --quiet --selfcheck
+  # Same workload with every compiled verdict replayed against the
+  # generic oracle: the selfcheck fails on any tier mismatch, so this is
+  # the instrumented end-to-end proof that the two tiers agree.
+  echo "=== metrics smoke: cross-check enforce ==="
+  ASAN_OPTIONS=detect_leaks=1 \
+    "${build_dir}/examples/metrics_driver" \
+    --views 100 --queries 30 --quiet --selfcheck --cross-check enforce
 }
 
 run_crash_recovery() {
